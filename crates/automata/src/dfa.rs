@@ -1,0 +1,480 @@
+//! Deterministic finite automata: subset construction + Hopcroft
+//! minimization, with the reverse transition index used by S-PATH.
+//!
+//! The DFA is *partial*: a missing transition rejects. State `0` is always
+//! the start state. [`Dfa::transitions_on`] answers the S-PATH arrival
+//! probe "for each `s, t` where `t = δ(s, l)`" in O(#matching transitions).
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use sgq_types::{FxHashMap, FxHashSet, Label};
+
+/// A DFA state index (start is always `0`).
+pub type StateId = u32;
+
+/// A minimized, partial DFA over the label alphabet.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `trans[s]` maps labels to successor states.
+    trans: Vec<FxHashMap<Label, StateId>>,
+    /// `accepting[s]` iff `s ∈ F`.
+    accepting: Vec<bool>,
+    /// Reverse index: label → `(from, to)` transition pairs.
+    by_label: FxHashMap<Label, Vec<(StateId, StateId)>>,
+    /// Labels usable from the start state (for quick source-edge checks).
+    start_labels: FxHashSet<Label>,
+}
+
+impl Dfa {
+    /// `ConstructDFA(R)` (Algorithm S-PATH line 1): Thompson NFA → subset
+    /// construction → Hopcroft minimization.
+    pub fn from_regex(re: &Regex) -> Dfa {
+        let nfa = Nfa::from_regex(re);
+        let (trans, accepting) = subset_construction(&nfa, &re.alphabet());
+        let (trans, accepting) = hopcroft_minimize(trans, accepting);
+        Dfa::from_parts(trans, accepting)
+    }
+
+    fn from_parts(trans: Vec<FxHashMap<Label, StateId>>, accepting: Vec<bool>) -> Dfa {
+        let mut by_label: FxHashMap<Label, Vec<(StateId, StateId)>> = FxHashMap::default();
+        let mut start_labels = FxHashSet::default();
+        for (s, map) in trans.iter().enumerate() {
+            for (&l, &t) in map {
+                by_label.entry(l).or_default().push((s as StateId, t));
+                if s == 0 {
+                    start_labels.insert(l);
+                }
+            }
+        }
+        // Deterministic iteration order for reproducible runs.
+        for v in by_label.values_mut() {
+            v.sort_unstable();
+        }
+        Dfa {
+            trans,
+            accepting,
+            by_label,
+            start_labels,
+        }
+    }
+
+    /// The start state `s₀`.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        0
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// `δ(s, l)`, or `None` (reject).
+    #[inline]
+    pub fn delta(&self, s: StateId, l: Label) -> Option<StateId> {
+        self.trans[s as usize].get(&l).copied()
+    }
+
+    /// Whether `s ∈ F`.
+    #[inline]
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// Whether the start state accepts (i.e. `ε ∈ L(R)`).
+    #[inline]
+    pub fn accepts_empty(&self) -> bool {
+        self.accepting[0]
+    }
+
+    /// All transitions `(s, t)` with `t = δ(s, l)` — the S-PATH arrival probe.
+    #[inline]
+    pub fn transitions_on(&self, l: Label) -> &[(StateId, StateId)] {
+        self.by_label.get(&l).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any transition out of the start state reads `l`.
+    #[inline]
+    pub fn starts_with(&self, l: Label) -> bool {
+        self.start_labels.contains(&l)
+    }
+
+    /// The set of labels with at least one transition.
+    pub fn alphabet(&self) -> impl Iterator<Item = Label> + '_ {
+        self.by_label.keys().copied()
+    }
+
+    /// Extended transition `δ*(s₀, word)`; `None` if rejected en route.
+    pub fn run(&self, word: &[Label]) -> Option<StateId> {
+        let mut s = self.start();
+        for &l in word {
+            s = self.delta(s, l)?;
+        }
+        Some(s)
+    }
+
+    /// Whether `word ∈ L(R)`.
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        self.run(word).is_some_and(|s| self.is_accepting(s))
+    }
+
+    /// Outgoing transitions of `s` as `(label, target)` pairs.
+    pub fn transitions_from(&self, s: StateId) -> impl Iterator<Item = (Label, StateId)> + '_ {
+        self.trans[s as usize].iter().map(|(&l, &t)| (l, t))
+    }
+
+    /// Returns an equivalent DFA whose start state has **no incoming
+    /// transitions** (adding one cloned state if needed).
+    ///
+    /// Product constructions that anchor a tree/relation at `(vertex, s₀)`
+    /// need this: with a re-enterable start state (e.g. the one-state DFA
+    /// of `a*`), a cycle back to the source vertex would collide with the
+    /// empty-path root. Start-separation keeps the root identity unique
+    /// while preserving the language.
+    pub fn start_separated(&self) -> Dfa {
+        let start_has_incoming = self
+            .by_label
+            .values()
+            .flatten()
+            .any(|&(_, t)| t == self.start());
+        if !start_has_incoming {
+            return self.clone();
+        }
+        let n = self.trans.len() as StateId;
+        // Redirect every transition into the old start to a clone `n`.
+        let redirect = |t: StateId| if t == 0 { n } else { t };
+        let mut trans: Vec<FxHashMap<Label, StateId>> = self
+            .trans
+            .iter()
+            .map(|m| m.iter().map(|(&l, &t)| (l, redirect(t))).collect())
+            .collect();
+        // The clone behaves exactly like the old start.
+        trans.push(trans[0].clone());
+        let mut accepting = self.accepting.clone();
+        accepting.push(self.accepting[0]);
+        Dfa::from_parts(trans, accepting)
+    }
+}
+
+/// Subset construction over the restricted alphabet. Returns `(trans,
+/// accepting)` with the start subset at index `0`. Only reachable subsets
+/// are materialised.
+fn subset_construction(
+    nfa: &Nfa,
+    alphabet: &[Label],
+) -> (Vec<FxHashMap<Label, StateId>>, Vec<bool>) {
+    let mut start: FxHashSet<usize> = FxHashSet::default();
+    start.insert(nfa.start());
+    nfa.eps_closure(&mut start);
+
+    let key = |set: &FxHashSet<usize>| {
+        let mut v: Vec<usize> = set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    let mut ids: FxHashMap<Vec<usize>, StateId> = FxHashMap::default();
+    let mut subsets: Vec<FxHashSet<usize>> = Vec::new();
+    let mut trans: Vec<FxHashMap<Label, StateId>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+
+    let k0 = key(&start);
+    ids.insert(k0, 0);
+    accepting.push(start.contains(&nfa.accept()));
+    subsets.push(start);
+    trans.push(FxHashMap::default());
+
+    let mut work: Vec<StateId> = vec![0];
+    while let Some(sid) = work.pop() {
+        for &l in alphabet {
+            let mut next = nfa.step(&subsets[sid as usize], l);
+            if next.is_empty() {
+                continue; // partial DFA: no dead state materialised
+            }
+            nfa.eps_closure(&mut next);
+            let k = key(&next);
+            let tid = *ids.entry(k).or_insert_with(|| {
+                let id = subsets.len() as StateId;
+                accepting.push(next.contains(&nfa.accept()));
+                subsets.push(next);
+                trans.push(FxHashMap::default());
+                work.push(id);
+                id
+            });
+            trans[sid as usize].insert(l, tid);
+        }
+    }
+    (trans, accepting)
+}
+
+/// Hopcroft's partition-refinement minimization adapted to partial DFAs: an
+/// implicit dead state forms its own block, so states are distinguished by
+/// *having* a transition on a label as well as by its target block.
+fn hopcroft_minimize(
+    trans: Vec<FxHashMap<Label, StateId>>,
+    accepting: Vec<bool>,
+) -> (Vec<FxHashMap<Label, StateId>>, Vec<bool>) {
+    let n = trans.len();
+    if n <= 1 {
+        return (trans, accepting);
+    }
+    let alphabet: FxHashSet<Label> = trans.iter().flat_map(|m| m.keys().copied()).collect();
+
+    // Reverse transitions: label → target → sources.
+    let mut rev: FxHashMap<(Label, StateId), Vec<StateId>> = FxHashMap::default();
+    for (s, m) in trans.iter().enumerate() {
+        for (&l, &t) in m {
+            rev.entry((l, t)).or_default().push(s as StateId);
+        }
+    }
+
+    // Initial partition: accepting / non-accepting (non-empty blocks only).
+    let mut block_of: Vec<usize> = vec![0; n];
+    let mut blocks: Vec<Vec<StateId>> = vec![Vec::new(), Vec::new()];
+    for s in 0..n {
+        let b = usize::from(accepting[s]);
+        block_of[s] = b;
+        blocks[b].push(s as StateId);
+    }
+    blocks.retain(|b| !b.is_empty());
+    for (bi, b) in blocks.iter().enumerate() {
+        for &s in b {
+            block_of[s as usize] = bi;
+        }
+    }
+
+    // Worklist of (block index, label) splitters.
+    let mut work: Vec<(usize, Label)> = Vec::new();
+    for bi in 0..blocks.len() {
+        for &l in &alphabet {
+            work.push((bi, l));
+        }
+    }
+
+    while let Some((bi, l)) = work.pop() {
+        // X = states with an l-transition into block bi.
+        let mut x: FxHashSet<StateId> = FxHashSet::default();
+        for &t in &blocks[bi] {
+            if let Some(sources) = rev.get(&(l, t)) {
+                x.extend(sources.iter().copied());
+            }
+        }
+        if x.is_empty() {
+            continue;
+        }
+        // Split every block Y into Y∩X and Y∖X.
+        let mut affected: FxHashSet<usize> = FxHashSet::default();
+        for &s in &x {
+            affected.insert(block_of[s as usize]);
+        }
+        for y in affected {
+            let (inside, outside): (Vec<StateId>, Vec<StateId>) =
+                blocks[y].iter().partition(|s| x.contains(s));
+            if inside.is_empty() || outside.is_empty() {
+                continue;
+            }
+            // Keep the larger part in place; the smaller becomes a new block.
+            let (keep, new_block) = if inside.len() <= outside.len() {
+                (outside, inside)
+            } else {
+                (inside, outside)
+            };
+            blocks[y] = keep;
+            let new_bi = blocks.len();
+            for &s in &new_block {
+                block_of[s as usize] = new_bi;
+            }
+            blocks.push(new_block);
+            for &a in &alphabet {
+                work.push((new_bi, a));
+            }
+        }
+    }
+
+    // Rebuild with the start state's block first.
+    let start_block = block_of[0];
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    order.swap(0, start_block);
+    let mut new_id: Vec<StateId> = vec![0; blocks.len()];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old] = new as StateId;
+    }
+
+    let mut new_trans: Vec<FxHashMap<Label, StateId>> = vec![FxHashMap::default(); blocks.len()];
+    let mut new_acc = vec![false; blocks.len()];
+    for (old_bi, states) in blocks.iter().enumerate() {
+        let repr = states[0] as usize;
+        let ni = new_id[old_bi] as usize;
+        new_acc[ni] = accepting[repr];
+        for (&l, &t) in &trans[repr] {
+            new_trans[ni].insert(l, new_id[block_of[t as usize]]);
+        }
+    }
+    (new_trans, new_acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    fn re_l(i: u32) -> Regex {
+        Regex::Label(Label(i))
+    }
+
+    #[test]
+    fn star_dfa_is_single_state() {
+        // a* minimizes to one accepting state with a self-loop.
+        let d = Dfa::from_regex(&Regex::star(re_l(0)));
+        assert_eq!(d.state_count(), 1);
+        assert!(d.accepts_empty());
+        assert!(d.accepts(&[l(0), l(0)]));
+        assert!(!d.accepts(&[l(1)]));
+        assert_eq!(d.delta(0, l(0)), Some(0));
+    }
+
+    #[test]
+    fn plus_dfa_has_two_states() {
+        let d = Dfa::from_regex(&Regex::plus(re_l(0)));
+        assert_eq!(d.state_count(), 2);
+        assert!(!d.accepts_empty());
+        assert!(d.accepts(&[l(0)]));
+        assert!(d.accepts(&[l(0), l(0), l(0)]));
+    }
+
+    #[test]
+    fn q4_cycle_of_three() {
+        // (a b c)+ : start, two intermediates, and an accepting state that
+        // loops back on `a` (it cannot merge with the non-accepting start).
+        let re = Regex::plus(Regex::concat(vec![re_l(0), re_l(1), re_l(2)]));
+        let d = Dfa::from_regex(&re);
+        assert_eq!(d.state_count(), 4);
+        assert!(d.accepts(&[l(0), l(1), l(2)]));
+        assert!(d.accepts(&[l(0), l(1), l(2), l(0), l(1), l(2)]));
+        assert!(!d.accepts(&[l(0), l(1)]));
+    }
+
+    #[test]
+    fn transitions_on_reverse_index() {
+        let re = Regex::plus(Regex::concat(vec![re_l(0), re_l(1), re_l(2)]));
+        let d = Dfa::from_regex(&re);
+        // `a` is read from both the start and the accepting state.
+        assert_eq!(d.transitions_on(l(0)).len(), 2);
+        assert_eq!(d.transitions_on(l(1)).len(), 1);
+        assert_eq!(d.transitions_on(l(2)).len(), 1);
+        assert!(d.transitions_on(l(9)).is_empty());
+        // Start-label check.
+        assert!(d.starts_with(l(0)));
+        assert!(!d.starts_with(l(1)));
+    }
+
+    #[test]
+    fn distinguishes_by_missing_transition() {
+        // L = a | a b. After 'a' the state accepts but also continues on b;
+        // partial-DFA minimization must not merge it with the final state.
+        let re = Regex::alt(vec![re_l(0), Regex::concat(vec![re_l(0), re_l(1)])]);
+        let d = Dfa::from_regex(&re);
+        assert!(d.accepts(&[l(0)]));
+        assert!(d.accepts(&[l(0), l(1)]));
+        assert!(!d.accepts(&[l(0), l(1), l(1)]));
+    }
+
+    #[test]
+    fn empty_language() {
+        let d = Dfa::from_regex(&Regex::Empty);
+        assert!(!d.accepts(&[]));
+        assert!(!d.accepts(&[l(0)]));
+    }
+
+    #[test]
+    fn run_returns_intermediate_states() {
+        let re = Regex::concat(vec![re_l(0), re_l(1)]);
+        let d = Dfa::from_regex(&re);
+        let s1 = d.run(&[l(0)]).unwrap();
+        assert!(!d.is_accepting(s1));
+        let s2 = d.run(&[l(0), l(1)]).unwrap();
+        assert!(d.is_accepting(s2));
+        assert!(d.run(&[l(1)]).is_none());
+    }
+
+    #[test]
+    fn start_separation_preserves_language() {
+        // a*: one accepting state with a self-loop; separation adds a clone.
+        let d = Dfa::from_regex(&Regex::star(re_l(0)));
+        let s = d.start_separated();
+        assert_eq!(s.state_count(), 2);
+        // No transitions back into the start.
+        assert!(s
+            .alphabet()
+            .collect::<Vec<_>>()
+            .iter()
+            .all(|&a| s.transitions_on(a).iter().all(|&(_, t)| t != s.start())));
+        for len in 0..5usize {
+            let w = vec![l(0); len];
+            assert_eq!(s.accepts(&w), d.accepts(&w), "word length {len}");
+        }
+        assert!(!s.accepts(&[l(1)]));
+    }
+
+    #[test]
+    fn start_separation_is_identity_when_unneeded() {
+        // a·b has no transitions into the start state.
+        let d = Dfa::from_regex(&Regex::concat(vec![re_l(0), re_l(1)]));
+        let s = d.start_separated();
+        assert_eq!(s.state_count(), d.state_count());
+    }
+
+    #[test]
+    fn start_separation_of_plus_cycle() {
+        // (a b c)+ loops back through the start's successor, not the start
+        // itself — but `a (b a)*`-style regexes do re-enter. Check one.
+        let mut it = sgq_types::LabelInterner::new();
+        let re = crate::parser::parse("a (b a)*", &mut it).unwrap();
+        let d = Dfa::from_regex(&re);
+        let s = d.start_separated();
+        let a = it.get("a").unwrap();
+        let b = it.get("b").unwrap();
+        for w in [
+            vec![a],
+            vec![a, b, a],
+            vec![a, b, a, b, a],
+            vec![a, b],
+            vec![b],
+        ] {
+            assert_eq!(s.accepts(&w), d.accepts(&w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn minimization_agrees_with_nfa_on_words() {
+        // a (b|c)* a? — compare DFA vs NFA on all words up to length 4.
+        let re = Regex::concat(vec![
+            re_l(0),
+            Regex::star(Regex::alt(vec![re_l(1), re_l(2)])),
+            Regex::optional(re_l(0)),
+        ]);
+        let d = Dfa::from_regex(&re);
+        let n = Nfa::from_regex(&re);
+        let sigma = [l(0), l(1), l(2)];
+        let mut words: Vec<Vec<Label>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &words {
+                for &a in &sigma {
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    next.push(w2);
+                }
+            }
+            words.extend(next.clone());
+            words.dedup();
+        }
+        for w in &words {
+            assert_eq!(d.accepts(w), n.accepts(w), "disagree on {w:?}");
+        }
+    }
+}

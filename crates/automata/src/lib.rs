@@ -1,0 +1,26 @@
+//! # sgq-automata — regular expressions over edge-label alphabets
+//!
+//! The PATH operator (Def. 20) constrains path label sequences with a
+//! regular expression `R` over the label alphabet `Σ` and evaluates it with
+//! a DFA (`ConstructDFA` in Algorithm S-PATH). This crate is that substrate,
+//! built from scratch:
+//!
+//! * [`Regex`] — the expression AST (labels, concatenation, alternation,
+//!   Kleene star/plus, optional), plus a text [`parse`](Regex::parse) front
+//!   end (`a ((b|c)* d)+` style syntax with `.` or whitespace concatenation).
+//! * [`Nfa`] — Thompson construction with ε-transitions and direct word
+//!   simulation (used as the correctness oracle for the DFA).
+//! * [`Dfa`] — subset construction followed by Hopcroft minimization, with
+//!   the reverse index `transitions_on(label)` that S-PATH probes on tuple
+//!   arrival ("for each s, t ∈ S where t = δ(s, l)").
+
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod nfa;
+pub mod parser;
+pub mod regex;
+
+pub use dfa::{Dfa, StateId};
+pub use nfa::Nfa;
+pub use regex::Regex;

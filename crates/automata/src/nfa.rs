@@ -1,0 +1,233 @@
+//! Thompson construction: [`Regex`] → ε-NFA, plus direct word simulation.
+//!
+//! The NFA is the intermediate representation for DFA construction and the
+//! independent oracle in property tests (`Dfa::accepts == Nfa::accepts`).
+
+use crate::regex::Regex;
+use sgq_types::{FxHashSet, Label};
+
+/// An NFA state index.
+pub type NfaStateId = usize;
+
+#[derive(Debug, Clone, Default)]
+struct NfaState {
+    /// Labelled transitions `(label, target)`.
+    trans: Vec<(Label, NfaStateId)>,
+    /// ε-transitions.
+    eps: Vec<NfaStateId>,
+}
+
+/// An ε-NFA with a single start and a single accept state (Thompson form).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<NfaState>,
+    start: NfaStateId,
+    accept: NfaStateId,
+}
+
+impl Nfa {
+    /// Thompson construction from a regex.
+    pub fn from_regex(re: &Regex) -> Nfa {
+        let mut nfa = Nfa {
+            states: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.build(re);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn new_state(&mut self) -> NfaStateId {
+        self.states.push(NfaState::default());
+        self.states.len() - 1
+    }
+
+    /// Builds the fragment for `re`, returning `(start, accept)`.
+    fn build(&mut self, re: &Regex) -> (NfaStateId, NfaStateId) {
+        match re {
+            Regex::Empty => {
+                let s = self.new_state();
+                let a = self.new_state();
+                (s, a) // no connection: rejects everything
+            }
+            Regex::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].eps.push(a);
+                (s, a)
+            }
+            Regex::Label(l) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].trans.push((*l, a));
+                (s, a)
+            }
+            Regex::Concat(parts) => {
+                let mut parts = parts.iter();
+                let (s, mut prev_a) = self.build(parts.next().expect("concat is non-empty"));
+                for p in parts {
+                    let (fs, fa) = self.build(p);
+                    self.states[prev_a].eps.push(fs);
+                    prev_a = fa;
+                }
+                (s, prev_a)
+            }
+            Regex::Alt(parts) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                for p in parts {
+                    let (fs, fa) = self.build(p);
+                    self.states[s].eps.push(fs);
+                    self.states[fa].eps.push(a);
+                }
+                (s, a)
+            }
+            Regex::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (fs, fa) = self.build(inner);
+                self.states[s].eps.push(fs);
+                self.states[s].eps.push(a);
+                self.states[fa].eps.push(fs);
+                self.states[fa].eps.push(a);
+                (s, a)
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> NfaStateId {
+        self.start
+    }
+
+    /// The accept state.
+    pub fn accept(&self) -> NfaStateId {
+        self.accept
+    }
+
+    /// ε-closure of a state set, in place.
+    pub fn eps_closure(&self, set: &mut FxHashSet<NfaStateId>) {
+        let mut stack: Vec<NfaStateId> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s].eps {
+                if set.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    /// States reachable from `set` by consuming `label` (before closure).
+    pub fn step(&self, set: &FxHashSet<NfaStateId>, label: Label) -> FxHashSet<NfaStateId> {
+        let mut out = FxHashSet::default();
+        for &s in set {
+            for &(l, t) in &self.states[s].trans {
+                if l == label {
+                    out.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct subset simulation: whether `word ∈ L(R)`.
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        let mut cur: FxHashSet<NfaStateId> = FxHashSet::default();
+        cur.insert(self.start);
+        self.eps_closure(&mut cur);
+        for &l in word {
+            let mut next = self.step(&cur, l);
+            if next.is_empty() {
+                return false;
+            }
+            self.eps_closure(&mut next);
+            cur = next;
+        }
+        cur.contains(&self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    fn re_l(i: u32) -> Regex {
+        Regex::Label(Label(i))
+    }
+
+    #[test]
+    fn label_accepts_exactly_itself() {
+        let n = Nfa::from_regex(&re_l(0));
+        assert!(n.accepts(&[l(0)]));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[l(1)]));
+        assert!(!n.accepts(&[l(0), l(0)]));
+    }
+
+    #[test]
+    fn empty_rejects_everything() {
+        let n = Nfa::from_regex(&Regex::Empty);
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[l(0)]));
+    }
+
+    #[test]
+    fn epsilon_accepts_only_empty_word() {
+        let n = Nfa::from_regex(&Regex::Epsilon);
+        assert!(n.accepts(&[]));
+        assert!(!n.accepts(&[l(0)]));
+    }
+
+    #[test]
+    fn star_accepts_repetitions() {
+        let n = Nfa::from_regex(&Regex::star(re_l(0)));
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[l(0)]));
+        assert!(n.accepts(&[l(0); 5]));
+        assert!(!n.accepts(&[l(0), l(1)]));
+    }
+
+    #[test]
+    fn q4_shape() {
+        // (a b c)+
+        let re = Regex::plus(Regex::concat(vec![re_l(0), re_l(1), re_l(2)]));
+        let n = Nfa::from_regex(&re);
+        assert!(!n.accepts(&[]));
+        assert!(n.accepts(&[l(0), l(1), l(2)]));
+        assert!(n.accepts(&[l(0), l(1), l(2), l(0), l(1), l(2)]));
+        assert!(!n.accepts(&[l(0), l(1)]));
+        assert!(!n.accepts(&[l(0), l(1), l(2), l(0)]));
+    }
+
+    #[test]
+    fn alternation() {
+        let re = Regex::alt(vec![re_l(0), re_l(1)]);
+        let n = Nfa::from_regex(&re);
+        assert!(n.accepts(&[l(0)]));
+        assert!(n.accepts(&[l(1)]));
+        assert!(!n.accepts(&[l(2)]));
+    }
+
+    #[test]
+    fn q3_shape() {
+        // a b* c*
+        let re = Regex::concat(vec![re_l(0), Regex::star(re_l(1)), Regex::star(re_l(2))]);
+        let n = Nfa::from_regex(&re);
+        assert!(n.accepts(&[l(0)]));
+        assert!(n.accepts(&[l(0), l(1), l(1)]));
+        assert!(n.accepts(&[l(0), l(2)]));
+        assert!(n.accepts(&[l(0), l(1), l(2), l(2)]));
+        assert!(!n.accepts(&[l(0), l(2), l(1)]));
+    }
+}

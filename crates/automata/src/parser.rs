@@ -1,0 +1,279 @@
+//! Textual regular-expression syntax.
+//!
+//! Grammar (whitespace-insensitive except as concatenation):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := postfix (('.' | ws)? postfix)*
+//! postfix:= atom ('*' | '+' | '?')*
+//! atom   := IDENT | '(' alt ')' | 'ε'
+//! IDENT  := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! Label names resolve through the shared [`LabelInterner`]; classification
+//! as EDB/IDB happens at program validation, not here.
+
+use crate::regex::Regex;
+use sgq_types::LabelInterner;
+use std::fmt;
+
+/// A regex parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    labels: &'a mut LabelInterner,
+}
+
+/// Parses `input` into a [`Regex`].
+pub fn parse(input: &str, labels: &mut LabelInterner) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        labels,
+    };
+    let re = p.alt()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(re)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.concat()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                parts.push(self.concat()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'.') if !parts.is_empty() => {
+                    self.pos += 1;
+                    continue;
+                }
+                Some(c) if c == b'(' || is_ident_start(c) || is_epsilon_start(self.rest()) => {
+                    parts.push(self.postfix()?);
+                }
+                _ => break,
+            }
+        }
+        if parts.is_empty() {
+            return Err(self.err("expected a label or '('"));
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.input[self.pos..]
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut re = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    re = Regex::star(re);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    re = Regex::plus(re);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    re = Regex::optional(re);
+                }
+                _ => break,
+            }
+        }
+        Ok(re)
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let re = self.alt()?;
+                self.skip_ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(re)
+            }
+            Some(c) if is_ident_start(c) => {
+                let start = self.pos;
+                while self.peek().is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+                Ok(Regex::Label(self.labels.intern(name)))
+            }
+            _ if is_epsilon_start(self.rest()) => {
+                self.pos += "ε".len();
+                Ok(Regex::Epsilon)
+            }
+            _ => Err(self.err("expected a label, 'ε' or '('")),
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn is_epsilon_start(rest: &[u8]) -> bool {
+    rest.starts_with("ε".as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_types::Label;
+
+    fn setup() -> LabelInterner {
+        let mut it = LabelInterner::new();
+        it.intern("a"); // Label(0)
+        it.intern("b"); // Label(1)
+        it.intern("c"); // Label(2)
+        it
+    }
+
+    fn l(i: u32) -> Regex {
+        Regex::Label(Label(i))
+    }
+
+    #[test]
+    fn single_label() {
+        let mut it = setup();
+        assert_eq!(parse("a", &mut it).unwrap(), l(0));
+    }
+
+    #[test]
+    fn q1_star() {
+        let mut it = setup();
+        assert_eq!(parse("a*", &mut it).unwrap(), Regex::star(l(0)));
+    }
+
+    #[test]
+    fn q2_concat_star() {
+        // Q2: a ◦ b*
+        let mut it = setup();
+        let expect = Regex::concat(vec![l(0), Regex::star(l(1))]);
+        assert_eq!(parse("a b*", &mut it).unwrap(), expect);
+        assert_eq!(parse("a.b*", &mut it).unwrap(), expect);
+        assert_eq!(parse("a . b *", &mut it).unwrap(), expect);
+    }
+
+    #[test]
+    fn q3_double_star() {
+        // Q3: a ◦ b* ◦ c*
+        let mut it = setup();
+        let expect = Regex::concat(vec![l(0), Regex::star(l(1)), Regex::star(l(2))]);
+        assert_eq!(parse("a b* c*", &mut it).unwrap(), expect);
+    }
+
+    #[test]
+    fn q4_grouped_plus() {
+        // Q4: (a ◦ b ◦ c)+
+        let mut it = setup();
+        let abc = Regex::concat(vec![l(0), l(1), l(2)]);
+        assert_eq!(parse("(a b c)+", &mut it).unwrap(), Regex::plus(abc));
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        // a b | c == (a b) | c
+        let mut it = setup();
+        let expect = Regex::alt(vec![Regex::concat(vec![l(0), l(1)]), l(2)]);
+        assert_eq!(parse("a b | c", &mut it).unwrap(), expect);
+    }
+
+    #[test]
+    fn optional_and_nested_groups() {
+        let mut it = setup();
+        let expect = Regex::concat(vec![
+            Regex::optional(l(0)),
+            Regex::star(Regex::alt(vec![l(1), l(2)])),
+        ]);
+        assert_eq!(parse("a? (b|c)*", &mut it).unwrap(), expect);
+    }
+
+    #[test]
+    fn epsilon_literal() {
+        let mut it = setup();
+        assert_eq!(
+            parse("ε|a", &mut it).unwrap(),
+            Regex::alt(vec![Regex::Epsilon, l(0)])
+        );
+    }
+
+    #[test]
+    fn new_labels_are_interned() {
+        let mut it = setup();
+        parse("knows+", &mut it).unwrap();
+        assert!(it.get("knows").is_some());
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let mut it = setup();
+        let e = parse("a |", &mut it).unwrap_err();
+        assert_eq!(e.at, 3);
+        assert!(parse("(a", &mut it).is_err());
+        assert!(parse("a)", &mut it).is_err());
+        assert!(parse("", &mut it).is_err());
+        assert!(parse("*a", &mut it).is_err());
+    }
+}

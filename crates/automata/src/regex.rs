@@ -1,0 +1,290 @@
+//! The regular-expression AST over interned edge labels.
+
+use sgq_types::{Label, LabelInterner};
+use std::fmt;
+
+/// A regular expression over the label alphabet `Σ` (Def. 20).
+///
+/// Constructors normalise trivially (flatten nested concat/alt, absorb
+/// `Empty`/`Epsilon` identities) so structurally different builds of the
+/// same expression compare equal more often; full semantic equality is the
+/// DFA's job.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The empty word `ε`.
+    Epsilon,
+    /// A single label `l ∈ Σ`.
+    Label(Label),
+    /// Concatenation `R₁ · R₂ · …` (at least two factors).
+    Concat(Vec<Regex>),
+    /// Alternation `R₁ | R₂ | …` (at least two branches).
+    Alt(Vec<Regex>),
+    /// Kleene star `R*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// A single-label atom.
+    pub fn label(l: Label) -> Regex {
+        Regex::Label(l)
+    }
+
+    /// Concatenation, flattening nested concats and applying
+    /// `ε · R = R` and `∅ · R = ∅`.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Epsilon => {}
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().unwrap(),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Alternation, flattening nested alts, applying `∅ | R = R` and
+    /// deduplicating identical branches.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => {
+                    for i in inner {
+                        if !out.contains(&i) {
+                            out.push(i);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().unwrap(),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Kleene star, applying `∅* = ε* = ε` and `(R*)* = R*`.
+    pub fn star(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// Kleene plus `R+ = R · R*`.
+    pub fn plus(r: Regex) -> Regex {
+        Regex::concat(vec![r.clone(), Regex::star(r)])
+    }
+
+    /// Optional `R? = R | ε`.
+    pub fn optional(r: Regex) -> Regex {
+        match r {
+            Regex::Empty => Regex::Epsilon,
+            Regex::Epsilon => Regex::Epsilon,
+            other => Regex::alt(vec![other, Regex::Epsilon]),
+        }
+    }
+
+    /// Whether `ε ∈ L(R)` (nullable).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Label(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(ps) => ps.iter().all(Regex::nullable),
+            Regex::Alt(ps) => ps.iter().any(Regex::nullable),
+        }
+    }
+
+    /// The set of labels appearing in the expression, in first-occurrence
+    /// order.
+    pub fn alphabet(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        self.collect_alphabet(&mut out);
+        out
+    }
+
+    fn collect_alphabet(&self, out: &mut Vec<Label>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Label(l) => {
+                if !out.contains(l) {
+                    out.push(*l);
+                }
+            }
+            Regex::Concat(ps) | Regex::Alt(ps) => {
+                for p in ps {
+                    p.collect_alphabet(out);
+                }
+            }
+            Regex::Star(p) => p.collect_alphabet(out),
+        }
+    }
+
+    /// Parses the textual syntax; see [`crate::parser`].
+    pub fn parse(input: &str, labels: &mut LabelInterner) -> Result<Regex, crate::parser::ParseError> {
+        crate::parser::parse(input, labels)
+    }
+
+    /// Renders with label names resolved through `labels`.
+    pub fn display<'a>(&'a self, labels: &'a LabelInterner) -> impl fmt::Display + 'a {
+        DisplayRegex { re: self, labels }
+    }
+
+    fn fmt_with(&self, f: &mut fmt::Formatter<'_>, labels: Option<&LabelInterner>) -> fmt::Result {
+        // Precedence: alt < concat < star; parenthesise children as needed.
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Alt(_) => 0,
+                Regex::Concat(_) => 1,
+                Regex::Star(_) => 2,
+                _ => 3, // atoms never need parentheses
+            }
+        }
+        fn go(
+            r: &Regex,
+            f: &mut fmt::Formatter<'_>,
+            labels: Option<&LabelInterner>,
+            min_prec: u8,
+        ) -> fmt::Result {
+            let wrap = prec(r) < min_prec;
+            if wrap {
+                write!(f, "(")?;
+            }
+            match r {
+                Regex::Empty => write!(f, "∅")?,
+                Regex::Epsilon => write!(f, "ε")?,
+                Regex::Label(l) => match labels {
+                    Some(it) => write!(f, "{}", it.name(*l))?,
+                    None => write!(f, "{l:?}")?,
+                },
+                Regex::Concat(ps) => {
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        go(p, f, labels, 2)?;
+                    }
+                }
+                Regex::Alt(ps) => {
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "|")?;
+                        }
+                        go(p, f, labels, 1)?;
+                    }
+                }
+                Regex::Star(p) => {
+                    go(p, f, labels, 3)?;
+                    write!(f, "*")?;
+                }
+            }
+            if wrap {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, f, labels, 0)
+    }
+}
+
+struct DisplayRegex<'a> {
+    re: &'a Regex,
+    labels: &'a LabelInterner,
+}
+
+impl fmt::Display for DisplayRegex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.re.fmt_with(f, Some(self.labels))
+    }
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_with(f, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Regex {
+        Regex::Label(Label(i))
+    }
+
+    #[test]
+    fn concat_normalises() {
+        assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
+        assert_eq!(Regex::concat(vec![l(0)]), l(0));
+        assert_eq!(
+            Regex::concat(vec![l(0), Regex::Epsilon, l(1)]),
+            Regex::Concat(vec![l(0), l(1)])
+        );
+        assert_eq!(Regex::concat(vec![l(0), Regex::Empty]), Regex::Empty);
+        // Flattening.
+        assert_eq!(
+            Regex::concat(vec![Regex::concat(vec![l(0), l(1)]), l(2)]),
+            Regex::Concat(vec![l(0), l(1), l(2)])
+        );
+    }
+
+    #[test]
+    fn alt_normalises() {
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(Regex::alt(vec![l(0), Regex::Empty]), l(0));
+        assert_eq!(Regex::alt(vec![l(0), l(0)]), l(0));
+        assert_eq!(
+            Regex::alt(vec![Regex::alt(vec![l(0), l(1)]), l(1), l(2)]),
+            Regex::Alt(vec![l(0), l(1), l(2)])
+        );
+    }
+
+    #[test]
+    fn star_normalises() {
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::star(l(0))), Regex::star(l(0)));
+    }
+
+    #[test]
+    fn plus_expands_to_concat_star() {
+        let p = Regex::plus(l(0));
+        assert_eq!(p, Regex::Concat(vec![l(0), Regex::Star(Box::new(l(0)))]));
+        assert!(!p.nullable());
+    }
+
+    #[test]
+    fn optional_is_nullable() {
+        assert!(Regex::optional(l(0)).nullable());
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!l(0).nullable());
+        assert!(Regex::star(l(0)).nullable());
+        assert!(!Regex::concat(vec![Regex::star(l(0)), l(1)]).nullable());
+        assert!(Regex::concat(vec![Regex::star(l(0)), Regex::star(l(1))]).nullable());
+    }
+
+    #[test]
+    fn alphabet_in_order() {
+        let r = Regex::concat(vec![l(2), Regex::alt(vec![l(0), l(2)]), l(1)]);
+        assert_eq!(r.alphabet(), vec![Label(2), Label(0), Label(1)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Path materialisation** (R3): per-result witness-path construction
+//!   vs pair-only emission.
+//! * **Duplicate suppression** (coalescing, Def. 11): covered-duplicate
+//!   elimination in PATTERN/sink state vs raw pass-through.
+//! * **PATTERN implementation**: pipelined symmetric-hash-join tree
+//!   (§6.2.2) vs the streaming worst-case-optimal join the paper defers
+//!   to future work (refs [5][55]), on the cyclic-pattern queries Q5/Q6
+//!   where intermediate-result blow-up matters.
+//! * **DFA minimization**: Hopcroft-minimized vs raw subset-construction
+//!   cost is negligible at query compile time; measured here end-to-end
+//!   through plan construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::Scale;
+use sgq_core::engine::{Engine, EngineOptions, PatternImpl};
+use sgq_datagen::workloads::{self, Dataset};
+use sgq_datagen::resolve;
+use sgq_query::SgqQuery;
+use std::time::Duration;
+
+fn run_with(opts: EngineOptions, n: usize, raw: &sgq_datagen::RawStream, scale: Scale) {
+    let program = workloads::query(n, Dataset::So);
+    let stream = resolve(raw, program.labels());
+    let query = SgqQuery::new(program, scale.default_window());
+    let mut engine = Engine::from_query_with(&query, opts);
+    engine.run(&stream);
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = Scale::bench().scaled(0.4);
+    let raw = scale.stream(Dataset::So);
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Path materialisation on Q4 (long paths through the plus-closure).
+    for (tag, materialize) in [("paths-on", true), ("paths-off", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("materialize/Q4", tag),
+            &materialize,
+            |b, &m| {
+                b.iter(|| {
+                    run_with(
+                        EngineOptions {
+                            materialize_paths: m,
+                            ..Default::default()
+                        },
+                        4,
+                        &raw,
+                        scale,
+                    )
+                });
+            },
+        );
+    }
+
+    // Duplicate suppression on Q6 (triangle joins produce many covered
+    // re-derivations on the dense SO graph).
+    for (tag, suppress) in [("suppress-on", true), ("suppress-off", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("suppression/Q6", tag),
+            &suppress,
+            |b, &s| {
+                b.iter(|| {
+                    run_with(
+                        EngineOptions {
+                            suppress_duplicates: s,
+                            materialize_paths: false,
+                            ..Default::default()
+                        },
+                        6,
+                        &raw,
+                        scale,
+                    )
+                });
+            },
+        );
+    }
+    // Batched ingestion (§7.3 future work): tuple-at-a-time vs per-day
+    // epochs with within-period dedup, on the duplicate-heavy SO stream.
+    {
+        let program = workloads::query(2, Dataset::So);
+        let stream = resolve(&raw, program.labels());
+        let window = scale.default_window();
+        for tag in ["eager", "batched-1d"] {
+            group.bench_function(BenchmarkId::new("ingestion/Q2", tag), |b| {
+                b.iter(|| {
+                    let query = SgqQuery::new(program.clone(), window);
+                    let mut engine = Engine::from_query_with(
+                        &query,
+                        EngineOptions {
+                            materialize_paths: false,
+                            ..Default::default()
+                        },
+                    );
+                    if tag == "eager" {
+                        engine.run(&stream)
+                    } else {
+                        engine.run_batched(&stream, window.slide)
+                    }
+                });
+            });
+        }
+    }
+
+    // Purge cadence: per-slide physical reclamation (the naive strategy)
+    // vs the paper's periodic background purge, on a fine slide where the
+    // difference is largest (8 slides per day ⇒ 8× the purge work).
+    {
+        let program = workloads::query(1, Dataset::So);
+        let stream = resolve(&raw, program.labels());
+        let window = scale.window(30, 1, 8); // T = 30d, β = 3h
+        for (tag, period) in [
+            ("per-slide", Some(window.slide)),
+            ("periodic", None),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new("purge-cadence/Q1", tag),
+                &period,
+                |b, &period| {
+                    b.iter(|| {
+                        let query = SgqQuery::new(program.clone(), window);
+                        let mut engine = Engine::from_query_with(
+                            &query,
+                            EngineOptions {
+                                purge_period: period,
+                                materialize_paths: false,
+                                ..Default::default()
+                            },
+                        );
+                        engine.run(&stream)
+                    });
+                },
+            );
+        }
+    }
+
+    // PATTERN physical implementation on the subgraph-pattern queries:
+    // Q5 (pure 4-atom cycle) and Q6 (triangle over a transitive closure).
+    for qn in [5usize, 6] {
+        for (tag, imp) in [
+            ("hash-tree", PatternImpl::HashTree),
+            ("wcoj", PatternImpl::Wcoj),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pattern-impl/Q{qn}"), tag),
+                &imp,
+                |b, &imp| {
+                    b.iter(|| {
+                        run_with(
+                            EngineOptions {
+                                pattern_impl: imp,
+                                materialize_paths: false,
+                                ..Default::default()
+                            },
+                            qn,
+                            &raw,
+                            scale,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

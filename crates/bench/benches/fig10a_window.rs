@@ -1,0 +1,36 @@
+//! Figure 10a (§7.3): SGA sensitivity to the window size T (10–50 days,
+//! β = 1 day) on the SO-like stream. Expected shape: throughput decreases
+//! and per-slide tail latency increases monotonically with T (larger
+//! windows hold more sgts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{run_query, Scale, System};
+use sgq_datagen::workloads::Dataset;
+use std::time::Duration;
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let scale = Scale::bench().scaled(0.5);
+    let raw = scale.stream(Dataset::So);
+    let mut group = c.benchmark_group("fig10a_window");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // Q2 (fast RPQ) and Q6 (complex pattern) sample the workload spectrum.
+    for n in [2usize, 6] {
+        for days in [10u64, 20, 30, 40, 50] {
+            let window = scale.window(days, 1, 1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("Q{n}"), format!("T={days}d")),
+                &(n, window),
+                |b, &(n, window)| {
+                    b.iter(|| run_query(n, Dataset::So, &raw, window, System::Sga));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_sweep);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 10b (§7.3): SGA sensitivity to the slide interval β (3h–4d,
+//! T = 30 days) on the SO-like stream. Expected shape: *flat* — the SGA
+//! operators are tuple-at-a-time and eager, so batch size does not change
+//! the work per edge (unlike DD, Figure 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{run_query, Scale, System};
+use sgq_datagen::workloads::Dataset;
+use std::time::Duration;
+
+fn bench_slide_sweep(c: &mut Criterion) {
+    let scale = Scale::bench().scaled(0.5);
+    let raw = scale.stream(Dataset::So);
+    let mut group = c.benchmark_group("fig10b_slide");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [2usize, 6] {
+        for (name, num, den) in [("3h", 1u64, 8u64), ("12h", 1, 2), ("1d", 1, 1), ("4d", 4, 1)] {
+            let window = scale.window(30, num, den);
+            group.bench_with_input(
+                BenchmarkId::new(format!("Q{n}"), format!("b={name}")),
+                &(n, window),
+                |b, &(n, window)| {
+                    b.iter(|| run_query(n, Dataset::So, &raw, window, System::Sga));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slide_sweep);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 11 (§7.3): the DD baseline across slide intervals on the
+//! SO-like stream. Expected shape: throughput *increases* with β — DD
+//! batches all sgts of a slide into one epoch, so larger slides amortize
+//! per-epoch work (the latency/throughput trade-off of shared
+//! arrangements), unlike SGA's flat curve in Figure 10b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{run_query, Scale, System};
+use sgq_datagen::workloads::Dataset;
+use std::time::Duration;
+
+fn bench_dd_slide_sweep(c: &mut Criterion) {
+    let scale = Scale::bench().scaled(0.5);
+    let raw = scale.stream(Dataset::So);
+    let mut group = c.benchmark_group("fig11_dd_slide");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [2usize, 6] {
+        for (name, num, den) in [("3h", 1u64, 8u64), ("12h", 1, 2), ("1d", 1, 1), ("4d", 4, 1)] {
+            let window = scale.window(30, num, den);
+            group.bench_with_input(
+                BenchmarkId::new(format!("Q{n}"), format!("b={name}")),
+                &(n, window),
+                |b, &(n, window)| {
+                    b.iter(|| run_query(n, Dataset::So, &raw, window, System::Dd));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dd_slide_sweep);
+criterion_main!(benches);

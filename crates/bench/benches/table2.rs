@@ -1,0 +1,40 @@
+//! Table 2 (§7.2): throughput of SGA vs the DD baseline for Q1–Q7 on the
+//! SO-like and SNB-like streams, |W| = 30 days, β = 1 day.
+//!
+//! Criterion reports time per full stream; throughput = edges/time. The
+//! expected *shape* (the paper's): SGA ≥ DD on the cyclic SO graph for
+//! every query (dramatically for Q5), while DD is competitive or better
+//! on SNB's linear path queries Q1–Q4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{run_query, Scale, System};
+use sgq_datagen::workloads::Dataset;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = Scale::bench().scaled(0.5);
+    let window = scale.default_window();
+    let mut group = c.benchmark_group("table2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        for n in 1..=7 {
+            for sys in [System::Sga, System::Dd] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/Q{n}", ds.name()), sys.name()),
+                    &(n, ds, sys),
+                    |b, &(n, ds, sys)| {
+                        b.iter(|| run_query(n, ds, &raw, window, sys));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

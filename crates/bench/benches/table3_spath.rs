@@ -1,0 +1,40 @@
+//! Table 3 (§7.5): the S-PATH direct approach vs the negative-tuple PATH
+//! of [57] as the physical PATH implementation, Q1–Q7 on both datasets.
+//! Expected shape: S-PATH wins most SO queries (cyclic graph ⇒ many
+//! alternative paths ⇒ expensive expiry re-derivation for the
+//! negative-tuple approach), while on SNB's tree-shaped replyOf the two
+//! are close (single path per pair ⇒ nothing to re-derive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{run_query, Scale, System};
+use sgq_datagen::workloads::Dataset;
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    let scale = Scale::bench().scaled(0.5);
+    let window = scale.default_window();
+    let mut group = c.benchmark_group("table3_spath");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        // PATH-bearing queries only (Q5 has no PATH operator).
+        for n in [1usize, 2, 3, 4, 6, 7] {
+            for sys in [System::Sga, System::SgaNegPath] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/Q{n}", ds.name()), sys.name()),
+                    &(n, ds, sys),
+                    |b, &(n, ds, sys)| {
+                        b.iter(|| run_query(n, ds, &raw, window, sys));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation
+//! (§7) at laptop scale and prints them in the paper's format.
+//!
+//! ```text
+//! cargo run -p sgq-bench --release --bin repro              # everything
+//! cargo run -p sgq-bench --release --bin repro table2       # one experiment
+//! cargo run -p sgq-bench --release --bin repro all 0.5      # half scale
+//! ```
+//!
+//! Experiments: `table2`, `fig10a`, `fig10b`, `fig11`, `fig12`, `fig13`,
+//! `fig14`, `table3`, `all`.
+
+use sgq_bench::{row, run_plan, run_query, Scale, System};
+use sgq_core::planner::plan_canonical;
+use sgq_core::rewrite;
+use sgq_datagen::workloads::{self, Dataset};
+use sgq_query::SgqQuery;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let factor: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let scale = Scale::repro().scaled(factor);
+    println!(
+        "# s-graffito repro — {} edges/stream, {} vertices, 1 day = {} ticks\n",
+        scale.edges,
+        scale.vertices,
+        scale.ticks_per_day()
+    );
+
+    match what {
+        "table2" => table2(scale),
+        "fig10a" => fig10a(scale),
+        "fig10b" => fig10b(scale),
+        "fig11" => fig11(scale),
+        "fig12" => plan_figure(scale, 4, "Figure 12 — Q4 plan space"),
+        "fig13" => plan_figure(scale, 2, "Figure 13 — Q2 plan space"),
+        "fig14" => plan_figure(scale, 3, "Figure 14 — Q3 plan space"),
+        "table3" => table3(scale),
+        "all" => {
+            table2(scale);
+            fig10a(scale);
+            fig10b(scale);
+            fig11(scale);
+            plan_figure(scale, 4, "Figure 12 — Q4 plan space");
+            plan_figure(scale, 2, "Figure 13 — Q2 plan space");
+            plan_figure(scale, 3, "Figure 14 — Q3 plan space");
+            table3(scale);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Table 2: SGA vs DD throughput/tail-latency, Q1–Q7, SO & SNB,
+/// |W| = 30 days, β = 1 day.
+fn table2(scale: Scale) {
+    println!("## Table 2 — SGA vs DD (|W|=30d, β=1d)\n");
+    let window = scale.default_window();
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        println!("{}:", ds.name());
+        println!("{:<6} {:<32} {:<32}", "", "SGA (Tput / p99 TL)", "DD (Tput / p99 TL)");
+        for n in 1..=7 {
+            let sga = run_query(n, ds, &raw, window, System::Sga);
+            let dd = run_query(n, ds, &raw, window, System::Dd);
+            println!("Q{n:<5} {:<32} {:<32}", row(&sga), row(&dd));
+        }
+        println!();
+    }
+}
+
+/// Figure 10a: SGA across window sizes 10–50 days (β = 1 day) on SO.
+fn fig10a(scale: Scale) {
+    println!("## Figure 10a — SGA vs window size (SO, β=1d)\n");
+    let raw = scale.stream(Dataset::So);
+    print!("{:<6}", "");
+    for days in [10u64, 20, 30, 40, 50] {
+        print!(" {:>14}", format!("T={days}d"));
+    }
+    println!("   (throughput ev/s | p99 latency s)");
+    for n in 1..=7 {
+        print!("Q{n:<5}");
+        for days in [10u64, 20, 30, 40, 50] {
+            let w = scale.window(days, 1, 1);
+            let stats = run_query(n, Dataset::So, &raw, w, System::Sga);
+            print!(
+                " {:>7.0}|{:<6.3}",
+                stats.throughput(),
+                stats.tail_latency().as_secs_f64()
+            );
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Figure 10b: SGA across slide intervals 3h–4d (T = 30 days) on SO.
+fn fig10b(scale: Scale) {
+    println!("## Figure 10b — SGA vs slide interval (SO, T=30d)\n");
+    slide_sweep(scale, System::Sga);
+}
+
+/// Figure 11: the DD baseline across slide intervals — throughput grows
+/// with batching, unlike SGA's flat curve.
+fn fig11(scale: Scale) {
+    println!("## Figure 11 — DD vs slide interval (SO, T=30d)\n");
+    slide_sweep(scale, System::Dd);
+}
+
+fn slide_sweep(scale: Scale, system: System) {
+    let raw = scale.stream(Dataset::So);
+    let slides: [(&str, u64, u64); 6] = [
+        ("3h", 1, 8),
+        ("6h", 1, 4),
+        ("12h", 1, 2),
+        ("1d", 1, 1),
+        ("2d", 2, 1),
+        ("4d", 4, 1),
+    ];
+    print!("{:<6}", "");
+    for (name, _, _) in slides {
+        print!(" {:>14}", format!("β={name}"));
+    }
+    println!("   ({})", system.name());
+    for n in 1..=7 {
+        print!("Q{n:<5}");
+        for (_, num, den) in slides {
+            let w = scale.window(30, num, den);
+            let stats = run_query(n, Dataset::So, &raw, w, system);
+            print!(
+                " {:>7.0}|{:<6.3}",
+                stats.throughput(),
+                stats.tail_latency().as_secs_f64()
+            );
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Figures 12/13/14: the plan space of Q4/Q2/Q3 via the §5.4 rules, on
+/// both datasets. Plan 0 is the canonical SGA plan; the rest are rewrites
+/// (for Q4 these are the paper's P1/P2/P3).
+fn plan_figure(scale: Scale, qn: usize, title: &str) {
+    println!("## {title}\n");
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        let program = workloads::query(qn, ds);
+        let query = SgqQuery::new(program, scale.default_window());
+        let canonical = plan_canonical(&query);
+        let plans = rewrite::enumerate_plans(&canonical, 6);
+        println!("{} (Q{qn}):", ds.name());
+        for (i, plan) in plans.iter().enumerate() {
+            let stats = run_plan(plan, &raw);
+            let tag = if i == 0 { "SGA".to_string() } else { format!("P{i}") };
+            println!(
+                "  {tag:<5} {:<32} ({} ops, {} stateful)",
+                row(&stats),
+                plan.expr.size(),
+                plan.expr.stateful_ops()
+            );
+        }
+        println!();
+    }
+}
+
+/// Table 3: S-PATH (direct) vs the negative-tuple PATH of \[57\].
+fn table3(scale: Scale) {
+    println!("## Table 3 — S-PATH (direct) vs negative-tuple PATH (|W|=30d, β=1d)\n");
+    let window = scale.default_window();
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        println!("{}:", ds.name());
+        println!(
+            "{:<6} {:<32} {:<32} {:<20}",
+            "", "S-PATH (Tput / p99 TL)", "neg-tuple (Tput / p99 TL)", "Tput improvement"
+        );
+        for n in 1..=7 {
+            let direct = run_query(n, ds, &raw, window, System::Sga);
+            let neg = run_query(n, ds, &raw, window, System::SgaNegPath);
+            let imp = if neg.throughput() > 0.0 {
+                (direct.throughput() / neg.throughput() - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            println!("Q{n:<5} {:<32} {:<32} {:>+8.1}%", row(&direct), row(&neg), imp);
+        }
+        println!();
+    }
+}

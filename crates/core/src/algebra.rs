@@ -1,0 +1,384 @@
+//! The Streaming Graph Algebra (SGA) — logical operators (§5.1).
+//!
+//! An [`SgaExpr`] is a logical plan tree over the five SGA operators:
+//! `WSCAN` (Def. 16), `FILTER` (Def. 17), `UNION` (Def. 18), `PATTERN`
+//! (Def. 19) and `PATH` (Def. 20). Plans are independent of physical
+//! implementations; `sgq-core::engine` lowers them to dataflows of
+//! non-blocking physical operators, and `sgq-core::rewrite` explores
+//! equivalent plans through the transformation rules of §5.4.
+//!
+//! Because SGA is closed over streaming graphs (§5.3), every operator's
+//! output is again a streaming graph of sgts with a designated derived
+//! label, so expressions compose arbitrarily.
+
+use sgq_automata::Regex;
+use sgq_query::WindowSpec;
+use sgq_types::{Label, LabelInterner, PropPred, Sgt, VertexId};
+use std::fmt;
+
+/// A position in a PATTERN input: the `src` or `trg` endpoint of the i-th
+/// input stream (`src_i` / `trg_i` in Def. 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pos {
+    /// Input stream index (0-based).
+    pub input: usize,
+    /// Which endpoint of that input.
+    pub side: Side,
+}
+
+/// An endpoint selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The tuple's source endpoint.
+    Src,
+    /// The tuple's target endpoint.
+    Trg,
+}
+
+impl Pos {
+    /// `src_i`.
+    pub fn src(input: usize) -> Pos {
+        Pos {
+            input,
+            side: Side::Src,
+        }
+    }
+
+    /// `trg_i`.
+    pub fn trg(input: usize) -> Pos {
+        Pos {
+            input,
+            side: Side::Trg,
+        }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.side {
+            Side::Src => write!(f, "src{}", self.input + 1),
+            Side::Trg => write!(f, "trg{}", self.input + 1),
+        }
+    }
+}
+
+/// A FILTER predicate over the distinguished attributes of an sgt
+/// (Def. 17), extended with attribute predicates over input-edge
+/// properties (the §8 property-graph extension). Conjunctions are
+/// expressed as `Vec<FilterPred>` on the operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FilterPred {
+    /// `src = trg` (self-loop test).
+    SrcEqTrg,
+    /// `src = v` for a constant vertex.
+    SrcIs(VertexId),
+    /// `trg = v` for a constant vertex.
+    TrgIs(VertexId),
+    /// An attribute predicate `key op value` over the tuple's properties.
+    /// Derived edges and paths carry no properties, so this holds only for
+    /// input-edge tuples (the planner places such filters directly above
+    /// WSCAN, per the §5.4 pushdown rule).
+    Prop(PropPred),
+    /// Negation of another predicate.
+    Not(Box<FilterPred>),
+}
+
+impl FilterPred {
+    /// Evaluates the predicate on an sgt.
+    pub fn eval(&self, sgt: &Sgt) -> bool {
+        match self {
+            FilterPred::SrcEqTrg => sgt.src == sgt.trg,
+            FilterPred::SrcIs(v) => sgt.src == *v,
+            FilterPred::TrgIs(v) => sgt.trg == *v,
+            FilterPred::Prop(p) => p.eval_opt(sgt.props()),
+            FilterPred::Not(p) => !p.eval(sgt),
+        }
+    }
+}
+
+/// A logical SGA expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SgaExpr {
+    /// `W_{T,β}(S_l)` — the windowing operator over the input stream
+    /// partition with label `l` (Def. 16). The leaf of every plan.
+    WScan {
+        /// Input-stream label (an EDB label).
+        label: Label,
+        /// Window size `T`.
+        window: u64,
+        /// Slide interval `β`.
+        slide: u64,
+    },
+    /// `σ_Φ(S)` — filter (Def. 17). `preds` is a conjunction.
+    Filter {
+        /// Input expression.
+        input: Box<SgaExpr>,
+        /// Conjunctive predicates.
+        preds: Vec<FilterPred>,
+    },
+    /// `∪_[d](S₁, …, Sₙ)` — union with relabeling (Def. 18), n ≥ 1.
+    /// With a single input this is a pure relabel.
+    Union {
+        /// Input expressions.
+        inputs: Vec<SgaExpr>,
+        /// Output label `d ∈ Σ \ φ(E_I)`.
+        label: Label,
+    },
+    /// `⋈^{src,trg,d}_Φ(S_{l₁}, …, S_{lₙ})` — the streaming subgraph
+    /// pattern operator (Def. 19).
+    Pattern {
+        /// Input expressions (one per pattern edge).
+        inputs: Vec<SgaExpr>,
+        /// Conjunction of position equalities `pos_i = pos_j`.
+        conditions: Vec<(Pos, Pos)>,
+        /// Output endpoints `(src, trg)` drawn from input positions.
+        output: (Pos, Pos),
+        /// Output label `d`.
+        label: Label,
+    },
+    /// `P^d_R(S_{l₁}, …, S_{lₙ})` — the streaming path-navigation operator
+    /// (Def. 20). Inputs are ordered by the regex alphabet.
+    Path {
+        /// Input expressions, one per alphabet label of `regex`.
+        inputs: Vec<SgaExpr>,
+        /// The regular path constraint.
+        regex: Regex,
+        /// Output label `d`.
+        label: Label,
+    },
+}
+
+impl fmt::Display for FilterPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterPred::SrcEqTrg => write!(f, "src = trg"),
+            FilterPred::SrcIs(v) => write!(f, "src = {}", v.0),
+            FilterPred::TrgIs(v) => write!(f, "trg = {}", v.0),
+            FilterPred::Prop(p) => write!(f, "{p}"),
+            FilterPred::Not(p) => write!(f, "¬({p})"),
+        }
+    }
+}
+
+impl SgaExpr {
+    /// The label of the sgts this expression produces.
+    pub fn output_label(&self) -> Label {
+        match self {
+            SgaExpr::WScan { label, .. } => *label,
+            SgaExpr::Filter { input, .. } => input.output_label(),
+            SgaExpr::Union { label, .. }
+            | SgaExpr::Pattern { label, .. }
+            | SgaExpr::Path { label, .. } => *label,
+        }
+    }
+
+    /// Child expressions.
+    pub fn children(&self) -> &[SgaExpr] {
+        match self {
+            SgaExpr::WScan { .. } => &[],
+            SgaExpr::Filter { input, .. } => std::slice::from_ref(input),
+            SgaExpr::Union { inputs, .. }
+            | SgaExpr::Pattern { inputs, .. }
+            | SgaExpr::Path { inputs, .. } => inputs,
+        }
+    }
+
+    /// All WSCAN (EDB) labels referenced by the plan.
+    pub fn scan_labels(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let SgaExpr::WScan { label, .. } = e {
+                if !out.contains(label) {
+                    out.push(*label);
+                }
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&SgaExpr)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Number of operators in the tree (shared subplans counted once per
+    /// occurrence; the engine deduplicates structurally equal subtrees).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(SgaExpr::size).sum::<usize>()
+    }
+
+    /// Count of stateful operators (PATTERN inputs − 1 join stages, PATH).
+    pub fn stateful_ops(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| match e {
+            SgaExpr::Pattern { inputs, .. } => n += inputs.len().saturating_sub(1),
+            SgaExpr::Path { .. } => n += 1,
+            _ => {}
+        });
+        n
+    }
+
+    /// Renders the plan as an indented tree with label names.
+    pub fn display(&self, labels: &LabelInterner) -> String {
+        let mut s = String::new();
+        self.render(labels, 0, &mut s);
+        s
+    }
+
+    fn render(&self, labels: &LabelInterner, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            SgaExpr::WScan {
+                label,
+                window,
+                slide,
+            } => {
+                out.push_str(&format!(
+                    "{pad}WSCAN[T={window},β={slide}](S_{})\n",
+                    labels.name(*label)
+                ));
+            }
+            SgaExpr::Filter { input, preds } => {
+                let conj: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+                out.push_str(&format!("{pad}FILTER[{}]\n", conj.join(" ∧ ")));
+                input.render(labels, depth + 1, out);
+            }
+            SgaExpr::Union { inputs, label } => {
+                out.push_str(&format!("{pad}UNION[{}]\n", labels.name(*label)));
+                for i in inputs {
+                    i.render(labels, depth + 1, out);
+                }
+            }
+            SgaExpr::Pattern {
+                inputs,
+                conditions,
+                output,
+                label,
+            } => {
+                let conds: Vec<String> = conditions
+                    .iter()
+                    .map(|(a, b)| format!("{a}={b}"))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}PATTERN[{},{} → {}; {}]\n",
+                    output.0,
+                    output.1,
+                    labels.name(*label),
+                    conds.join("∧")
+                ));
+                for i in inputs {
+                    i.render(labels, depth + 1, out);
+                }
+            }
+            SgaExpr::Path {
+                inputs,
+                regex,
+                label,
+            } => {
+                out.push_str(&format!(
+                    "{pad}PATH[{} → {}]\n",
+                    regex.display(labels),
+                    labels.name(*label)
+                ));
+                for i in inputs {
+                    i.render(labels, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience constructor for WSCAN from a [`WindowSpec`].
+pub fn wscan(label: Label, w: WindowSpec) -> SgaExpr {
+    SgaExpr::WScan {
+        label,
+        window: w.size,
+        slide: w.slide,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(l: u32) -> SgaExpr {
+        SgaExpr::WScan {
+            label: Label(l),
+            window: 24,
+            slide: 1,
+        }
+    }
+
+    #[test]
+    fn output_labels() {
+        assert_eq!(w(3).output_label(), Label(3));
+        let u = SgaExpr::Union {
+            inputs: vec![w(0), w(1)],
+            label: Label(9),
+        };
+        assert_eq!(u.output_label(), Label(9));
+        let f = SgaExpr::Filter {
+            input: Box::new(w(2)),
+            preds: vec![FilterPred::SrcEqTrg],
+        };
+        assert_eq!(f.output_label(), Label(2));
+    }
+
+    #[test]
+    fn scan_labels_deduplicate() {
+        let p = SgaExpr::Pattern {
+            inputs: vec![w(0), w(1), w(0)],
+            conditions: vec![(Pos::trg(0), Pos::src(1))],
+            output: (Pos::src(0), Pos::trg(1)),
+            label: Label(5),
+        };
+        assert_eq!(p.scan_labels(), vec![Label(0), Label(1)]);
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.stateful_ops(), 2);
+    }
+
+    #[test]
+    fn filter_pred_eval() {
+        use sgq_types::Interval;
+        let sgt = |s: u64, t: u64| Sgt::edge(VertexId(s), VertexId(t), Label(0), Interval::new(0, 1));
+        let a = VertexId(1);
+        assert!(FilterPred::SrcEqTrg.eval(&sgt(1, 1)));
+        assert!(!FilterPred::SrcEqTrg.eval(&sgt(1, 2)));
+        assert!(FilterPred::SrcIs(a).eval(&sgt(1, 2)));
+        assert!(FilterPred::Not(Box::new(FilterPred::SrcIs(a))).eval(&sgt(2, 1)));
+    }
+
+    #[test]
+    fn prop_pred_needs_properties() {
+        use sgq_types::{CmpOp, Interval, PropMap};
+        let pred = FilterPred::Prop(PropPred::new("w", CmpOp::Ge, 5i64));
+        let bare = Sgt::edge(VertexId(1), VertexId(2), Label(0), Interval::new(0, 1));
+        assert!(!pred.eval(&bare), "derived tuples carry no properties");
+        let with = bare
+            .clone()
+            .with_props(std::sync::Arc::new(PropMap::from_pairs([("w", 7i64)])));
+        assert!(pred.eval(&with));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut it = LabelInterner::new();
+        let f = it.input_label("follows");
+        let d = it.derived_label("FP").unwrap();
+        let p = SgaExpr::Path {
+            inputs: vec![SgaExpr::WScan {
+                label: f,
+                window: 24,
+                slide: 1,
+            }],
+            regex: Regex::plus(Regex::label(f)),
+            label: d,
+        };
+        let s = p.display(&it);
+        assert!(s.contains("PATH[follows follows* → FP]"));
+        assert!(s.contains("WSCAN[T=24,β=1](S_follows)"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Run metrics matching the paper's measurements (§7.1.1): aggregate
+//! throughput (edges/s) and the tail latency of each window slide.
+
+use std::time::Duration;
+
+/// Statistics collected by one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Input sges processed.
+    pub edges: u64,
+    /// Result sgts emitted (insertions).
+    pub results: u64,
+    /// Negative result tuples emitted.
+    pub deletions: u64,
+    /// Total processing time.
+    pub elapsed: Duration,
+    /// Per-slide processing latency: "the total time to process all
+    /// arriving and expired sgts upon window movement and to produce new
+    /// results" (§7.1.1).
+    pub slide_latencies: Vec<Duration>,
+    /// Largest total operator state observed (entries).
+    pub peak_state: usize,
+}
+
+impl RunStats {
+    /// Aggregate throughput in edges per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.edges as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// The p-th percentile (0.0–1.0) of per-slide latency.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.slide_latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut v = self.slide_latencies.clone();
+        v.sort_unstable();
+        let rank = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        v[rank]
+    }
+
+    /// The 99th-percentile tail latency reported in the paper's tables.
+    pub fn tail_latency(&self) -> Duration {
+        self.latency_percentile(0.99)
+    }
+
+    /// Mean per-slide latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.slide_latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.slide_latencies.iter().sum::<Duration>() / self.slide_latencies.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_edges_over_time() {
+        let s = RunStats {
+            edges: 1000,
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((s.throughput() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_gives_zero_throughput() {
+        assert_eq!(RunStats::default().throughput(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = RunStats {
+            slide_latencies: (1..=100).map(Duration::from_millis).collect(),
+            ..Default::default()
+        };
+        assert_eq!(s.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(s.latency_percentile(1.0), Duration::from_millis(100));
+        assert_eq!(s.tail_latency(), Duration::from_millis(99));
+        assert_eq!(s.mean_latency(), Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn empty_latencies_are_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.tail_latency(), Duration::ZERO);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+    }
+}

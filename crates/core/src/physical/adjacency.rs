@@ -1,0 +1,239 @@
+//! The windowed snapshot-graph adjacency maintained by PATH operators.
+//!
+//! PATH traverses the snapshot graph `G_t` during `Expand`/`Propagate`
+//! (Algorithm S-PATH lines 8–12), so the operator keeps its input window
+//! content as adjacency lists. Per edge `(u, l, v)` a single coalesced
+//! max-expiry interval is stored: inputs arrive in timestamp order, so an
+//! older disjoint interval is necessarily expired and can be replaced
+//! (§6.2.4, coalescing with `max` aggregation over expiry).
+
+use sgq_types::{FxHashMap, Interval, Label, Timestamp, VertexId};
+
+/// One stored edge occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjEntry {
+    /// The neighbour vertex.
+    pub other: VertexId,
+    /// Coalesced validity.
+    pub interval: Interval,
+}
+
+/// Outgoing and incoming adjacency with per-edge coalesced intervals.
+#[derive(Debug, Default)]
+pub struct Adjacency {
+    out: FxHashMap<(VertexId, Label), Vec<AdjEntry>>,
+    inc: FxHashMap<(VertexId, Label), Vec<AdjEntry>>,
+    edges: usize,
+}
+
+impl Adjacency {
+    /// Creates an empty adjacency.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or coalesces) an edge occurrence. Returns the stored
+    /// interval if it changed, or `None` when the new interval is covered
+    /// (nothing new can be derived from it).
+    pub fn insert(
+        &mut self,
+        src: VertexId,
+        label: Label,
+        trg: VertexId,
+        iv: Interval,
+    ) -> Option<Interval> {
+        let stored = Self::upsert(&mut self.out, (src, label), trg, iv);
+        if stored.is_some() {
+            Self::upsert(&mut self.inc, (trg, label), src, iv);
+            if stored == Some(iv) {
+                // Entirely new or replaced (not merged): count conservatively.
+                self.edges += 1;
+            }
+        }
+        stored
+    }
+
+    fn upsert(
+        map: &mut FxHashMap<(VertexId, Label), Vec<AdjEntry>>,
+        key: (VertexId, Label),
+        other: VertexId,
+        iv: Interval,
+    ) -> Option<Interval> {
+        let bucket = map.entry(key).or_default();
+        if let Some(e) = bucket.iter_mut().find(|e| e.other == other) {
+            if iv.ts >= e.interval.ts && iv.exp <= e.interval.exp {
+                return None; // covered
+            }
+            e.interval = if e.interval.meets(&iv) {
+                e.interval.hull(&iv) // coalesce (Def. 11)
+            } else {
+                iv // the old disjoint interval is expired: replace
+            };
+            return Some(e.interval);
+        }
+        bucket.push(AdjEntry {
+            other,
+            interval: iv,
+        });
+        Some(iv)
+    }
+
+    /// Removes `iv` from the stored edge (explicit deletion). The stored
+    /// interval is truncated; if nothing remains the edge is dropped.
+    pub fn remove(&mut self, src: VertexId, label: Label, trg: VertexId, iv: Interval) {
+        let drop = |map: &mut FxHashMap<(VertexId, Label), Vec<AdjEntry>>,
+                    key: (VertexId, Label),
+                    other: VertexId| {
+            if let Some(bucket) = map.get_mut(&key) {
+                if let Some(p) = bucket.iter().position(|e| e.other == other) {
+                    let e = &mut bucket[p];
+                    // Truncate: keep the part of the stored interval outside
+                    // [iv.ts, iv.exp); keep the later piece if split.
+                    let left = Interval::new(e.interval.ts, iv.ts.min(e.interval.exp));
+                    let right = Interval::new(iv.exp.max(e.interval.ts), e.interval.exp);
+                    let keep = if !right.is_empty() { right } else { left };
+                    if keep.is_empty() {
+                        bucket.swap_remove(p);
+                    } else {
+                        e.interval = keep;
+                    }
+                }
+            }
+        };
+        drop(&mut self.out, (src, label), trg);
+        drop(&mut self.inc, (trg, label), src);
+    }
+
+    /// Outgoing edges of `v` with label `l`.
+    pub fn out(&self, v: VertexId, l: Label) -> &[AdjEntry] {
+        self.out.get(&(v, l)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming edges of `v` with label `l`.
+    pub fn inc(&self, v: VertexId, l: Label) -> &[AdjEntry] {
+        self.inc.get(&(v, l)).map_or(&[], Vec::as_slice)
+    }
+
+    /// The stored interval of edge `(src, l, trg)`, if present.
+    pub fn interval_of(&self, src: VertexId, l: Label, trg: VertexId) -> Option<Interval> {
+        self.out
+            .get(&(src, l))?
+            .iter()
+            .find(|e| e.other == trg)
+            .map(|e| e.interval)
+    }
+
+    /// Iterates over all live edges as `(src, label, trg, interval)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Label, VertexId, Interval)> + '_ {
+        self.out.iter().flat_map(|(&(src, l), bucket)| {
+            bucket.iter().map(move |e| (src, l, e.other, e.interval))
+        })
+    }
+
+    /// Collects edges fully expired at `watermark` (for negative-tuple
+    /// expiry processing).
+    pub fn expired_at(&self, watermark: Timestamp) -> Vec<(VertexId, Label, VertexId, Interval)> {
+        self.iter()
+            .filter(|(_, _, _, iv)| iv.expired_at(watermark))
+            .collect()
+    }
+
+    /// Drops expired entries (direct approach).
+    pub fn purge(&mut self, watermark: Timestamp) {
+        for map in [&mut self.out, &mut self.inc] {
+            map.retain(|_, bucket| {
+                bucket.retain(|e| !e.interval.expired_at(watermark));
+                !bucket.is_empty()
+            });
+        }
+        self.edges = self.out.values().map(Vec::len).sum();
+    }
+
+    /// Approximate number of stored edges.
+    pub fn size(&self) -> usize {
+        self.out.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    const L: Label = Label(0);
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut a = Adjacency::new();
+        assert_eq!(a.insert(v(1), L, v(2), Interval::new(0, 10)), Some(Interval::new(0, 10)));
+        assert_eq!(a.out(v(1), L).len(), 1);
+        assert_eq!(a.inc(v(2), L).len(), 1);
+        assert_eq!(a.interval_of(v(1), L, v(2)), Some(Interval::new(0, 10)));
+    }
+
+    #[test]
+    fn covered_reinsert_is_noop() {
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 10));
+        assert_eq!(a.insert(v(1), L, v(2), Interval::new(2, 8)), None);
+    }
+
+    #[test]
+    fn overlapping_reinsert_coalesces() {
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 10));
+        assert_eq!(
+            a.insert(v(1), L, v(2), Interval::new(5, 20)),
+            Some(Interval::new(0, 20))
+        );
+        assert_eq!(a.interval_of(v(1), L, v(2)), Some(Interval::new(0, 20)));
+    }
+
+    #[test]
+    fn disjoint_reinsert_replaces() {
+        // The old interval is necessarily expired when a disjoint one
+        // arrives (in-order streams), so it is replaced.
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 5));
+        assert_eq!(
+            a.insert(v(1), L, v(2), Interval::new(8, 12)),
+            Some(Interval::new(8, 12))
+        );
+        assert_eq!(a.interval_of(v(1), L, v(2)), Some(Interval::new(8, 12)));
+    }
+
+    #[test]
+    fn purge_drops_expired() {
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 5));
+        a.insert(v(1), L, v(3), Interval::new(0, 9));
+        a.purge(5);
+        assert!(a.interval_of(v(1), L, v(2)).is_none());
+        assert!(a.interval_of(v(1), L, v(3)).is_some());
+        assert_eq!(a.size(), 1);
+    }
+
+    #[test]
+    fn expired_at_lists_expired_edges() {
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 5));
+        a.insert(v(2), L, v(3), Interval::new(0, 9));
+        let exp = a.expired_at(6);
+        assert_eq!(exp.len(), 1);
+        assert_eq!(exp[0].0, v(1));
+    }
+
+    #[test]
+    fn remove_truncates_or_drops() {
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 10));
+        a.remove(v(1), L, v(2), Interval::new(0, 4));
+        assert_eq!(a.interval_of(v(1), L, v(2)), Some(Interval::new(4, 10)));
+        a.remove(v(1), L, v(2), Interval::new(0, 100));
+        assert!(a.interval_of(v(1), L, v(2)).is_none());
+        assert!(a.inc(v(2), L).is_empty());
+    }
+}

@@ -1,0 +1,427 @@
+//! The Δ-PATH index (Def. 22): a forest of spanning trees over
+//! (vertex, DFA-state) pairs, with an inverted index for the arrival probe.
+//!
+//! Each tree `T_x` (Def. 21) compactly represents all valid path segments
+//! from vertex `x` under the PATH operator's RPQ: node `(u, s)` is present
+//! iff some path `x → u` spells a word `w` with `δ*(s₀, w) = s`. Among the
+//! (possibly infinitely many) such paths, the node materialises the one
+//! with the **largest expiry timestamp**, whose edges are recovered by
+//! following parent pointers. Both PATH implementations (S-PATH §6.2.4 and
+//! the negative-tuple variant of \[57\] §6.2.3) share this structure.
+
+use sgq_automata::StateId;
+use sgq_types::{Edge, FxHashMap, FxHashSet, Interval, PathSeq, Timestamp, VertexId};
+
+/// Index of a node inside its tree's arena.
+pub type NodeIdx = u32;
+
+/// Sentinel parent for roots.
+pub const NO_PARENT: NodeIdx = u32::MAX;
+
+/// A tree identifier (index into the forest arena).
+pub type TreeId = u32;
+
+/// A spanning-tree node `(v, state)` with its materialised path segment's
+/// validity and tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Graph vertex.
+    pub v: VertexId,
+    /// DFA state `δ*(s₀, path label)`.
+    pub state: StateId,
+    /// Validity of the materialised (max-expiry) path segment.
+    pub interval: Interval,
+    /// Parent node, or [`NO_PARENT`] for the root.
+    pub parent: NodeIdx,
+    /// The edge from the parent's vertex to `v` (None for the root).
+    pub edge: Option<Edge>,
+    /// Child node indexes.
+    pub children: Vec<NodeIdx>,
+    /// False once removed (arena slots are recycled via the free list).
+    pub alive: bool,
+}
+
+/// One spanning tree `T_x`.
+#[derive(Debug)]
+pub struct Tree {
+    /// The root vertex `x`.
+    pub root: VertexId,
+    nodes: Vec<Node>,
+    index: FxHashMap<(VertexId, StateId), NodeIdx>,
+    free: Vec<NodeIdx>,
+}
+
+impl Tree {
+    fn new(root: VertexId, start_state: StateId) -> Self {
+        let root_node = Node {
+            v: root,
+            state: start_state,
+            // The root is the empty path at x: always valid (Def. 21).
+            interval: Interval::new(0, sgq_types::TS_MAX),
+            parent: NO_PARENT,
+            edge: None,
+            children: Vec::new(),
+            alive: true,
+        };
+        let mut index = FxHashMap::default();
+        index.insert((root, start_state), 0);
+        Tree {
+            root,
+            nodes: vec![root_node],
+            index,
+            free: Vec::new(),
+        }
+    }
+
+    /// The root node index (always 0).
+    pub fn root_idx(&self) -> NodeIdx {
+        0
+    }
+
+    /// Looks up the node for `(v, state)`.
+    pub fn get(&self, v: VertexId, state: StateId) -> Option<NodeIdx> {
+        self.index.get(&(v, state)).copied()
+    }
+
+    /// Borrowed node access.
+    pub fn node(&self, i: NodeIdx) -> &Node {
+        &self.nodes[i as usize]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, i: NodeIdx) -> &mut Node {
+        &mut self.nodes[i as usize]
+    }
+
+    /// Inserts `(v, state)` as a child of `parent` with the given edge and
+    /// interval, returning its index.
+    pub fn insert_child(
+        &mut self,
+        parent: NodeIdx,
+        v: VertexId,
+        state: StateId,
+        edge: Edge,
+        interval: Interval,
+    ) -> NodeIdx {
+        debug_assert!(self.get(v, state).is_none(), "node already present");
+        let node = Node {
+            v,
+            state,
+            interval,
+            parent,
+            edge: Some(edge),
+            children: Vec::new(),
+            alive: true,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as NodeIdx
+            }
+        };
+        self.nodes[parent as usize].children.push(idx);
+        self.index.insert((v, state), idx);
+        idx
+    }
+
+    /// Re-attaches `node` under `new_parent` with a new derivation edge
+    /// (Algorithm Propagate line 2).
+    pub fn reparent(&mut self, node: NodeIdx, new_parent: NodeIdx, edge: Edge) {
+        let old_parent = self.nodes[node as usize].parent;
+        if old_parent != NO_PARENT {
+            let c = &mut self.nodes[old_parent as usize].children;
+            if let Some(p) = c.iter().position(|&x| x == node) {
+                c.swap_remove(p);
+            }
+        }
+        self.nodes[node as usize].parent = new_parent;
+        self.nodes[node as usize].edge = Some(edge);
+        self.nodes[new_parent as usize].children.push(node);
+    }
+
+    /// Removes the subtree rooted at `node`, returning every removed
+    /// `(vertex, state)` pair (for inverted-index maintenance).
+    pub fn remove_subtree(&mut self, node: NodeIdx) -> Vec<(VertexId, StateId)> {
+        let mut removed = Vec::new();
+        // Detach from the parent first.
+        let parent = self.nodes[node as usize].parent;
+        if parent != NO_PARENT {
+            let c = &mut self.nodes[parent as usize].children;
+            if let Some(p) = c.iter().position(|&x| x == node) {
+                c.swap_remove(p);
+            }
+        }
+        let mut stack = vec![node];
+        while let Some(i) = stack.pop() {
+            let n = &mut self.nodes[i as usize];
+            if !n.alive {
+                continue;
+            }
+            n.alive = false;
+            stack.append(&mut n.children);
+            let key = (n.v, n.state);
+            self.index.remove(&key);
+            removed.push(key);
+            self.free.push(i);
+        }
+        removed
+    }
+
+    /// Reconstructs the materialised path from the root to `node` by
+    /// following parent pointers (cost O(path length), §6.2.4).
+    pub fn path_to(&self, node: NodeIdx) -> PathSeq {
+        let mut edges = Vec::new();
+        let mut cur = node;
+        while cur != NO_PARENT {
+            let n = &self.nodes[cur as usize];
+            if let Some(e) = n.edge {
+                edges.push(e);
+            }
+            cur = n.parent;
+        }
+        edges.reverse();
+        PathSeq::new(edges)
+    }
+
+    /// Live non-root node count.
+    pub fn live_nodes(&self) -> usize {
+        self.index.len().saturating_sub(1)
+    }
+
+    /// Iterates over live node indexes (including the root).
+    pub fn iter_live(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.index.values().copied()
+    }
+}
+
+/// The Δ-PATH forest with its inverted index from `(vertex, state)` to the
+/// trees containing that node (Def. 22: "a hash-based inverted index …
+/// enabling quick look-up to locate all spanning trees that contain a
+/// particular vertex-state pair").
+#[derive(Debug, Default)]
+pub struct Forest {
+    trees: Vec<Tree>,
+    by_root: FxHashMap<VertexId, TreeId>,
+    inverted: FxHashMap<(VertexId, StateId), FxHashSet<TreeId>>,
+    start_state: StateId,
+}
+
+impl Forest {
+    /// Creates an empty forest for a DFA with the given start state.
+    pub fn new(start_state: StateId) -> Self {
+        Forest {
+            start_state,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the tree rooted at `x`, creating it if absent (Algorithm
+    /// S-PATH lines 7–8).
+    pub fn ensure_tree(&mut self, x: VertexId) -> TreeId {
+        if let Some(&t) = self.by_root.get(&x) {
+            return t;
+        }
+        let id = self.trees.len() as TreeId;
+        self.trees.push(Tree::new(x, self.start_state));
+        self.by_root.insert(x, id);
+        self.inverted
+            .entry((x, self.start_state))
+            .or_default()
+            .insert(id);
+        id
+    }
+
+    /// The tree rooted at `x`, if any.
+    pub fn tree_of_root(&self, x: VertexId) -> Option<TreeId> {
+        self.by_root.get(&x).copied()
+    }
+
+    /// Trees containing node `(v, state)` — the `ExpandableTrees` probe.
+    pub fn trees_with(&self, v: VertexId, state: StateId) -> Vec<TreeId> {
+        self.inverted
+            .get(&(v, state))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Borrowed tree access.
+    pub fn tree(&self, t: TreeId) -> &Tree {
+        &self.trees[t as usize]
+    }
+
+    /// Mutable tree access.
+    pub fn tree_mut(&mut self, t: TreeId) -> &mut Tree {
+        &mut self.trees[t as usize]
+    }
+
+    /// Registers a newly inserted node in the inverted index.
+    pub fn index_node(&mut self, t: TreeId, v: VertexId, state: StateId) {
+        self.inverted.entry((v, state)).or_default().insert(t);
+    }
+
+    /// Removes the subtree at `node` in tree `t`, maintaining the inverted
+    /// index. Returns the removed `(vertex, state)` pairs.
+    pub fn remove_subtree(&mut self, t: TreeId, node: NodeIdx) -> Vec<(VertexId, StateId)> {
+        let removed = self.trees[t as usize].remove_subtree(node);
+        for key in &removed {
+            if let Some(set) = self.inverted.get_mut(key) {
+                set.remove(&t);
+                if set.is_empty() {
+                    self.inverted.remove(key);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Drops every node whose interval expired at `watermark` (the direct
+    /// approach of S-PATH: children expire no later than parents, so whole
+    /// subtrees go at once), then drops empty trees' bookkeeping.
+    pub fn purge(&mut self, watermark: Timestamp) {
+        for t in 0..self.trees.len() as TreeId {
+            // Collect expired children of live nodes top-down.
+            let mut expired: Vec<NodeIdx> = Vec::new();
+            {
+                let tree = &self.trees[t as usize];
+                let mut stack = vec![tree.root_idx()];
+                while let Some(i) = stack.pop() {
+                    let n = tree.node(i);
+                    if n.interval.expired_at(watermark) {
+                        expired.push(i);
+                    } else {
+                        stack.extend(n.children.iter().copied());
+                    }
+                }
+            }
+            for i in expired {
+                if self.trees[t as usize].node(i).alive {
+                    self.remove_subtree(t, i);
+                }
+            }
+        }
+    }
+
+    /// Total live (non-root) nodes across all trees.
+    pub fn size(&self) -> usize {
+        self.trees.iter().map(Tree::live_nodes).sum()
+    }
+
+    /// Iterates over all tree ids.
+    pub fn tree_ids(&self) -> impl Iterator<Item = TreeId> {
+        0..self.trees.len() as TreeId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_types::Label;
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    fn e(s: u64, t: u64) -> Edge {
+        Edge::new(v(s), v(t), Label(0))
+    }
+
+    #[test]
+    fn ensure_tree_is_idempotent() {
+        let mut f = Forest::new(0);
+        let a = f.ensure_tree(v(1));
+        let b = f.ensure_tree(v(1));
+        assert_eq!(a, b);
+        assert_eq!(f.trees_with(v(1), 0), vec![a]);
+    }
+
+    #[test]
+    fn insert_and_path_reconstruction() {
+        let mut f = Forest::new(0);
+        let t = f.ensure_tree(v(1));
+        let tree = f.tree_mut(t);
+        let root = tree.root_idx();
+        let n2 = tree.insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        let n3 = tree.insert_child(n2, v(3), 1, e(2, 3), Interval::new(2, 8));
+        f.index_node(t, v(2), 1);
+        f.index_node(t, v(3), 1);
+        let p = f.tree(t).path_to(n3);
+        assert_eq!(p.edges(), &[e(1, 2), e(2, 3)]);
+        assert_eq!(p.src(), v(1));
+        assert_eq!(p.dst(), v(3));
+    }
+
+    #[test]
+    fn remove_subtree_cleans_index() {
+        let mut f = Forest::new(0);
+        let t = f.ensure_tree(v(1));
+        let root = f.tree(t).root_idx();
+        let n2 = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        let _n3 = f.tree_mut(t).insert_child(n2, v(3), 1, e(2, 3), Interval::new(0, 10));
+        f.index_node(t, v(2), 1);
+        f.index_node(t, v(3), 1);
+        let removed = f.remove_subtree(t, n2);
+        assert_eq!(removed.len(), 2);
+        assert!(f.tree(t).get(v(2), 1).is_none());
+        assert!(f.tree(t).get(v(3), 1).is_none());
+        assert!(f.trees_with(v(3), 1).is_empty());
+        assert_eq!(f.size(), 0);
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut f = Forest::new(0);
+        let t = f.ensure_tree(v(1));
+        let root = f.tree(t).root_idx();
+        let n2 = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        f.index_node(t, v(2), 1);
+        f.remove_subtree(t, n2);
+        let n3 = f.tree_mut(t).insert_child(root, v(3), 1, e(1, 3), Interval::new(0, 10));
+        assert_eq!(n2, n3, "freed slot reused");
+    }
+
+    #[test]
+    fn reparent_moves_children_lists() {
+        let mut f = Forest::new(0);
+        let t = f.ensure_tree(v(1));
+        let root = f.tree(t).root_idx();
+        let a = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        let b = f.tree_mut(t).insert_child(root, v(3), 1, e(1, 3), Interval::new(0, 10));
+        let c = f.tree_mut(t).insert_child(a, v(4), 1, e(2, 4), Interval::new(0, 10));
+        f.tree_mut(t).reparent(c, b, e(3, 4));
+        assert!(f.tree(t).node(a).children.is_empty());
+        assert_eq!(f.tree(t).node(b).children, vec![c]);
+        assert_eq!(f.tree(t).node(c).edge, Some(e(3, 4)));
+        let p = f.tree(t).path_to(c);
+        assert_eq!(p.edges(), &[e(1, 3), e(3, 4)]);
+    }
+
+    #[test]
+    fn purge_removes_expired_subtrees() {
+        let mut f = Forest::new(0);
+        let t = f.ensure_tree(v(1));
+        let root = f.tree(t).root_idx();
+        let a = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 5));
+        let _b = f.tree_mut(t).insert_child(a, v(3), 1, e(2, 3), Interval::new(0, 4));
+        let c = f.tree_mut(t).insert_child(root, v(4), 1, e(1, 4), Interval::new(0, 9));
+        f.index_node(t, v(2), 1);
+        f.index_node(t, v(3), 1);
+        f.index_node(t, v(4), 1);
+        f.purge(5);
+        assert!(f.tree(t).get(v(2), 1).is_none());
+        assert!(f.tree(t).get(v(3), 1).is_none());
+        assert_eq!(f.tree(t).get(v(4), 1), Some(c));
+        assert_eq!(f.size(), 1);
+    }
+
+    #[test]
+    fn root_never_expires() {
+        let mut f = Forest::new(0);
+        let t = f.ensure_tree(v(1));
+        f.purge(1_000_000);
+        assert!(f.tree(t).get(v(1), 0).is_some());
+    }
+}

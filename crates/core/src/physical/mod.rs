@@ -1,0 +1,85 @@
+//! Physical operator algebra (§6.2): push-based, non-blocking operators.
+//!
+//! Operators exchange [`Delta`]s — insertions of sgts and (for explicit
+//! deletions, §6.2.5) negative tuples. Window expirations are **not**
+//! propagated as deltas: every operator follows the *direct approach*,
+//! skipping expired state by validity-interval intersection and physically
+//! reclaiming it in [`PhysicalOp::purge`], which the engine calls at slide
+//! boundaries. This is the core design point of §6.2.4 (S-PATH) applied
+//! uniformly: expirations have a temporal order, so no re-derivation work
+//! is needed for them.
+
+pub mod adjacency;
+pub mod forest;
+pub mod negpath;
+pub mod pattern;
+pub mod rederive;
+pub mod simple;
+pub mod spath;
+pub mod wcoj;
+
+use sgq_types::{Sgt, Timestamp};
+
+/// A change to a streaming graph flowing between operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// A new (or extended-validity) sgt.
+    Insert(Sgt),
+    /// A negative tuple: an explicit deletion of a previously inserted sgt
+    /// (§6.2.5). Window expirations never appear as deltas.
+    Delete(Sgt),
+}
+
+impl Delta {
+    /// The payload sgt.
+    pub fn sgt(&self) -> &Sgt {
+        match self {
+            Delta::Insert(s) | Delta::Delete(s) => s,
+        }
+    }
+
+    /// Whether this is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Delta::Delete(_))
+    }
+}
+
+/// A push-based physical operator.
+///
+/// `on_delta` must be non-blocking: it processes one input delta and
+/// appends any output deltas to `out`. `now` is the current event-time
+/// watermark (the timestamp of the driving input sge); operators may use
+/// it to skip expired state.
+pub trait PhysicalOp {
+    /// Operator name for plan display and metrics.
+    fn name(&self) -> String;
+
+    /// Processes one delta arriving on `port`.
+    fn on_delta(&mut self, port: usize, delta: Delta, now: Timestamp, out: &mut Vec<Delta>);
+
+    /// Physically reclaims state expired at `watermark` (direct approach).
+    ///
+    /// Operators that must *react* to window movement — the negative-tuple
+    /// PATH re-derives disconnected segments and emits their continuations
+    /// — append result deltas to `out`; direct-approach operators leave it
+    /// untouched.
+    fn purge(&mut self, watermark: Timestamp, out: &mut Vec<Delta>) {
+        let _ = (watermark, out);
+    }
+
+    /// Whether `purge` must run at **every** slide boundary for
+    /// correctness. Direct-approach operators return `false`: they skip
+    /// expired state by validity-interval intersection, so purging is pure
+    /// (amortisable) reclamation — the paper's "background process
+    /// periodically purges expired tuples". The negative-tuple PATH
+    /// (§6.2.3) returns `true`: processing expirations at window movement
+    /// *is* its algorithm.
+    fn needs_timely_purge(&self) -> bool {
+        false
+    }
+
+    /// Approximate number of state entries held (for metrics/ablations).
+    fn state_size(&self) -> usize {
+        0
+    }
+}

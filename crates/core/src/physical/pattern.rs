@@ -1,0 +1,654 @@
+//! PATTERN (Def. 19) as a pipelined symmetric-hash-join tree (§6.2.2).
+//!
+//! The logical PATTERN is binary-in/binary-out, but rule bodies bind more
+//! than two variables, so internally the operator carries *binding tuples*
+//! (vectors of vertex ids over variable equivalence classes) through a
+//! left-deep tree of symmetric hash joins, projecting to `(src, trg, d)` at
+//! the top. The join tree follows the predicate order of the PATTERN, as in
+//! the paper's prototype (Figure 8, right).
+//!
+//! State follows the direct approach: per (key, binding) the operator keeps
+//! an [`IntervalSet`]; expired intervals are skipped naturally (interval
+//! intersection with a live probe tuple is empty) and reclaimed by `purge`.
+//! Fully-covered re-insertions are suppressed (set semantics / coalescing,
+//! Def. 11). Negative tuples (§6.2.5) remove intervals and probe the
+//! opposite table symmetrically, which cancels prior emissions exactly.
+
+use super::{Delta, PhysicalOp};
+use crate::algebra::{Pos, Side};
+use sgq_types::{Edge, FxHashMap, Interval, IntervalSet, Label, Payload, Sgt, Timestamp, VertexId};
+
+/// A variable equivalence class (dense id).
+pub type VarId = u32;
+
+/// The compiled form of a logical PATTERN: variable classes per input and
+/// the projection for the output sgt.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    /// `(src-class, trg-class)` for each input stream.
+    pub input_vars: Vec<(VarId, VarId)>,
+    /// Variable classes of the output `(src, trg)`.
+    pub output: (VarId, VarId),
+    /// Output label `d`.
+    pub label: Label,
+}
+
+impl CompiledPattern {
+    /// Builds the compiled pattern from the logical operator's positions
+    /// and equality conditions using union–find over positions.
+    pub fn compile(
+        n_inputs: usize,
+        conditions: &[(Pos, Pos)],
+        output: (Pos, Pos),
+        label: Label,
+    ) -> CompiledPattern {
+        let idx = |p: Pos| -> usize {
+            p.input * 2
+                + match p.side {
+                    Side::Src => 0,
+                    Side::Trg => 1,
+                }
+        };
+        let mut parent: Vec<usize> = (0..2 * n_inputs).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for &(a, b) in conditions {
+            let (ra, rb) = (find(&mut parent, idx(a)), find(&mut parent, idx(b)));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Dense class ids in position order.
+        let mut class_of_root: FxHashMap<usize, VarId> = FxHashMap::default();
+        let mut class = |parent: &mut Vec<usize>, pos: usize| -> VarId {
+            let r = find(parent, pos);
+            let next = class_of_root.len() as VarId;
+            *class_of_root.entry(r).or_insert(next)
+        };
+        let mut input_vars = Vec::with_capacity(n_inputs);
+        for i in 0..n_inputs {
+            let s = class(&mut parent, 2 * i);
+            let t = class(&mut parent, 2 * i + 1);
+            input_vars.push((s, t));
+        }
+        let out = (class(&mut parent, idx(output.0)), class(&mut parent, idx(output.1)));
+        CompiledPattern {
+            input_vars,
+            output: out,
+            label,
+        }
+    }
+}
+
+/// Per-stage join plan computed once at operator construction.
+#[derive(Debug, Clone)]
+struct StagePlan {
+    /// Indices into the left layout forming the join key.
+    left_key: Vec<usize>,
+    /// Indices into the right layout forming the join key (same var order).
+    right_key: Vec<usize>,
+    /// For each output var: (from_left, index in that side's layout).
+    out_from: Vec<(bool, usize)>,
+}
+
+/// A stored binding: the tuple's variable values and their validity.
+type TableEntry = (Box<[VertexId]>, IntervalSet);
+
+/// One side of a symmetric hash join: key → entries of (values, validity).
+#[derive(Debug, Default)]
+struct Table {
+    map: FxHashMap<Box<[VertexId]>, Vec<TableEntry>>,
+    entries: usize,
+}
+
+impl Table {
+    /// Inserts (or extends) an entry; returns `None` if the interval was
+    /// fully covered (duplicate suppressed) when `suppress` is on.
+    fn insert(
+        &mut self,
+        key: Box<[VertexId]>,
+        vals: &[VertexId],
+        iv: Interval,
+        suppress: bool,
+    ) -> Option<Interval> {
+        let bucket = self.map.entry(key).or_default();
+        if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
+            if suppress && set.covers(&iv) {
+                return None;
+            }
+            return set.insert(iv);
+        }
+        let mut set = IntervalSet::new();
+        set.insert(iv);
+        bucket.push((vals.into(), set));
+        self.entries += 1;
+        Some(iv)
+    }
+
+    /// Removes an interval from an entry (negative tuple).
+    fn remove(&mut self, key: &[VertexId], vals: &[VertexId], iv: Interval) {
+        if let Some(bucket) = self.map.get_mut(key) {
+            if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
+                set.remove(iv);
+            }
+        }
+    }
+
+    /// Probes entries matching `key` whose validity overlaps `iv`, calling
+    /// `f(vals, overlap-interval)` per live interval.
+    fn probe(&self, key: &[VertexId], iv: Interval, mut f: impl FnMut(&[VertexId], Interval)) {
+        if let Some(bucket) = self.map.get(key) {
+            for (vals, set) in bucket {
+                for stored in set.overlapping(&iv) {
+                    let meet = stored.intersect(&iv);
+                    if !meet.is_empty() {
+                        f(vals, meet);
+                    }
+                }
+            }
+        }
+    }
+
+    fn purge(&mut self, watermark: Timestamp) {
+        self.map.retain(|_, bucket| {
+            bucket.retain_mut(|(_, set)| {
+                set.purge_expired(watermark);
+                !set.is_empty()
+            });
+            !bucket.is_empty()
+        });
+        self.entries = self.map.values().map(Vec::len).sum();
+    }
+
+    fn size(&self) -> usize {
+        self.entries
+    }
+}
+
+/// A pending unit of work inside the join tree.
+struct Work {
+    stage: usize,
+    vals: Box<[VertexId]>,
+    iv: Interval,
+    delete: bool,
+}
+
+/// The PATTERN physical operator.
+pub struct PatternOp {
+    spec: CompiledPattern,
+    stages: Vec<StagePlan>,
+    state: Vec<(Table, Table)>, // (left, right) per stage
+    /// Output coalescing state (set semantics); bypassed for deletes.
+    out_dedup: FxHashMap<(VertexId, VertexId), IntervalSet>,
+    /// Positions of the output (src, trg) in the final layout.
+    out_pos: (usize, usize),
+    suppress: bool,
+}
+
+impl PatternOp {
+    /// Builds the operator and its left-deep stage plans.
+    pub fn new(spec: CompiledPattern, suppress: bool) -> Self {
+        let n = spec.input_vars.len();
+        let leaf_layout = |i: usize| -> Vec<VarId> {
+            let (s, t) = spec.input_vars[i];
+            if s == t {
+                vec![s]
+            } else {
+                vec![s, t]
+            }
+        };
+
+        let mut stages = Vec::new();
+        let mut layout = leaf_layout(0);
+        for i in 1..n {
+            let right_layout = leaf_layout(i);
+            let shared: Vec<VarId> = layout
+                .iter()
+                .copied()
+                .filter(|v| right_layout.contains(v))
+                .collect();
+            let left_key: Vec<usize> = shared
+                .iter()
+                .map(|v| layout.iter().position(|x| x == v).unwrap())
+                .collect();
+            let right_key: Vec<usize> = shared
+                .iter()
+                .map(|v| right_layout.iter().position(|x| x == v).unwrap())
+                .collect();
+            let mut out_layout = layout.clone();
+            for &v in &right_layout {
+                if !out_layout.contains(&v) {
+                    out_layout.push(v);
+                }
+            }
+            let out_from: Vec<(bool, usize)> = out_layout
+                .iter()
+                .map(|v| match layout.iter().position(|x| x == v) {
+                    Some(p) => (true, p),
+                    None => (false, right_layout.iter().position(|x| x == v).unwrap()),
+                })
+                .collect();
+            layout = out_layout;
+            stages.push(StagePlan {
+                left_key,
+                right_key,
+                out_from,
+            });
+        }
+
+        let out_pos = (
+            layout
+                .iter()
+                .position(|&v| v == spec.output.0)
+                .expect("output src var bound"),
+            layout
+                .iter()
+                .position(|&v| v == spec.output.1)
+                .expect("output trg var bound"),
+        );
+        let state = stages.iter().map(|_| Default::default()).collect();
+        PatternOp {
+            spec,
+            stages,
+            state,
+            out_dedup: FxHashMap::default(),
+            out_pos,
+            suppress,
+        }
+    }
+
+    /// Converts an input sgt on `port` to leaf binding values, applying the
+    /// same-variable constraint (`l(x, x)` atoms).
+    fn leaf_vals(&self, port: usize, s: &Sgt) -> Option<Box<[VertexId]>> {
+        let (sv, tv) = self.spec.input_vars[port];
+        if sv == tv {
+            if s.src != s.trg {
+                return None;
+            }
+            Some(Box::from([s.src]))
+        } else {
+            Some(Box::from([s.src, s.trg]))
+        }
+    }
+
+    fn emit(&mut self, vals: &[VertexId], iv: Interval, delete: bool, out: &mut Vec<Delta>) {
+        let (src, trg) = (vals[self.out_pos.0], vals[self.out_pos.1]);
+        let mk = |iv: Interval| {
+            Sgt::with_payload(
+                src,
+                trg,
+                self.spec.label,
+                iv,
+                Payload::Edge(Edge::new(src, trg, self.spec.label)),
+            )
+        };
+        if delete {
+            self.out_dedup.entry((src, trg)).or_default().remove(iv);
+            out.push(Delta::Delete(mk(iv)));
+            return;
+        }
+        if self.suppress {
+            let set = self.out_dedup.entry((src, trg)).or_default();
+            if set.covers(&iv) {
+                return;
+            }
+            // Emit the coalesced interval (Def. 11).
+            let merged = set.insert(iv).expect("non-empty interval");
+            out.push(Delta::Insert(mk(merged)));
+        } else {
+            out.push(Delta::Insert(mk(iv)));
+        }
+    }
+
+    fn key_of(vals: &[VertexId], key_idx: &[usize]) -> Box<[VertexId]> {
+        key_idx.iter().map(|&i| vals[i]).collect()
+    }
+
+    fn run(&mut self, mut queue: Vec<Work>, out: &mut Vec<Delta>) {
+        while let Some(w) = queue.pop() {
+            if w.stage == self.stages.len() {
+                self.emit(&w.vals, w.iv, w.delete, out);
+                continue;
+            }
+            let plan = &self.stages[w.stage];
+            let key = Self::key_of(&w.vals, &plan.left_key);
+            let (left, right) = &mut self.state[w.stage];
+            if w.delete {
+                left.remove(&key, &w.vals, w.iv);
+            } else if left.insert(key.clone(), &w.vals, w.iv, self.suppress).is_none() {
+                continue; // fully covered: no new results possible
+            }
+            right.probe(&key, w.iv, |rvals, meet| {
+                let joined: Box<[VertexId]> = plan
+                    .out_from
+                    .iter()
+                    .map(|&(from_left, i)| if from_left { w.vals[i] } else { rvals[i] })
+                    .collect();
+                queue.push(Work {
+                    stage: w.stage + 1,
+                    vals: joined,
+                    iv: meet,
+                    delete: w.delete,
+                });
+            });
+        }
+    }
+}
+
+impl PhysicalOp for PatternOp {
+    fn name(&self) -> String {
+        format!(
+            "PATTERN[{} inputs → {:?}]",
+            self.spec.input_vars.len(),
+            self.spec.label
+        )
+    }
+
+    fn on_delta(&mut self, port: usize, delta: Delta, _now: Timestamp, out: &mut Vec<Delta>) {
+        let delete = delta.is_delete();
+        let s = delta.sgt();
+        let Some(vals) = self.leaf_vals(port, s) else {
+            return;
+        };
+        let iv = s.interval;
+        if iv.is_empty() {
+            return;
+        }
+
+        if self.stages.is_empty() {
+            // Single-input pattern: pure projection.
+            self.emit(&vals, iv, delete, out);
+            return;
+        }
+
+        if port == 0 {
+            self.run(
+                vec![Work {
+                    stage: 0,
+                    vals,
+                    iv,
+                    delete,
+                }],
+                out,
+            );
+            return;
+        }
+
+        // Right arrival at stage `port - 1`: insert and probe the left side.
+        let stage = port - 1;
+        let plan = &self.stages[stage];
+        let key = Self::key_of(&vals, &plan.right_key);
+        let (left, right) = &mut self.state[stage];
+        if delete {
+            right.remove(&key, &vals, iv);
+        } else if right.insert(key.clone(), &vals, iv, self.suppress).is_none() {
+            return;
+        }
+        let mut queue = Vec::new();
+        left.probe(&key, iv, |lvals, meet| {
+            let joined: Box<[VertexId]> = plan
+                .out_from
+                .iter()
+                .map(|&(from_left, i)| if from_left { lvals[i] } else { vals[i] })
+                .collect();
+            queue.push(Work {
+                stage: stage + 1,
+                vals: joined,
+                iv: meet,
+                delete,
+            });
+        });
+        self.run(queue, out);
+    }
+
+    fn purge(&mut self, watermark: Timestamp, _out: &mut Vec<Delta>) {
+        for (l, r) in &mut self.state {
+            l.purge(watermark);
+            r.purge(watermark);
+        }
+        self.out_dedup.retain(|_, set| {
+            set.purge_expired(watermark);
+            !set.is_empty()
+        });
+    }
+
+    fn state_size(&self) -> usize {
+        self.state.iter().map(|(l, r)| l.size() + r.size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Pos;
+
+    fn sgt(src: u64, trg: u64, l: u32, ts: u64, exp: u64) -> Sgt {
+        Sgt::edge(
+            VertexId(src),
+            VertexId(trg),
+            Label(l),
+            Interval::new(ts, exp),
+        )
+    }
+
+    /// Two-input join: d(x, z) ← a(x, y), b(y, z).
+    fn two_way() -> PatternOp {
+        let spec = CompiledPattern::compile(
+            2,
+            &[(Pos::trg(0), Pos::src(1))],
+            (Pos::src(0), Pos::trg(1)),
+            Label(9),
+        );
+        PatternOp::new(spec, true)
+    }
+
+    fn inserts(out: &[Delta]) -> Vec<(u64, u64, Interval)> {
+        out.iter()
+            .filter(|d| !d.is_delete())
+            .map(|d| {
+                let s = d.sgt();
+                (s.src.0, s.trg.0, s.interval)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compile_assigns_shared_classes() {
+        let spec = CompiledPattern::compile(
+            2,
+            &[(Pos::trg(0), Pos::src(1))],
+            (Pos::src(0), Pos::trg(1)),
+            Label(9),
+        );
+        let (a_s, a_t) = spec.input_vars[0];
+        let (b_s, b_t) = spec.input_vars[1];
+        assert_eq!(a_t, b_s);
+        assert_ne!(a_s, b_t);
+        assert_eq!(spec.output, (a_s, b_t));
+    }
+
+    #[test]
+    fn symmetric_join_both_arrival_orders() {
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        assert!(out.is_empty());
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 2, 12)), 2, &mut out);
+        assert_eq!(inserts(&out), vec![(1, 3, Interval::new(2, 10))]);
+
+        // Reverse order in a fresh operator.
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 2, 12)), 2, &mut out);
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 3, &mut out);
+        assert_eq!(inserts(&out), vec![(1, 3, Interval::new(2, 10))]);
+    }
+
+    #[test]
+    fn disjoint_intervals_do_not_join() {
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 5)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 7, 12)), 7, &mut out);
+        assert!(out.is_empty(), "validity intervals must intersect (Def. 19)");
+    }
+
+    #[test]
+    fn covered_duplicate_is_suppressed() {
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 0, 10)), 0, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // Same edge again with a covered validity: no output, no state blowup.
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 3, 8)), 3, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn extension_bounded_by_partner_is_suppressed() {
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 0, 10)), 0, &mut out);
+        out.clear();
+        // Re-insert of `a` with a longer validity — but the result is still
+        // capped by `b`'s [0,10), which was already emitted: suppressed.
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 5, 20)), 5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interval_extension_reemits_coalesced() {
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 0, 30)), 0, &mut out);
+        out.clear();
+        // `b` is valid until 30, so extending `a` extends the result; the
+        // emission carries the coalesced interval (Def. 11).
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 5, 20)), 5, &mut out);
+        assert_eq!(inserts(&out), vec![(1, 3, Interval::new(0, 20))]);
+    }
+
+    #[test]
+    fn example6_triangle() {
+        // recentLiker: RL(u1, u2) ← likes(u1, m1), posts(u2, m1), FP(u1, u2)
+        // with Φ = (trg1 = trg2 ∧ src1 = src3 ∧ src2 = trg3).
+        let spec = CompiledPattern::compile(
+            3,
+            &[
+                (Pos::trg(0), Pos::trg(1)),
+                (Pos::src(0), Pos::src(2)),
+                (Pos::src(1), Pos::trg(2)),
+            ],
+            (Pos::src(0), Pos::src(1)),
+            Label(10),
+        );
+        let mut op = PatternOp::new(spec, true);
+        let mut out = Vec::new();
+        // Vertices: u=0, v=1, b=2, y=3, c=4, a=5 (Figure 3 with 24h window).
+        // likes (label 0): (y,a)@[28,52), (u,b)@[29,53), (u,c)@[30,54)
+        // posts (label 1): (v,b)@[10,34), (v,c)@[17,41), (u,a)@[22,46)
+        // FP    (label 2): follows path (u,v)@[7,31), (y,u)@[13,37),
+        //                  (y,v)@[13,31) (two-hop path).
+        for (port, s) in [
+            (1, sgt(1, 2, 1, 10, 34)),
+            (2, sgt(0, 1, 2, 7, 31)),
+            (2, sgt(3, 0, 2, 13, 37)),
+            (2, sgt(3, 1, 2, 13, 31)),
+            (1, sgt(1, 4, 1, 17, 41)),
+            (1, sgt(0, 5, 1, 22, 46)),
+            (0, sgt(3, 5, 0, 28, 52)),
+            (0, sgt(0, 2, 0, 29, 53)),
+            (0, sgt(0, 4, 0, 30, 54)),
+        ] {
+            op.on_delta(port, Delta::Insert(s), 0, &mut out);
+        }
+        // Example 6 expects (y,RL,u)@[28,37) and (u,RL,v)@[29,31) after
+        // coalescing the two (u,v) derivations [29,31) and [30,31).
+        let res = inserts(&out);
+        assert!(res.contains(&(3, 0, Interval::new(28, 37))), "{res:?}");
+        assert!(res.contains(&(0, 1, Interval::new(29, 31))), "{res:?}");
+        // The second (u,v) derivation [30,31) is covered ⇒ suppressed.
+        assert_eq!(res.len(), 2, "{res:?}");
+    }
+
+    #[test]
+    fn negative_tuple_cancels_result() {
+        let mut op = PatternOp::new(
+            CompiledPattern::compile(
+                2,
+                &[(Pos::trg(0), Pos::src(1))],
+                (Pos::src(0), Pos::trg(1)),
+                Label(9),
+            ),
+            false, // suppression off in deletion pipelines
+        );
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 0, 10)), 0, &mut out);
+        assert_eq!(inserts(&out).len(), 1);
+        out.clear();
+        op.on_delta(0, Delta::Delete(sgt(1, 2, 0, 0, 10)), 5, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_delete());
+        assert_eq!(out[0].sgt().src, VertexId(1));
+        assert_eq!(out[0].sgt().trg, VertexId(3));
+    }
+
+    #[test]
+    fn purge_reclaims_expired_state() {
+        let mut op = two_way();
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(5, 6, 1, 0, 10)), 0, &mut out);
+        assert_eq!(op.state_size(), 2);
+        op.purge(10, &mut Vec::new());
+        assert_eq!(op.state_size(), 0);
+    }
+
+    #[test]
+    fn single_input_projection() {
+        // d(y, x) ← a(x, y): swap endpoints via a 1-input pattern.
+        let spec = CompiledPattern::compile(1, &[], (Pos::trg(0), Pos::src(0)), Label(9));
+        let mut op = PatternOp::new(spec, true);
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        assert_eq!(inserts(&out), vec![(2, 1, Interval::new(0, 10))]);
+    }
+
+    #[test]
+    fn self_loop_constraint() {
+        // d(x, x) ← a(x, x).
+        let spec = CompiledPattern::compile(
+            1,
+            &[(Pos::src(0), Pos::trg(0))],
+            (Pos::src(0), Pos::trg(0)),
+            Label(9),
+        );
+        let mut op = PatternOp::new(spec, true);
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        assert!(out.is_empty());
+        op.on_delta(0, Delta::Insert(sgt(3, 3, 0, 0, 10)), 0, &mut out);
+        assert_eq!(inserts(&out), vec![(3, 3, Interval::new(0, 10))]);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        // d(x, w) ← a(x, y), b(z, w): no join key.
+        let spec = CompiledPattern::compile(2, &[], (Pos::src(0), Pos::trg(1)), Label(9));
+        let mut op = PatternOp::new(spec, true);
+        let mut out = Vec::new();
+        op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
+        op.on_delta(1, Delta::Insert(sgt(7, 8, 1, 0, 10)), 0, &mut out);
+        assert_eq!(inserts(&out), vec![(1, 8, Interval::new(0, 10))]);
+    }
+}

@@ -1,0 +1,601 @@
+//! SGA transformation rules (§5.4) and plan-space enumeration (§7.4).
+//!
+//! Implemented rules:
+//!
+//! * **PATH alternation**: `P^d_{R₁|…|Rₖ}(…) = ∪_d(P_{R₁}, …, P_{Rₖ})`
+//!   (the paper's rule 1, generalised from single labels to branches).
+//! * **PATH concatenation** (`relationalize_path`): a concatenation regex
+//!   becomes a join tree, `P^d_{a·b}(S_a, S_b) = ⋈^{src₁,trg₂,d}_{trg₁=src₂}`
+//!   (rule 2). Nullable factors (`b*`) expand into a UNION of the branch
+//!   with `b+` and the branch without it, since PATH results always carry
+//!   at least one edge.
+//! * **Kleene-plus grouping** (`plus_groupings`): for `P_{(l₁·…·lₙ)+}`,
+//!   every contiguous grouping of the factors yields an equivalent plan
+//!   where each multi-label group is pre-joined by a PATTERN and the PATH
+//!   runs over the grouped alphabet. This generates exactly the plan space
+//!   of Figure 12: one group of all = the canonical loop-caching plan, all
+//!   singleton groups = the pure-automaton plan P1, and the mixed
+//!   partitions = P2/P3.
+//! * **FILTER rules**: merging adjacent filters and pushing filters through
+//!   UNION. (The paper's two WSCAN commutation rules hold structurally in
+//!   this plan representation: WSCAN is always the leaf, so a filter
+//!   directly above a WSCAN *is* the pushed-down form, and per-label
+//!   WSCANs already distribute over the input-stream union.)
+//!
+//! [`enumerate_plans`] closes a plan under all rules (bounded), which the
+//! §7.4 experiments sample.
+
+use crate::algebra::{Pos, SgaExpr};
+use crate::planner::Plan;
+use sgq_automata::Regex;
+use sgq_types::{FxHashSet, Label, LabelInterner};
+
+/// PATH alternation: splits a top-level `Alt` regex into a UNION of PATHs.
+pub fn path_alternation(e: &SgaExpr, labels: &mut LabelInterner) -> Option<SgaExpr> {
+    let SgaExpr::Path {
+        inputs,
+        regex: Regex::Alt(branches),
+        label,
+    } = e
+    else {
+        return None;
+    };
+    let alphabet_inputs = |re: &Regex| -> Vec<SgaExpr> {
+        re.alphabet()
+            .iter()
+            .map(|l| {
+                let pos = e_alphabet_position(e, *l);
+                inputs[pos].clone()
+            })
+            .collect()
+    };
+    let parts: Vec<SgaExpr> = branches
+        .iter()
+        .map(|b| SgaExpr::Path {
+            inputs: alphabet_inputs(b),
+            regex: b.clone(),
+            label: labels.fresh_derived("alt"),
+        })
+        .collect();
+    Some(SgaExpr::Union {
+        inputs: parts,
+        label: *label,
+    })
+}
+
+/// Index of `l` in the PATH's alphabet ordering (inputs are alphabet-ordered).
+fn e_alphabet_position(e: &SgaExpr, l: Label) -> usize {
+    let SgaExpr::Path { regex, .. } = e else {
+        unreachable!("only called on PATH");
+    };
+    regex
+        .alphabet()
+        .iter()
+        .position(|&x| x == l)
+        .expect("label in alphabet")
+}
+
+/// One concrete factor of a relationalized concatenation branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Factor {
+    /// A single input label (joined directly, as in the paper's rule 2).
+    Lab(Label),
+    /// A non-nullable sub-regex kept as a PATH operator.
+    Sub(Regex),
+}
+
+/// Expands a regex into the union of concrete concatenation branches,
+/// turning starred factors into "absent | plus" alternatives. Returns
+/// `None` when the expansion explodes (more than `cap` branches).
+fn concretize(re: &Regex, cap: usize) -> Option<Vec<Vec<Factor>>> {
+    let out = match re {
+        Regex::Empty => vec![],
+        Regex::Epsilon => vec![vec![]],
+        Regex::Label(l) => vec![vec![Factor::Lab(*l)]],
+        Regex::Concat(parts) => {
+            let mut acc: Vec<Vec<Factor>> = vec![vec![]];
+            for p in parts {
+                let ps = concretize(p, cap)?;
+                let mut next = Vec::new();
+                for a in &acc {
+                    for b in &ps {
+                        let mut v = a.clone();
+                        v.extend(b.iter().cloned());
+                        next.push(v);
+                    }
+                }
+                acc = next;
+                if acc.len() > cap {
+                    return None;
+                }
+            }
+            acc
+        }
+        Regex::Alt(parts) => {
+            let mut acc = Vec::new();
+            for p in parts {
+                acc.extend(concretize(p, cap)?);
+                if acc.len() > cap {
+                    return None;
+                }
+            }
+            acc
+        }
+        Regex::Star(inner) => {
+            vec![vec![], vec![Factor::Sub(Regex::plus((**inner).clone()))]]
+        }
+    };
+    Some(out)
+}
+
+/// PATH concatenation: rewrites a PATH whose regex is (after nullable
+/// expansion) a union of concatenations into UNION-of-PATTERN-joins over
+/// the factor plans. Factors that remain recursive stay as PATH operators.
+pub fn relationalize_path(e: &SgaExpr, labels: &mut LabelInterner) -> Option<SgaExpr> {
+    let SgaExpr::Path {
+        inputs,
+        regex,
+        label,
+    } = e
+    else {
+        return None;
+    };
+    // Only useful when there is top-level concatenation / alternation
+    // structure; a bare label or pure closure has no split.
+    if matches!(regex, Regex::Label(_) | Regex::Empty | Regex::Epsilon) {
+        return None;
+    }
+    let alphabet = regex.alphabet();
+    let input_of = |l: Label| -> SgaExpr {
+        let pos = alphabet.iter().position(|&x| x == l).expect("in alphabet");
+        inputs[pos].clone()
+    };
+    let branches = concretize(regex, 32)?;
+    // Drop the empty-word branch: PATH results carry ≥ 1 edge.
+    let branches: Vec<Vec<Factor>> = branches.into_iter().filter(|b| !b.is_empty()).collect();
+    if branches.is_empty() {
+        return None;
+    }
+    // A single branch that is one bare Sub factor equal to the original
+    // regex means no progress (e.g. `a+` → [[Sub(a+)]]).
+    if branches.len() == 1 && branches[0].len() == 1 {
+        if let Factor::Sub(s) = &branches[0][0] {
+            if s == regex {
+                return None;
+            }
+        }
+    }
+
+    let mut parts: Vec<SgaExpr> = Vec::new();
+    for branch in &branches {
+        let factor_exprs: Vec<SgaExpr> = branch
+            .iter()
+            .map(|f| match f {
+                Factor::Lab(l) => input_of(*l),
+                Factor::Sub(re) => SgaExpr::Path {
+                    inputs: re.alphabet().iter().map(|l| input_of(*l)).collect(),
+                    regex: re.clone(),
+                    label: labels.fresh_derived("seg"),
+                },
+            })
+            .collect();
+        parts.push(join_chain(factor_exprs, *label, labels));
+    }
+    Some(if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        SgaExpr::Union {
+            inputs: parts,
+            label: *label,
+        }
+    })
+}
+
+/// Left-deep chain join `⋈_{trg_i = src_{i+1}}` with output
+/// `(src₁, trg_n)` — the shape of the paper's concatenation rule.
+fn join_chain(factors: Vec<SgaExpr>, label: Label, labels: &mut LabelInterner) -> SgaExpr {
+    let _ = labels;
+    let n = factors.len();
+    if n == 1 {
+        let inner = factors.into_iter().next().unwrap();
+        // Relabel to the output label.
+        return match inner {
+            SgaExpr::Path {
+                inputs,
+                regex,
+                label: _,
+            } => SgaExpr::Path {
+                inputs,
+                regex,
+                label,
+            },
+            other => SgaExpr::Union {
+                inputs: vec![other],
+                label,
+            },
+        };
+    }
+    let conditions: Vec<(Pos, Pos)> = (0..n - 1).map(|i| (Pos::trg(i), Pos::src(i + 1))).collect();
+    SgaExpr::Pattern {
+        inputs: factors,
+        conditions,
+        output: (Pos::src(0), Pos::trg(n - 1)),
+        label,
+    }
+}
+
+/// Whether `re` is `plus(inner)` in the normalised `inner · inner*` form.
+fn as_plus(re: &Regex) -> Option<Regex> {
+    let Regex::Concat(parts) = re else {
+        return None;
+    };
+    let (last, front) = parts.split_last()?;
+    let Regex::Star(inner) = last else {
+        return None;
+    };
+    let front_re = Regex::concat(front.to_vec());
+    (front_re == **inner).then(|| (**inner).clone())
+}
+
+/// Kleene-plus grouping (Figure 12's plan space): for a PATH whose regex is
+/// `(l₁ · … · lₙ)+` over single labels, returns one equivalent plan per
+/// contiguous partition of the factors. Multi-label groups become PATTERN
+/// pre-joins producing a fresh derived label; the PATH then runs over the
+/// grouped alphabet.
+pub fn plus_groupings(e: &SgaExpr, labels: &mut LabelInterner) -> Vec<SgaExpr> {
+    let SgaExpr::Path {
+        inputs,
+        regex,
+        label,
+    } = e
+    else {
+        return Vec::new();
+    };
+    let Some(inner) = as_plus(regex) else {
+        return Vec::new();
+    };
+    // Factors must all be single labels.
+    let factor_labels: Vec<Label> = match &inner {
+        Regex::Label(l) => vec![*l],
+        Regex::Concat(parts) => {
+            let mut ls = Vec::new();
+            for p in parts {
+                match p {
+                    Regex::Label(l) => ls.push(*l),
+                    _ => return Vec::new(),
+                }
+            }
+            ls
+        }
+        _ => return Vec::new(),
+    };
+    let n = factor_labels.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let alphabet = regex.alphabet();
+    let input_of = |l: Label| -> SgaExpr {
+        let pos = alphabet.iter().position(|&x| x == l).expect("in alphabet");
+        inputs[pos].clone()
+    };
+
+    // Enumerate contiguous partitions via (n-1)-bit boundary masks.
+    let mut plans = Vec::new();
+    for mask in 0u32..(1 << (n - 1)) {
+        let mut groups: Vec<Vec<Label>> = vec![vec![factor_labels[0]]];
+        for (i, &l) in factor_labels.iter().enumerate().skip(1) {
+            if mask & (1 << (i - 1)) != 0 {
+                groups.push(vec![l]);
+            } else {
+                groups.last_mut().unwrap().push(l);
+            }
+        }
+        if groups.len() == n {
+            continue; // all singletons: that is the original plan itself
+        }
+        let mut group_labels = Vec::with_capacity(groups.len());
+        let mut group_inputs = Vec::with_capacity(groups.len());
+        for g in &groups {
+            if g.len() == 1 {
+                group_labels.push(g[0]);
+                group_inputs.push(input_of(g[0]));
+            } else {
+                let d = labels.fresh_derived("grp");
+                let exprs: Vec<SgaExpr> = g.iter().map(|&l| input_of(l)).collect();
+                group_inputs.push(join_chain(exprs, d, labels));
+                group_labels.push(d);
+            }
+        }
+        let new_regex = Regex::plus(Regex::concat(
+            group_labels.iter().map(|&l| Regex::Label(l)).collect(),
+        ));
+        // PATH inputs must follow the new regex's alphabet order.
+        let order = new_regex.alphabet();
+        let ordered_inputs: Vec<SgaExpr> = order
+            .iter()
+            .map(|l| {
+                let i = group_labels.iter().position(|x| x == l).unwrap();
+                group_inputs[i].clone()
+            })
+            .collect();
+        plans.push(SgaExpr::Path {
+            inputs: ordered_inputs,
+            regex: new_regex,
+            label: *label,
+        });
+    }
+    plans
+}
+
+/// Merges adjacent FILTERs into one conjunction.
+pub fn merge_filters(e: &SgaExpr) -> Option<SgaExpr> {
+    let SgaExpr::Filter { input, preds } = e else {
+        return None;
+    };
+    let SgaExpr::Filter {
+        input: inner,
+        preds: inner_preds,
+    } = input.as_ref()
+    else {
+        return None;
+    };
+    let mut all = inner_preds.clone();
+    all.extend(preds.iter().cloned());
+    Some(SgaExpr::Filter {
+        input: inner.clone(),
+        preds: all,
+    })
+}
+
+/// Pushes a FILTER through a UNION: `σ(∪(S₁,…)) = ∪(σ(S₁),…)` — the
+/// WSCAN/UNION commutation family of §5.4 in this representation.
+pub fn push_filter_through_union(e: &SgaExpr) -> Option<SgaExpr> {
+    let SgaExpr::Filter { input, preds } = e else {
+        return None;
+    };
+    let SgaExpr::Union { inputs, label } = input.as_ref() else {
+        return None;
+    };
+    Some(SgaExpr::Union {
+        inputs: inputs
+            .iter()
+            .map(|i| SgaExpr::Filter {
+                input: Box::new(i.clone()),
+                preds: preds.clone(),
+            })
+            .collect(),
+        label: *label,
+    })
+}
+
+/// Applies `rule` at every position of `e`, returning one rewritten tree
+/// per applicable position.
+fn rewrite_everywhere(
+    e: &SgaExpr,
+    rule: &mut dyn FnMut(&SgaExpr) -> Vec<SgaExpr>,
+) -> Vec<SgaExpr> {
+    let mut out: Vec<SgaExpr> = rule(e);
+    let rebuild = |e: &SgaExpr, idx: usize, new_child: SgaExpr| -> SgaExpr {
+        let mut clone = e.clone();
+        match &mut clone {
+            SgaExpr::Filter { input, .. } => **input = new_child,
+            SgaExpr::Union { inputs, .. }
+            | SgaExpr::Pattern { inputs, .. }
+            | SgaExpr::Path { inputs, .. } => inputs[idx] = new_child,
+            SgaExpr::WScan { .. } => unreachable!("leaves have no children"),
+        }
+        clone
+    };
+    for (i, c) in e.children().iter().enumerate() {
+        for rc in rewrite_everywhere(c, rule) {
+            out.push(rebuild(e, i, rc));
+        }
+    }
+    out
+}
+
+/// Explores the plan space reachable through all transformation rules,
+/// up to `limit` distinct plans (breadth-first, structurally deduplicated).
+pub fn enumerate_plans(plan: &Plan, limit: usize) -> Vec<Plan> {
+    let mut labels = plan.labels.clone();
+    let mut seen: FxHashSet<SgaExpr> = FxHashSet::default();
+    let mut frontier: Vec<SgaExpr> = vec![plan.expr.clone()];
+    let mut out: Vec<SgaExpr> = Vec::new();
+    seen.insert(plan.expr.clone());
+    while let Some(e) = frontier.pop() {
+        out.push(e.clone());
+        if out.len() >= limit {
+            break;
+        }
+        let mut rule = |x: &SgaExpr| -> Vec<SgaExpr> {
+            let mut r = Vec::new();
+            if let Some(y) = path_alternation(x, &mut labels) {
+                r.push(y);
+            }
+            if let Some(y) = relationalize_path(x, &mut labels) {
+                r.push(y);
+            }
+            r.extend(plus_groupings(x, &mut labels));
+            if let Some(y) = merge_filters(x) {
+                r.push(y);
+            }
+            if let Some(y) = push_filter_through_union(x) {
+                r.push(y);
+            }
+            r
+        };
+        for candidate in rewrite_everywhere(&e, &mut rule) {
+            if seen.insert(candidate.clone()) {
+                frontier.push(candidate);
+            }
+        }
+    }
+    out.into_iter()
+        .map(|expr| Plan {
+            expr,
+            labels: labels.clone(),
+            answer: plan.answer,
+            window: plan.window,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::FilterPred;
+    use crate::planner::plan_canonical;
+    use sgq_query::{parse_program, SgqQuery, WindowSpec};
+
+    fn plan_of(text: &str) -> Plan {
+        let p = parse_program(text).unwrap();
+        plan_canonical(&SgqQuery::new(p, WindowSpec::sliding(24)))
+    }
+
+    #[test]
+    fn alternation_becomes_union() {
+        let plan = plan_of("Ans(x, y) <- (a|b)(x, y).");
+        let mut labels = plan.labels.clone();
+        let rewritten = path_alternation(&plan.expr, &mut labels).expect("rule applies");
+        match rewritten {
+            SgaExpr::Union { inputs, .. } => {
+                assert_eq!(inputs.len(), 2);
+                assert!(inputs.iter().all(|i| matches!(i, SgaExpr::Path { .. })));
+            }
+            other => panic!("expected UNION, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_of_labels_becomes_join() {
+        let plan = plan_of("Ans(x, y) <- (a b)(x, y).");
+        let mut labels = plan.labels.clone();
+        let rewritten = relationalize_path(&plan.expr, &mut labels).expect("rule applies");
+        match rewritten {
+            SgaExpr::Pattern {
+                inputs,
+                conditions,
+                output,
+                ..
+            } => {
+                assert_eq!(inputs.len(), 2);
+                assert_eq!(conditions, vec![(Pos::trg(0), Pos::src(1))]);
+                assert_eq!(output, (Pos::src(0), Pos::trg(1)));
+            }
+            other => panic!("expected PATTERN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q2_nullable_tail_expands_to_union() {
+        // a·b* → a | a·b+.
+        let plan = plan_of("Ans(x, y) <- (a b*)(x, y).");
+        let mut labels = plan.labels.clone();
+        let rewritten = relationalize_path(&plan.expr, &mut labels).expect("rule applies");
+        match &rewritten {
+            SgaExpr::Union { inputs, .. } => {
+                assert_eq!(inputs.len(), 2);
+                // One branch is a bare relabel of S_a, the other the join.
+                assert!(inputs
+                    .iter()
+                    .any(|i| matches!(i, SgaExpr::Pattern { inputs, .. } if inputs.len() == 2)));
+            }
+            other => panic!("expected UNION, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q3_expands_to_four_branches() {
+        // a·b*·c* → a | a·b+ | a·c+ | a·b+·c+.
+        let plan = plan_of("Ans(x, y) <- (a b* c*)(x, y).");
+        let mut labels = plan.labels.clone();
+        let rewritten = relationalize_path(&plan.expr, &mut labels).expect("rule applies");
+        match &rewritten {
+            SgaExpr::Union { inputs, .. } => assert_eq!(inputs.len(), 4),
+            other => panic!("expected UNION, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q4_groupings_cover_figure12() {
+        // (a·b·c)+ has partitions [abc] (canonical loop-caching), [a|bc]
+        // (P2-shaped), [ab|c] (P3-shaped); singletons = the plan itself.
+        let plan = plan_of("Ans(x, y) <- (a b c)+(x, y).");
+        let mut labels = plan.labels.clone();
+        let plans = plus_groupings(&plan.expr, &mut labels);
+        assert_eq!(plans.len(), 3);
+        // Every grouping is still a PATH at the root.
+        assert!(plans.iter().all(|p| matches!(p, SgaExpr::Path { .. })));
+        // One of them pre-joins all three scans (the canonical SGA plan).
+        assert!(plans.iter().any(|p| matches!(
+            p,
+            SgaExpr::Path { inputs, .. }
+                if inputs.len() == 1 && matches!(&inputs[0], SgaExpr::Pattern { inputs, .. } if inputs.len() == 3)
+        )));
+    }
+
+    #[test]
+    fn plus_detection() {
+        let mut it = LabelInterner::new();
+        let re = Regex::parse("(a b)+", &mut it).unwrap();
+        let inner = as_plus(&re).unwrap();
+        assert_eq!(inner, Regex::parse("a b", &mut it).unwrap());
+        let re = Regex::parse("a*", &mut it).unwrap();
+        assert!(as_plus(&re).is_none());
+    }
+
+    #[test]
+    fn filter_rules() {
+        let w = SgaExpr::WScan {
+            label: Label(0),
+            window: 24,
+            slide: 1,
+        };
+        let f = SgaExpr::Filter {
+            input: Box::new(SgaExpr::Filter {
+                input: Box::new(w.clone()),
+                preds: vec![FilterPred::SrcEqTrg],
+            }),
+            preds: vec![FilterPred::SrcIs(sgq_types::VertexId(1))],
+        };
+        let merged = merge_filters(&f).unwrap();
+        match &merged {
+            SgaExpr::Filter { preds, .. } => assert_eq!(preds.len(), 2),
+            other => panic!("expected FILTER, got {other:?}"),
+        }
+
+        let fu = SgaExpr::Filter {
+            input: Box::new(SgaExpr::Union {
+                inputs: vec![w.clone(), w],
+                label: Label(5),
+            }),
+            preds: vec![FilterPred::SrcEqTrg],
+        };
+        let pushed = push_filter_through_union(&fu).unwrap();
+        match &pushed {
+            SgaExpr::Union { inputs, .. } => {
+                assert!(inputs.iter().all(|i| matches!(i, SgaExpr::Filter { .. })));
+            }
+            other => panic!("expected UNION, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enumerate_covers_q4_space() {
+        let plan = plan_of("Ans(x, y) <- (a b c)+(x, y).");
+        let plans = enumerate_plans(&plan, 16);
+        // Original + 3 groupings at the root, plus deeper rewrites.
+        assert!(plans.len() >= 4, "found {}", plans.len());
+    }
+
+    #[test]
+    fn enumeration_terminates_on_composite_query() {
+        let plan = plan_of(
+            "RL(x, y)  <- l(x, m), f+(x, y), p(y, m).
+             Ans(u, m) <- RL+(u, v), p(v, m).",
+        );
+        let plans = enumerate_plans(&plan, 32);
+        assert!(!plans.is_empty());
+        assert!(plans.len() <= 32);
+    }
+}

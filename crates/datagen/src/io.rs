@@ -1,0 +1,212 @@
+//! Reading and writing edge streams as tab/space-separated text —
+//! the format of SNAP-style temporal graphs (the paper's StackOverflow
+//! dataset ships as `src dst timestamp` lines) extended with a label
+//! column: `src <tab> dst <tab> label <tab> timestamp`.
+//!
+//! Lines starting with `#` are comments. Events must be readable in
+//! non-decreasing timestamp order (or use [`read_stream_unordered`]).
+
+use crate::workloads::{RawEvent, RawStream};
+use std::fmt;
+use std::io::{BufRead, BufWriter, Write};
+
+/// An error while parsing a stream file.
+#[derive(Debug)]
+pub enum StreamIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for StreamIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamIoError::Io(e) => write!(f, "stream I/O: {e}"),
+            StreamIoError::Parse { line, msg } => write!(f, "stream line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamIoError {}
+
+impl From<std::io::Error> for StreamIoError {
+    fn from(e: std::io::Error) -> Self {
+        StreamIoError::Io(e)
+    }
+}
+
+/// Leaks label strings into `&'static str` (labels form a tiny, fixed
+/// vocabulary; interning keeps [`RawEvent`] copyable).
+fn intern_label(seen: &mut Vec<&'static str>, name: &str) -> &'static str {
+    if let Some(&s) = seen.iter().find(|&&s| s == name) {
+        return s;
+    }
+    let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+    seen.push(s);
+    s
+}
+
+/// Reads a raw stream from `src dst label timestamp` lines, verifying
+/// timestamp order.
+pub fn read_stream<R: BufRead>(reader: R) -> Result<RawStream, StreamIoError> {
+    let mut events: Vec<RawEvent> = Vec::new();
+    let mut labels: Vec<&'static str> = Vec::new();
+    let mut last_ts = 0u64;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |msg: &str| StreamIoError::Parse {
+            line: i + 1,
+            msg: msg.to_string(),
+        };
+        let src: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing src"))?
+            .parse()
+            .map_err(|_| bad("src must be an integer"))?;
+        let dst: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing dst"))?
+            .parse()
+            .map_err(|_| bad("dst must be an integer"))?;
+        let label = parts.next().ok_or_else(|| bad("missing label"))?;
+        let ts: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing timestamp"))?
+            .parse()
+            .map_err(|_| bad("timestamp must be an integer"))?;
+        if ts < last_ts {
+            return Err(bad("timestamps must be non-decreasing"));
+        }
+        last_ts = ts;
+        events.push((src, dst, intern_label(&mut labels, label), ts));
+    }
+    Ok(RawStream { events })
+}
+
+/// As [`read_stream`], but sorts by timestamp instead of requiring order.
+pub fn read_stream_unordered<R: BufRead>(reader: R) -> Result<RawStream, StreamIoError> {
+    let mut events: Vec<RawEvent> = Vec::new();
+    let mut labels: Vec<&'static str> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |msg: &str| StreamIoError::Parse {
+            line: i + 1,
+            msg: msg.to_string(),
+        };
+        let src: u64 = parts.next().ok_or_else(|| bad("missing src"))?.parse().map_err(|_| bad("src must be an integer"))?;
+        let dst: u64 = parts.next().ok_or_else(|| bad("missing dst"))?.parse().map_err(|_| bad("dst must be an integer"))?;
+        let label = parts.next().ok_or_else(|| bad("missing label"))?;
+        let ts: u64 = parts.next().ok_or_else(|| bad("missing timestamp"))?.parse().map_err(|_| bad("timestamp must be an integer"))?;
+        events.push((src, dst, intern_label(&mut labels, label), ts));
+    }
+    events.sort_by_key(|e| e.3);
+    Ok(RawStream { events })
+}
+
+/// Reads a raw stream from a file path.
+pub fn read_stream_file(path: &std::path::Path) -> Result<RawStream, StreamIoError> {
+    let f = std::fs::File::open(path)?;
+    read_stream(std::io::BufReader::new(f))
+}
+
+/// Writes a raw stream as `src dst label timestamp` lines.
+pub fn write_stream<W: Write>(raw: &RawStream, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# src\tdst\tlabel\ttimestamp")?;
+    for &(s, d, l, t) in &raw.events {
+        writeln!(w, "{s}\t{d}\t{l}\t{t}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let raw = RawStream {
+            events: vec![(1, 2, "a", 0), (2, 3, "b", 5), (3, 1, "a", 5)],
+        };
+        let mut buf = Vec::new();
+        write_stream(&raw, &mut buf).unwrap();
+        let back = read_stream(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.events, raw.events);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n1 2 likes 0\n  \n2 3 posts 4\n";
+        let raw = read_stream(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(raw.len(), 2);
+        assert_eq!(raw.events[1].2, "posts");
+    }
+
+    #[test]
+    fn label_interning_dedups() {
+        let text = "1 2 likes 0\n2 3 likes 1\n";
+        let raw = read_stream(std::io::Cursor::new(text)).unwrap();
+        assert!(std::ptr::eq(raw.events[0].2, raw.events[1].2));
+    }
+
+    #[test]
+    fn out_of_order_rejected_or_sorted() {
+        let text = "1 2 a 5\n2 3 a 4\n";
+        assert!(matches!(
+            read_stream(std::io::Cursor::new(text)),
+            Err(StreamIoError::Parse { line: 2, .. })
+        ));
+        let raw = read_stream_unordered(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(raw.events[0].3, 4);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        for (text, line) in [
+            ("1 2 a x\n", 1),
+            ("1\n", 1),
+            ("1 2 a 0\nfoo 2 a 1\n", 2),
+        ] {
+            match read_stream(std::io::Cursor::new(text)) {
+                Err(StreamIoError::Parse { line: l, .. }) => assert_eq!(l, line, "{text}"),
+                other => panic!("expected parse error for {text}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip_feeds_engine() {
+        use sgq_query::{parse_program, SgqQuery, WindowSpec};
+        let dir = std::env::temp_dir().join("sgq_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.tsv");
+        let raw = RawStream {
+            events: vec![(1, 2, "f", 0), (2, 3, "f", 1)],
+        };
+        write_stream(&raw, std::fs::File::create(&path).unwrap()).unwrap();
+        let raw2 = read_stream_file(&path).unwrap();
+        let program = parse_program("Ans(x, y) <- f+(x, y).").unwrap();
+        let stream = crate::resolve(&raw2, program.labels());
+        let mut engine =
+            sgq_core::Engine::from_query(&SgqQuery::new(program, WindowSpec::sliding(10)));
+        let stats = engine.run(&stream);
+        assert_eq!(stats.results, 3);
+        std::fs::remove_file(path).ok();
+    }
+}

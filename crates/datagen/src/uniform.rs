@@ -1,0 +1,51 @@
+//! A uniform random-graph stream for tests and micro-benchmarks.
+
+use crate::workloads::{RawEvent, RawStream};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `edges` events over `vertices` vertices with labels drawn
+/// uniformly from `labels`, timestamps spread over `[0, span)`.
+pub fn uniform_stream(
+    labels: &[&'static str],
+    vertices: u64,
+    edges: usize,
+    span: u64,
+    seed: u64,
+) -> RawStream {
+    assert!(vertices >= 2 && !labels.is_empty());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut events: Vec<RawEvent> = Vec::with_capacity(edges);
+    for i in 0..edges {
+        let s = rng.gen_range(0..vertices);
+        let mut t = rng.gen_range(0..vertices);
+        if t == s {
+            t = (s + 1) % vertices;
+        }
+        let l = labels[rng.gen_range(0..labels.len())];
+        let ts = (i as u64) * span / edges.max(1) as u64;
+        events.push((s, t, l, ts));
+    }
+    RawStream { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let s = uniform_stream(&["a", "b"], 10, 100, 50, 1);
+        assert_eq!(s.len(), 100);
+        assert!(s.events.iter().all(|&(a, b, _, ts)| a != b && ts < 50));
+        assert!(s.events.windows(2).all(|w| w[0].3 <= w[1].3));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            uniform_stream(&["a"], 5, 50, 50, 9).events,
+            uniform_stream(&["a"], 5, 50, 50, 9).events
+        );
+    }
+}

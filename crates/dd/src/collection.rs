@@ -1,0 +1,148 @@
+//! Multiset collections with set-level change extraction.
+//!
+//! Differential-dataflow collections are multisets of records with signed
+//! multiplicities; graph queries need *set* semantics on top (Def. 12), so
+//! [`Rel`] tracks multiplicities (the counting algorithm of Gupta et al.,
+//! \[32\] in the paper) and reports a [`SetDelta`] exactly when a record's
+//! support crosses zero.
+
+use sgq_types::{FxHashMap, VertexId};
+
+/// A set-level change to a binary relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetDelta {
+    /// The pair's support became positive.
+    Added,
+    /// The pair's support dropped to zero.
+    Removed,
+}
+
+/// A counted binary relation with set-level adjacency indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Rel {
+    counts: FxHashMap<(VertexId, VertexId), i64>,
+    out: FxHashMap<VertexId, Vec<VertexId>>,
+    inc: FxHashMap<VertexId, Vec<VertexId>>,
+}
+
+impl Rel {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a multiplicity delta, returning the set-level change if the
+    /// pair's support crossed zero.
+    ///
+    /// # Panics
+    /// Panics if support would become negative (a retraction of a record
+    /// that was never inserted — an upstream bug).
+    pub fn apply(&mut self, s: VertexId, t: VertexId, delta: i64) -> Option<SetDelta> {
+        if delta == 0 {
+            return None;
+        }
+        let c = self.counts.entry((s, t)).or_insert(0);
+        let before = *c;
+        *c += delta;
+        assert!(*c >= 0, "negative multiplicity for ({s:?},{t:?})");
+        let after = *c;
+        if *c == 0 {
+            self.counts.remove(&(s, t));
+        }
+        if before == 0 && after > 0 {
+            self.out.entry(s).or_default().push(t);
+            self.inc.entry(t).or_default().push(s);
+            Some(SetDelta::Added)
+        } else if before > 0 && after == 0 {
+            if let Some(v) = self.out.get_mut(&s) {
+                if let Some(p) = v.iter().position(|&x| x == t) {
+                    v.swap_remove(p);
+                }
+            }
+            if let Some(v) = self.inc.get_mut(&t) {
+                if let Some(p) = v.iter().position(|&x| x == s) {
+                    v.swap_remove(p);
+                }
+            }
+            Some(SetDelta::Removed)
+        } else {
+            None
+        }
+    }
+
+    /// Set-level membership.
+    pub fn contains(&self, s: VertexId, t: VertexId) -> bool {
+        self.counts.contains_key(&(s, t))
+    }
+
+    /// Set-level out-neighbours.
+    pub fn out(&self, s: VertexId) -> &[VertexId] {
+        self.out.get(&s).map_or(&[], Vec::as_slice)
+    }
+
+    /// Set-level in-neighbours.
+    pub fn inc(&self, t: VertexId) -> &[VertexId] {
+        self.inc.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over distinct pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn support_crossing_reports_set_deltas() {
+        let mut r = Rel::new();
+        assert_eq!(r.apply(v(1), v(2), 1), Some(SetDelta::Added));
+        assert_eq!(r.apply(v(1), v(2), 1), None); // 1 → 2: no set change
+        assert_eq!(r.apply(v(1), v(2), -1), None); // 2 → 1
+        assert_eq!(r.apply(v(1), v(2), -1), Some(SetDelta::Removed));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn adjacency_tracks_set_level() {
+        let mut r = Rel::new();
+        r.apply(v(1), v(2), 2);
+        r.apply(v(1), v(3), 1);
+        let mut o = r.out(v(1)).to_vec();
+        o.sort();
+        assert_eq!(o, vec![v(2), v(3)]);
+        r.apply(v(1), v(2), -2);
+        assert_eq!(r.out(v(1)), &[v(3)]);
+        assert_eq!(r.inc(v(2)), &[] as &[VertexId]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_support_panics() {
+        let mut r = Rel::new();
+        r.apply(v(1), v(2), -1);
+    }
+
+    #[test]
+    fn zero_delta_is_noop() {
+        let mut r = Rel::new();
+        assert_eq!(r.apply(v(1), v(2), 0), None);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,882 @@
+//! The epoch-batched incremental evaluator — the Differential-Dataflow
+//! baseline of §7.2.2.
+//!
+//! Like DD, it (i) processes input in **batches per logical timestamp**
+//! (one epoch per window slide; all sgts within a slide share the epoch —
+//! §7.3's explanation of Figure 11), (ii) maintains every relation as an
+//! arranged, counted collection, (iii) evaluates non-recursive rules with
+//! counting delta-joins, and (iv) evaluates recursion (`iterate`) with
+//! semi-naive expansion plus DRed for retractions. Window movement is
+//! translated to batched insertions (new arrivals) and retractions
+//! (expired tuples), exactly how one drives DD over sliding windows.
+//!
+//! Unlike the SGA engine, it has only one plan — the canonical
+//! loop-caching one (the paper's footnote 9) — and it cannot exploit
+//! validity intervals: every expiry is a retraction with DRed-style
+//! re-derivation cost.
+
+use crate::collection::{Rel, SetDelta};
+use crate::tc::{EdgeDelta, TcState};
+use sgq_core::metrics::RunStats;
+use sgq_query::{BodyAtom, RqProgram, Rule, SgqQuery, WindowSpec};
+use sgq_types::{FxHashMap, FxHashSet, Label, Sge, Timestamp, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// An sge held in the window, ordered by expiry for min-heap extraction
+/// (streams may be windowed per label, Figure 7, so expiries are not
+/// arrival-ordered).
+#[derive(PartialEq, Eq)]
+struct ByExpiry(Timestamp, Sge);
+
+impl Ord for ByExpiry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0).then_with(|| {
+            (self.1.src, self.1.trg, self.1.label, self.1.t).cmp(&(
+                other.1.src,
+                other.1.trg,
+                other.1.label,
+                other.1.t,
+            ))
+        })
+    }
+}
+
+impl PartialOrd for ByExpiry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One body atom compiled for delta-join evaluation.
+enum CompiledAtom {
+    /// A relation atom reading `label`. `pred_gated` notes attribute
+    /// predicates on the atom: the DD baseline consumes property-less
+    /// input streams (as in the paper's experiments), over which such
+    /// predicates are vacuously false — the atom matches nothing. Use the
+    /// SGA engine's `process_with_props` for property workloads.
+    Rel {
+        label: Label,
+        src: String,
+        trg: String,
+        pred_gated: bool,
+    },
+    /// A path atom evaluated by TC state `idx`.
+    Tc { idx: usize, src: String, trg: String },
+}
+
+struct CompiledRule {
+    head: Label,
+    head_src: String,
+    head_trg: String,
+    atoms: Vec<CompiledAtom>,
+}
+
+/// Derivation-counted head relation.
+#[derive(Default)]
+struct HeadState {
+    counts: FxHashMap<(VertexId, VertexId), i64>,
+}
+
+impl HeadState {
+    fn apply(
+        &mut self,
+        pair: (VertexId, VertexId),
+        delta: i64,
+        out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) {
+        if delta == 0 {
+            return;
+        }
+        let c = self.counts.entry(pair).or_insert(0);
+        let before = *c;
+        *c += delta;
+        debug_assert!(*c >= 0, "negative derivation count");
+        if before == 0 && *c > 0 {
+            out.push((pair.0, pair.1, SetDelta::Added));
+        } else if before > 0 && *c == 0 {
+            out.push((pair.0, pair.1, SetDelta::Removed));
+        }
+        if *c == 0 {
+            self.counts.remove(&pair);
+        }
+    }
+}
+
+/// The DD-style engine for one SGQ.
+pub struct DdEngine {
+    window: WindowSpec,
+    /// Per-label window overrides (Figure 7's individually-windowed
+    /// streams).
+    label_windows: Vec<(Label, WindowSpec)>,
+    answer: Label,
+    /// Arranged set-level relations, per label (EDB and IDB).
+    rels: FxHashMap<Label, Rel>,
+    /// TC states for path atoms; shared for aliased atoms.
+    tcs: Vec<TcState>,
+    /// IDB labels in topological order with their compiled rules.
+    strata: Vec<(Label, Vec<CompiledRule>)>,
+    /// TC atoms owned by alias labels (evaluated as their own stratum).
+    alias_tcs: FxHashMap<Label, usize>,
+    /// Derivation counts per rule-head label.
+    head_states: FxHashMap<Label, HeadState>,
+    /// Buffered arrivals of the open epoch.
+    pending: Vec<Sge>,
+    /// Live window content as a min-heap on expiry (for retractions).
+    window_edges: BinaryHeap<Reverse<ByExpiry>>,
+    /// Current epoch boundary (exclusive lower edge of the open epoch).
+    next_boundary: Option<Timestamp>,
+    /// Result log: (epoch boundary, pair, delta) for snapshot queries.
+    result_log: Vec<(Timestamp, VertexId, VertexId, SetDelta)>,
+    results_emitted: u64,
+    deletions_emitted: u64,
+}
+
+impl DdEngine {
+    /// Compiles the query into the epoch-batched dataflow.
+    pub fn new(query: &SgqQuery) -> Self {
+        let program = &query.program;
+        let mut tcs: Vec<TcState> = Vec::new();
+        let mut alias_tcs: FxHashMap<Label, usize> = FxHashMap::default();
+
+        // Allocate TC states: one per alias, one per anonymous path atom.
+        let mut rule_atom_tc: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for (ri, rule) in program.rules().iter().enumerate() {
+            for (ai, atom) in rule.body.iter().enumerate() {
+                if let BodyAtom::Path { regex, alias, .. } = atom {
+                    let idx = match alias {
+                        Some(al) => *alias_tcs
+                            .entry(*al)
+                            .or_insert_with(|| {
+                                tcs.push(TcState::new(regex));
+                                tcs.len() - 1
+                            }),
+                        None => {
+                            tcs.push(TcState::new(regex));
+                            tcs.len() - 1
+                        }
+                    };
+                    rule_atom_tc.insert((ri, ai), idx);
+                }
+            }
+        }
+
+        let compile_rule = |ri: usize, rule: &Rule| -> CompiledRule {
+            CompiledRule {
+                head: rule.head.label,
+                head_src: rule.head.src.clone(),
+                head_trg: rule.head.trg.clone(),
+                atoms: rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, atom)| match atom {
+                        BodyAtom::Rel { label, src, trg, preds } => CompiledAtom::Rel {
+                            label: *label,
+                            src: src.clone(),
+                            trg: trg.clone(),
+                            pred_gated: !preds.is_empty(),
+                        },
+                        BodyAtom::Path { src, trg, .. } => CompiledAtom::Tc {
+                            idx: rule_atom_tc[&(ri, ai)],
+                            src: src.clone(),
+                            trg: trg.clone(),
+                        },
+                    })
+                    .collect(),
+            }
+        };
+
+        let mut strata = Vec::new();
+        for &l in program.idb_topological() {
+            let rules: Vec<CompiledRule> = program
+                .rules()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.head.label == l)
+                .map(|(ri, r)| compile_rule(ri, r))
+                .collect();
+            strata.push((l, rules));
+        }
+
+        let mut rels: FxHashMap<Label, Rel> = FxHashMap::default();
+        for &l in program.edb_labels() {
+            rels.insert(l, Rel::new());
+        }
+        for &(l, _) in &strata {
+            rels.insert(l, Rel::new());
+        }
+        let head_states = strata
+            .iter()
+            .map(|&(l, _)| (l, HeadState::default()))
+            .collect();
+
+        DdEngine {
+            window: query.window,
+            label_windows: query.label_windows().to_vec(),
+            answer: program.answer(),
+            rels,
+            tcs,
+            strata,
+            alias_tcs,
+            head_states,
+            pending: Vec::new(),
+            window_edges: BinaryHeap::new(),
+            next_boundary: None,
+            result_log: Vec::new(),
+            results_emitted: 0,
+            deletions_emitted: 0,
+        }
+    }
+
+    /// Builds from a program + window directly.
+    pub fn from_program(program: RqProgram, window: WindowSpec) -> Self {
+        Self::new(&SgqQuery::new(program, window))
+    }
+
+    /// The window governing `label` (override or default).
+    fn window_for(&self, label: Label) -> WindowSpec {
+        self.label_windows
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.window)
+    }
+
+    /// Feeds one sge. An epoch with boundary `b` closes when a tuple with
+    /// `ts > b` arrives (a tuple at exactly `b` still belongs to epoch `b`:
+    /// its validity interval contains `b`).
+    pub fn process(&mut self, sge: Sge) {
+        match self.next_boundary {
+            None => {
+                self.next_boundary = Some((sge.t / self.window.slide + 1) * self.window.slide);
+            }
+            Some(mut b) => {
+                while sge.t > b {
+                    self.close_epoch(b);
+                    b += self.window.slide;
+                }
+                self.next_boundary = Some(b);
+            }
+        }
+        self.pending.push(sge);
+    }
+
+    /// Forces all epochs with boundary ≤ `t` to close (end-of-stream flush).
+    pub fn flush_to(&mut self, t: Timestamp) {
+        let Some(mut b) = self.next_boundary else {
+            return;
+        };
+        while b <= t {
+            self.close_epoch(b);
+            b += self.window.slide;
+        }
+        self.next_boundary = Some(b);
+    }
+
+    /// Closes the epoch ending at boundary `b`: batches arrivals with
+    /// `ts ≤ b`, retracts expirations with `exp ≤ b`, and propagates
+    /// deltas through the dataflow.
+    fn close_epoch(&mut self, b: Timestamp) {
+        // Multiplicity deltas per EDB label.
+        let mut mult: FxHashMap<Label, FxHashMap<(VertexId, VertexId), i64>> =
+            FxHashMap::default();
+        let mut still_pending = Vec::new();
+        for sge in std::mem::take(&mut self.pending) {
+            if sge.t > b {
+                still_pending.push(sge);
+                continue;
+            }
+            let exp = self.window_for(sge.label).interval_for(sge.t).exp;
+            if self.rels.contains_key(&sge.label) {
+                *mult
+                    .entry(sge.label)
+                    .or_default()
+                    .entry((sge.src, sge.trg))
+                    .or_insert(0) += 1;
+                self.window_edges.push(Reverse(ByExpiry(exp, sge)));
+            }
+        }
+        self.pending = still_pending;
+        while let Some(Reverse(ByExpiry(exp, sge))) = self.window_edges.peek().map(|r| {
+            let Reverse(ByExpiry(e, s)) = r;
+            Reverse(ByExpiry(*e, *s))
+        }) {
+            if exp > b {
+                break;
+            }
+            self.window_edges.pop();
+            *mult
+                .entry(sge.label)
+                .or_default()
+                .entry((sge.src, sge.trg))
+                .or_insert(0) -= 1;
+        }
+
+        // Apply to base relations, collecting set-level deltas per label.
+        let mut label_deltas: FxHashMap<Label, Vec<(VertexId, VertexId, SetDelta)>> =
+            FxHashMap::default();
+        for (label, pairs) in mult {
+            let rel = self.rels.get_mut(&label).expect("EDB relation exists");
+            for ((s, t), d) in pairs {
+                if let Some(sd) = rel.apply(s, t, d) {
+                    label_deltas.entry(label).or_default().push((s, t, sd));
+                }
+            }
+        }
+
+        // Propagate through strata in dependency order.
+        let strata = std::mem::take(&mut self.strata);
+        for (head, rules) in &strata {
+            // Alias TC strata come first implicitly: an alias label has no
+            // rules; evaluate its TC from its alphabet deltas.
+            let mut head_deltas: Vec<(VertexId, VertexId, SetDelta)> = Vec::new();
+            if rules.is_empty() {
+                if let Some(&tc_idx) = self.alias_tcs.get(head) {
+                    let edge_deltas = collect_edge_deltas(
+                        &self.tcs[tc_idx].alphabet(),
+                        &label_deltas,
+                    );
+                    if !edge_deltas.is_empty() {
+                        let mut raw = Vec::new();
+                        self.tcs[tc_idx].apply_epoch(&edge_deltas, &self.rels, &mut raw);
+                        head_deltas.extend(net_deltas(raw));
+                    }
+                }
+            } else {
+                for rule in rules {
+                    self.eval_rule_delta(rule, &label_deltas, &mut head_deltas);
+                }
+            }
+            // Apply head deltas to the head's arranged relation.
+            let rel = self.rels.get_mut(head).expect("IDB relation exists");
+            let mut set_deltas = Vec::new();
+            for (s, t, d) in head_deltas {
+                let signed = match d {
+                    SetDelta::Added => 1,
+                    SetDelta::Removed => -1,
+                };
+                // For rule heads the counting already happened in
+                // HeadState; for aliases the TC is authoritative. Either
+                // way `d` is a set-level change.
+                if let Some(sd) = rel.apply(s, t, signed) {
+                    set_deltas.push((s, t, sd));
+                }
+            }
+            if !set_deltas.is_empty() {
+                label_deltas.entry(*head).or_default().extend(set_deltas);
+            }
+        }
+        self.strata = strata;
+
+        // Log answer deltas for this epoch.
+        if let Some(deltas) = label_deltas.get(&self.answer) {
+            for &(s, t, d) in deltas {
+                match d {
+                    SetDelta::Added => self.results_emitted += 1,
+                    SetDelta::Removed => self.deletions_emitted += 1,
+                }
+                self.result_log.push((b, s, t, d));
+            }
+        }
+    }
+
+    /// Counting delta-join for one rule: for each atom with a delta, join
+    /// the delta against the other atoms' current relations ("new" values
+    /// for already-applied atoms, "old" for the rest — realised here by
+    /// updating TC inputs before rules and processing atom deltas in
+    /// sequence against the shared arranged state, which DD's worked
+    /// example shows is equivalent for set-level inputs).
+    fn eval_rule_delta(
+        &mut self,
+        rule: &CompiledRule,
+        label_deltas: &FxHashMap<Label, Vec<(VertexId, VertexId, SetDelta)>>,
+        head_out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) {
+        // First bring anonymous TC atoms up to date and note their deltas.
+        let mut tc_deltas: FxHashMap<usize, Vec<(VertexId, VertexId, SetDelta)>> =
+            FxHashMap::default();
+        for atom in &rule.atoms {
+            if let CompiledAtom::Tc { idx, .. } = atom {
+                if self.alias_tcs.values().any(|&i| i == *idx) {
+                    continue; // aliased: evaluated as its own stratum
+                }
+                let edge_deltas =
+                    collect_edge_deltas(&self.tcs[*idx].alphabet(), label_deltas);
+                if !edge_deltas.is_empty() {
+                    let mut out = Vec::new();
+                    self.tcs[*idx].apply_epoch(&edge_deltas, &self.rels, &mut out);
+                    tc_deltas.insert(*idx, net_deltas(out));
+                }
+            }
+        }
+
+        // For each atom, its set-level delta this epoch.
+        let atom_delta = |atom: &CompiledAtom| -> Vec<(VertexId, VertexId, SetDelta)> {
+            match atom {
+                CompiledAtom::Rel { pred_gated: true, .. } => Vec::new(),
+                CompiledAtom::Rel { label, .. } => label_deltas
+                    .get(label)
+                    .cloned()
+                    .unwrap_or_default(),
+                CompiledAtom::Tc { idx, .. } => match self
+                    .alias_tcs
+                    .iter()
+                    .find(|(_, &i)| i == *idx)
+                {
+                    Some((al, _)) => label_deltas.get(al).cloned().unwrap_or_default(),
+                    None => tc_deltas.get(idx).cloned().unwrap_or_default(),
+                },
+            }
+        };
+
+        // Delta-join: for atom i's delta, bind (src, trg), extend through
+        // all other atoms, counting derivations. Because all relations
+        // already reflect this epoch's state and inputs are sets, the
+        // inclusion–exclusion of multi-delta epochs is handled by counting
+        // each delta exactly once against the final state and subtracting
+        // overlaps via the sign product of paired deltas.
+        let n = rule.atoms.len();
+        let deltas: Vec<Vec<(VertexId, VertexId, SetDelta)>> =
+            rule.atoms.iter().map(atom_delta).collect();
+        let mut contributions: FxHashMap<(VertexId, VertexId), i64> = FxHashMap::default();
+        for i in 0..n {
+            for &(s, t, d) in &deltas[i] {
+                let sign = match d {
+                    SetDelta::Added => 1i64,
+                    SetDelta::Removed => -1i64,
+                };
+                // Bindings seeded from atom i's delta pair; other atoms are
+                // evaluated at "final" state except atoms j > i, whose
+                // *this-epoch* deltas must be excluded to avoid double
+                // counting: we evaluate them at final state and subtract
+                // their delta pairs (old = final − delta).
+                self.join_seeded(rule, i, (s, t), sign, &deltas, &mut contributions);
+            }
+        }
+        let head_state = self.head_states.get_mut(&rule.head).expect("head state");
+        let mut pairs: Vec<((VertexId, VertexId), i64)> = contributions.into_iter().collect();
+        pairs.sort_by_key(|&(p, _)| (p.0, p.1));
+        for (pair, delta) in pairs {
+            head_state.apply(pair, delta, head_out);
+        }
+    }
+
+    /// Enumerates bindings for `rule` with atom `seed_idx` bound to
+    /// `seed_pair`, evaluating atoms `j < seed_idx` at *old* state
+    /// (final state minus their epoch delta) and atoms `j > seed_idx` at
+    /// final state — the standard delta-join decomposition.
+    fn join_seeded(
+        &self,
+        rule: &CompiledRule,
+        seed_idx: usize,
+        seed_pair: (VertexId, VertexId),
+        sign: i64,
+        deltas: &[Vec<(VertexId, VertexId, SetDelta)>],
+        out: &mut FxHashMap<(VertexId, VertexId), i64>,
+    ) {
+        // Binding = variable name → vertex.
+        let mut bindings: Vec<FxHashMap<&str, VertexId>> = Vec::new();
+        {
+            let (sv, tv) = atom_vars(&rule.atoms[seed_idx]);
+            let mut b: FxHashMap<&str, VertexId> = FxHashMap::default();
+            b.insert(sv, seed_pair.0);
+            if let Some(&bound) = b.get(tv) {
+                if bound != seed_pair.1 {
+                    return;
+                }
+            }
+            b.insert(tv, seed_pair.1);
+            if sv == tv && seed_pair.0 != seed_pair.1 {
+                return;
+            }
+            bindings.push(b);
+        }
+
+        for (j, atom) in rule.atoms.iter().enumerate() {
+            if j == seed_idx {
+                continue;
+            }
+            let (sv, tv) = atom_vars(atom);
+            let mut next = Vec::new();
+            for b in &bindings {
+                let bs = b.get(sv).copied();
+                let bt = b.get(tv).copied();
+                self.atom_matches(atom, bs, bt, |s, t| {
+                    if sv == tv && s != t {
+                        return;
+                    }
+                    // Exclusion for j < seed: evaluate at old state by
+                    // skipping pairs added this epoch / re-adding removed.
+                    let adjust = delta_membership(&deltas[j], s, t);
+                    let count_here: i64 = match adjust {
+                        Some(SetDelta::Added) if j < seed_idx => 0, // not in old
+                        Some(SetDelta::Removed) if j < seed_idx => 1, // was in old
+                        Some(SetDelta::Removed) => 0,               // not in final
+                        _ => 1,
+                    };
+                    if count_here == 0 {
+                        return;
+                    }
+                    let mut nb = b.clone();
+                    nb.insert(sv, s);
+                    nb.insert(tv, t);
+                    next.push(nb);
+                });
+                // j < seed with Removed pairs: those are in old but absent
+                // from final state, so the adjacency misses them; add back.
+                if j < seed_idx {
+                    for &(s, t, d) in &deltas[j] {
+                        if d != SetDelta::Removed {
+                            continue;
+                        }
+                        if bs.is_some_and(|x| x != s) || bt.is_some_and(|x| x != t) {
+                            continue;
+                        }
+                        if sv == tv && s != t {
+                            continue;
+                        }
+                        let mut nb = b.clone();
+                        nb.insert(sv, s);
+                        nb.insert(tv, t);
+                        next.push(nb);
+                    }
+                }
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                return;
+            }
+        }
+
+        for b in bindings {
+            let pair = (b[rule.head_src.as_str()], b[rule.head_trg.as_str()]);
+            *out.entry(pair).or_insert(0) += sign;
+        }
+    }
+
+    /// Enumerates final-state matches of `atom` under optional bindings.
+    fn atom_matches(
+        &self,
+        atom: &CompiledAtom,
+        bs: Option<VertexId>,
+        bt: Option<VertexId>,
+        mut f: impl FnMut(VertexId, VertexId),
+    ) {
+        match atom {
+            CompiledAtom::Rel { pred_gated: true, .. } => {}
+            CompiledAtom::Rel { label, .. } => {
+                let Some(rel) = self.rels.get(label) else {
+                    return;
+                };
+                match (bs, bt) {
+                    (Some(s), Some(t)) => {
+                        if rel.contains(s, t) {
+                            f(s, t);
+                        }
+                    }
+                    (Some(s), None) => {
+                        for &t in rel.out(s) {
+                            f(s, t);
+                        }
+                    }
+                    (None, Some(t)) => {
+                        for &s in rel.inc(t) {
+                            f(s, t);
+                        }
+                    }
+                    (None, None) => {
+                        for (s, t) in rel.pairs() {
+                            f(s, t);
+                        }
+                    }
+                }
+            }
+            CompiledAtom::Tc { idx, .. } => {
+                let tc = &self.tcs[*idx];
+                match (bs, bt) {
+                    (Some(s), Some(t)) => {
+                        if tc.contains(s, t) {
+                            f(s, t);
+                        }
+                    }
+                    _ => {
+                        for (s, t) in tc.pairs() {
+                            if bs.is_some_and(|x| x != s) || bt.is_some_and(|x| x != t) {
+                                continue;
+                            }
+                            f(s, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current answer pairs (set level).
+    pub fn answer_pairs(&self) -> FxHashSet<(VertexId, VertexId)> {
+        self.rels
+            .get(&self.answer)
+            .map(|r| r.pairs().collect())
+            .unwrap_or_default()
+    }
+
+    /// Answer pairs as of epoch boundary `t`, reconstructed from the log.
+    pub fn answer_at(&self, t: Timestamp) -> FxHashSet<(VertexId, VertexId)> {
+        let mut counts: FxHashMap<(VertexId, VertexId), i64> = FxHashMap::default();
+        for &(b, s, tt, d) in &self.result_log {
+            if b > t {
+                break;
+            }
+            *counts.entry((s, tt)).or_insert(0) += match d {
+                SetDelta::Added => 1,
+                SetDelta::Removed => -1,
+            };
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Total reach + arranged state (metrics).
+    pub fn state_size(&self) -> usize {
+        self.rels.values().map(Rel::len).sum::<usize>()
+            + self.tcs.iter().map(TcState::reach_size).sum::<usize>()
+    }
+
+    /// Drives the engine over an ordered stream, measuring per-epoch
+    /// latency and aggregate throughput (the DD rows of Table 2/Fig 11).
+    pub fn run<'a, I: IntoIterator<Item = &'a Sge>>(&mut self, stream: I) -> RunStats {
+        let mut stats = RunStats::default();
+        let started = Instant::now();
+        let mut epoch_started = Instant::now();
+        let mut last_boundary = self.next_boundary;
+        for &sge in stream {
+            self.process(sge);
+            stats.edges += 1;
+            if self.next_boundary != last_boundary {
+                stats.slide_latencies.push(epoch_started.elapsed());
+                epoch_started = Instant::now();
+                last_boundary = self.next_boundary;
+                stats.peak_state = stats.peak_state.max(self.state_size());
+            }
+        }
+        if let Some(b) = self.next_boundary {
+            self.flush_to(b);
+            stats.slide_latencies.push(epoch_started.elapsed());
+        }
+        stats.elapsed = started.elapsed();
+        stats.results = self.results_emitted;
+        stats.deletions = self.deletions_emitted;
+        stats.peak_state = stats.peak_state.max(self.state_size());
+        stats
+    }
+}
+
+fn atom_vars(atom: &CompiledAtom) -> (&str, &str) {
+    match atom {
+        CompiledAtom::Rel { src, trg, .. } | CompiledAtom::Tc { src, trg, .. } => (src, trg),
+    }
+}
+
+fn delta_membership(
+    deltas: &[(VertexId, VertexId, SetDelta)],
+    s: VertexId,
+    t: VertexId,
+) -> Option<SetDelta> {
+    deltas
+        .iter()
+        .rev()
+        .find(|&&(a, b, _)| a == s && b == t)
+        .map(|&(_, _, d)| d)
+}
+
+/// Nets set-level deltas per pair: a Removed followed by an Added for the
+/// same pair within one epoch cancels out (the pair is in both the old and
+/// the new state), so downstream delta-joins must not see either.
+fn net_deltas(
+    deltas: Vec<(VertexId, VertexId, SetDelta)>,
+) -> Vec<(VertexId, VertexId, SetDelta)> {
+    let mut net: FxHashMap<(VertexId, VertexId), i64> = FxHashMap::default();
+    for (s, t, d) in deltas {
+        *net.entry((s, t)).or_insert(0) += match d {
+            SetDelta::Added => 1,
+            SetDelta::Removed => -1,
+        };
+    }
+    let mut out: Vec<(VertexId, VertexId, SetDelta)> = net
+        .into_iter()
+        .filter(|&(_, c)| c != 0)
+        .map(|((s, t), c)| {
+            debug_assert!(c.abs() == 1, "set-level deltas net to ±1");
+            (s, t, if c > 0 { SetDelta::Added } else { SetDelta::Removed })
+        })
+        .collect();
+    out.sort_by_key(|&(s, t, _)| (s, t));
+    out
+}
+
+fn collect_edge_deltas(
+    alphabet: &[Label],
+    label_deltas: &FxHashMap<Label, Vec<(VertexId, VertexId, SetDelta)>>,
+) -> Vec<EdgeDelta> {
+    let mut out = Vec::new();
+    for &l in alphabet {
+        if let Some(ds) = label_deltas.get(&l) {
+            out.extend(ds.iter().map(|&(s, t, d)| (s, l, t, d)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_query::parse_program;
+    use sgq_types::{Edge, SnapshotGraph};
+
+    /// Reference: evaluate via the oracle over the window snapshot at `t`.
+    fn oracle_at(
+        program: &RqProgram,
+        window: WindowSpec,
+        stream: &[Sge],
+        t: Timestamp,
+    ) -> FxHashSet<(VertexId, VertexId)> {
+        let mut g = SnapshotGraph::new();
+        for sge in stream {
+            let iv = window.interval_for(sge.t);
+            if iv.contains(t) {
+                g.add_edge(Edge::new(sge.src, sge.trg, sge.label));
+            }
+        }
+        sgq_query::oracle::evaluate_answer(program, &g)
+    }
+
+    fn check_epochs(text: &str, window: WindowSpec, stream: Vec<(u64, u64, &str, u64)>) {
+        let program = parse_program(text).unwrap();
+        let labels = program.labels().clone();
+        let sges: Vec<Sge> = stream
+            .iter()
+            .map(|&(s, t, l, ts)| Sge::raw(s, t, labels.get(l).unwrap(), ts))
+            .collect();
+        let mut dd = DdEngine::new(&SgqQuery::new(program.clone(), window));
+        let last = sges.last().map(|e| e.t).unwrap_or(0);
+        for &sge in &sges {
+            dd.process(sge);
+        }
+        dd.flush_to(last + window.size + window.slide);
+        // Compare at every epoch boundary.
+        let mut b = window.slide;
+        while b <= last + window.size {
+            let expect = oracle_at(&program, window, &sges, b);
+            assert_eq!(dd.answer_at(b), expect, "{text} mismatch at t={b}");
+            b += window.slide;
+        }
+    }
+
+    #[test]
+    fn join_query_with_expiry() {
+        check_epochs(
+            "Ans(x, y) <- a(x, z), b(z, y).",
+            WindowSpec::new(6, 2),
+            vec![
+                (1, 2, "a", 0),
+                (2, 3, "b", 1),
+                (2, 4, "b", 5),
+                (5, 2, "a", 8),
+                (2, 6, "b", 9),
+            ],
+        );
+    }
+
+    #[test]
+    fn tc_query_with_expiry() {
+        check_epochs(
+            "Ans(x, y) <- a+(x, y).",
+            WindowSpec::new(6, 2),
+            vec![
+                (1, 2, "a", 0),
+                (2, 3, "a", 1),
+                (3, 1, "a", 3),
+                (3, 4, "a", 7),
+                (4, 5, "a", 8),
+                (1, 2, "a", 10),
+            ],
+        );
+    }
+
+    #[test]
+    fn union_heads() {
+        check_epochs(
+            "D(x, y) <- a(x, y).
+             D(x, y) <- b(x, y).
+             Ans(x, y) <- D(x, y).",
+            WindowSpec::new(4, 2),
+            vec![(1, 2, "a", 0), (1, 2, "b", 1), (3, 4, "b", 3), (1, 2, "a", 5)],
+        );
+    }
+
+    #[test]
+    fn q7_shaped_composite() {
+        check_epochs(
+            "RL(x, y)  <- a+(x, y), b(x, m), c(m, y).
+             Ans(x, m) <- RL+(x, y), c(m, y).",
+            WindowSpec::new(8, 4),
+            vec![
+                (1, 2, "a", 0),
+                (2, 3, "a", 1),
+                (1, 7, "b", 2),
+                (7, 3, "c", 3),
+                (9, 3, "c", 4),
+                (3, 1, "a", 6),
+                (1, 8, "b", 9),
+                (8, 2, "c", 10),
+            ],
+        );
+    }
+
+    #[test]
+    fn aliased_path_atom_is_shared_stratum() {
+        let program = parse_program(
+            "A(x, y)   <- e+(x, y) as EP, f(x, y).
+             B(x, y)   <- e+(x, y) as EP, g(x, y).
+             Ans(x, y) <- A(x, y).
+             Ans(x, y) <- B(x, y).",
+        )
+        .unwrap();
+        let dd = DdEngine::new(&SgqQuery::new(program, WindowSpec::sliding(10)));
+        assert_eq!(dd.tcs.len(), 1, "alias shares one TC state");
+    }
+
+    #[test]
+    fn multiplicity_of_duplicate_edges() {
+        // The same edge twice in one window: expiry of the first copy must
+        // not retract results while the second is valid.
+        check_epochs(
+            "Ans(x, y) <- a(x, z), b(z, y).",
+            WindowSpec::new(4, 1),
+            vec![
+                (1, 2, "a", 0),
+                (1, 2, "a", 2),
+                (2, 3, "b", 3),
+                (2, 3, "b", 5),
+            ],
+        );
+    }
+
+    #[test]
+    fn run_collects_epoch_metrics() {
+        let program = parse_program("Ans(x, y) <- a+(x, y).").unwrap();
+        let labels = program.labels().clone();
+        let a = labels.get("a").unwrap();
+        let mut dd = DdEngine::new(&SgqQuery::new(program, WindowSpec::new(10, 2)));
+        let stream: Vec<Sge> = (0..50u64).map(|i| Sge::raw(i % 9, (i + 3) % 9, a, i)).collect();
+        let stats = dd.run(&stream);
+        assert_eq!(stats.edges, 50);
+        assert!(stats.results > 0);
+        assert!(stats.slide_latencies.len() > 5);
+    }
+}

@@ -1,0 +1,454 @@
+//! Incremental regular-expression reachability: semi-naive insertion and
+//! DRed (delete–re-derive, \[32\]) deletion over the product graph.
+//!
+//! This is the general-purpose IVM treatment of recursion that the paper
+//! contrasts S-PATH against (§2.2, §7.2.2): it ignores the temporal
+//! structure of sliding windows, so every expired edge triggers an
+//! over-estimate of deleted derivations followed by re-derivation — cheap
+//! on tree-shaped data (SNB `replyOf`), expensive on cyclic graphs (SO).
+//!
+//! Derivation rules over the DFA `D` of the path atom's regex:
+//!
+//! ```text
+//! reach(u, v, t) ← edge(u, l, v), t = δ(s₀, l).
+//! reach(x, v, t) ← reach(x, u, s), edge(u, l, v), t = δ(s, l).
+//! ```
+//!
+//! The result pairs are `(x, v)` with `reach(x, v, t)`, `t ∈ F`.
+
+use crate::collection::{Rel, SetDelta};
+use sgq_automata::{Dfa, Regex, StateId};
+use sgq_types::{FxHashMap, FxHashSet, Label, VertexId};
+
+/// A set-level edge change feeding a TC state.
+pub type EdgeDelta = (VertexId, Label, VertexId, SetDelta);
+
+/// Incrementally maintained product-graph reachability for one path atom.
+pub struct TcState {
+    dfa: Dfa,
+    /// All derived `(x, v, state)` tuples.
+    reach: FxHashSet<(VertexId, VertexId, StateId)>,
+    /// Index: `(v, state)` → sources `x` with `reach(x, v, state)`.
+    by_end: FxHashMap<(VertexId, StateId), FxHashSet<VertexId>>,
+    /// Support per result pair = number of accepting reach tuples.
+    pair_support: FxHashMap<(VertexId, VertexId), u32>,
+}
+
+impl TcState {
+    /// Builds the state for a path atom regex.
+    pub fn new(regex: &Regex) -> Self {
+        TcState {
+            dfa: Dfa::from_regex(regex),
+            reach: FxHashSet::default(),
+            by_end: FxHashMap::default(),
+            pair_support: FxHashMap::default(),
+        }
+    }
+
+    /// The alphabet labels this atom reads.
+    pub fn alphabet(&self) -> Vec<Label> {
+        self.dfa.alphabet().collect()
+    }
+
+    /// Current result pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.pair_support.keys().copied()
+    }
+
+    /// Set-level membership of a result pair.
+    pub fn contains(&self, x: VertexId, v: VertexId) -> bool {
+        self.pair_support.contains_key(&(x, v))
+    }
+
+    /// Number of reach tuples (state-size metric).
+    pub fn reach_size(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// Applies one epoch's edge deltas given the *current* base relations
+    /// (`rels[l]` must reflect the deltas already — set-level adjacency is
+    /// read for traversal). Deletions run first (DRed), then insertions
+    /// (semi-naive). Returns the set-level result-pair deltas.
+    pub fn apply_epoch(
+        &mut self,
+        deltas: &[EdgeDelta],
+        rels: &FxHashMap<Label, Rel>,
+        out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) {
+        let dels: Vec<&EdgeDelta> = deltas
+            .iter()
+            .filter(|d| d.3 == SetDelta::Removed)
+            .collect();
+        let adds: Vec<&EdgeDelta> = deltas
+            .iter()
+            .filter(|d| d.3 == SetDelta::Added)
+            .collect();
+        if !dels.is_empty() {
+            self.dred_delete(&dels, rels, out);
+        }
+        if !adds.is_empty() {
+            self.seminaive_insert(&adds, rels, out);
+        }
+    }
+
+    fn add_tuple(
+        &mut self,
+        x: VertexId,
+        v: VertexId,
+        t: StateId,
+        out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) -> bool {
+        if !self.reach.insert((x, v, t)) {
+            return false;
+        }
+        self.by_end.entry((v, t)).or_default().insert(x);
+        if self.dfa.is_accepting(t) {
+            let c = self.pair_support.entry((x, v)).or_insert(0);
+            *c += 1;
+            if *c == 1 {
+                out.push((x, v, SetDelta::Added));
+            }
+        }
+        true
+    }
+
+    fn remove_tuple(
+        &mut self,
+        x: VertexId,
+        v: VertexId,
+        t: StateId,
+        out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) -> bool {
+        if !self.reach.remove(&(x, v, t)) {
+            return false;
+        }
+        if let Some(set) = self.by_end.get_mut(&(v, t)) {
+            set.remove(&x);
+            if set.is_empty() {
+                self.by_end.remove(&(v, t));
+            }
+        }
+        if self.dfa.is_accepting(t) {
+            let c = self
+                .pair_support
+                .get_mut(&(x, v))
+                .expect("support for accepting tuple");
+            *c -= 1;
+            if *c == 0 {
+                self.pair_support.remove(&(x, v));
+                out.push((x, v, SetDelta::Removed));
+            }
+        }
+        true
+    }
+
+    /// Semi-naive insertion: seed with the new edges, then expand the
+    /// frontier through the (updated) base adjacency.
+    fn seminaive_insert(
+        &mut self,
+        adds: &[&EdgeDelta],
+        rels: &FxHashMap<Label, Rel>,
+        out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) {
+        let mut frontier: Vec<(VertexId, VertexId, StateId)> = Vec::new();
+        for &&(u, l, v, _) in adds {
+            for (s, t) in self.dfa.transitions_on(l).to_vec() {
+                // Rule R1: the new edge starts a path.
+                if s == self.dfa.start() && self.add_tuple(u, v, t, out) {
+                    frontier.push((u, v, t));
+                }
+                // Rule R2 with Δedge: extend existing reach tuples ending at u.
+                let sources: Vec<VertexId> = self
+                    .by_end
+                    .get(&(u, s))
+                    .map(|xs| xs.iter().copied().collect())
+                    .unwrap_or_default();
+                for x in sources {
+                    if self.add_tuple(x, v, t, out) {
+                        frontier.push((x, v, t));
+                    }
+                }
+            }
+        }
+        // Rule R2 with Δreach: expand the frontier through all live edges.
+        while let Some((x, u, s)) = frontier.pop() {
+            for (l, t) in self.dfa.transitions_from(s).collect::<Vec<_>>() {
+                let Some(rel) = rels.get(&l) else { continue };
+                for &v in rel.out(u) {
+                    if self.add_tuple(x, v, t, out) {
+                        frontier.push((x, v, t));
+                    }
+                }
+            }
+        }
+    }
+
+    /// DRed: over-estimate deletions (anything derivable through a deleted
+    /// edge), remove them, then re-derive from surviving tuples.
+    fn dred_delete(
+        &mut self,
+        dels: &[&EdgeDelta],
+        rels: &FxHashMap<Label, Rel>,
+        out: &mut Vec<(VertexId, VertexId, SetDelta)>,
+    ) {
+        // --- Over-estimate -----------------------------------------------
+        let mut suspect: FxHashSet<(VertexId, VertexId, StateId)> = FxHashSet::default();
+        let mut queue: Vec<(VertexId, VertexId, StateId)> = Vec::new();
+        for &&(u, l, v, _) in dels {
+            for (s, t) in self.dfa.transitions_on(l).to_vec() {
+                if s == self.dfa.start()
+                    && self.reach.contains(&(u, v, t))
+                    && suspect.insert((u, v, t))
+                {
+                    queue.push((u, v, t));
+                }
+                let sources: Vec<VertexId> = self
+                    .by_end
+                    .get(&(u, s))
+                    .map(|xs| xs.iter().copied().collect())
+                    .unwrap_or_default();
+                for x in sources {
+                    if self.reach.contains(&(x, v, t)) && suspect.insert((x, v, t)) {
+                        queue.push((x, v, t));
+                    }
+                }
+            }
+        }
+        // Cascade the over-estimate through live edges.
+        while let Some((x, u, s)) = queue.pop() {
+            for (l, t) in self.dfa.transitions_from(s).collect::<Vec<_>>() {
+                let Some(rel) = rels.get(&l) else { continue };
+                for &v in rel.out(u) {
+                    if self.reach.contains(&(x, v, t)) && suspect.insert((x, v, t)) {
+                        queue.push((x, v, t));
+                    }
+                }
+            }
+        }
+        for &(x, v, t) in &suspect {
+            self.remove_tuple(x, v, t, out);
+        }
+
+        // --- Re-derive ----------------------------------------------------
+        // A suspect tuple survives if it has an alternative derivation from
+        // non-suspect tuples; iterate to fixpoint (semi-naive).
+        let mut frontier: Vec<(VertexId, VertexId, StateId)> = Vec::new();
+        for &(x, v, t) in &suspect {
+            if self.try_rederive(x, v, t, rels) && self.add_tuple(x, v, t, out) {
+                frontier.push((x, v, t));
+            }
+        }
+        while let Some((x, u, s)) = frontier.pop() {
+            for (l, t) in self.dfa.transitions_from(s).collect::<Vec<_>>() {
+                let Some(rel) = rels.get(&l) else { continue };
+                for &v in rel.out(u) {
+                    if suspect.contains(&(x, v, t))
+                        && !self.reach.contains(&(x, v, t))
+                        && self.add_tuple(x, v, t, out)
+                    {
+                        frontier.push((x, v, t));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `(x, v, t)` has a one-step derivation from current state.
+    fn try_rederive(
+        &self,
+        x: VertexId,
+        v: VertexId,
+        t: StateId,
+        rels: &FxHashMap<Label, Rel>,
+    ) -> bool {
+        // R1: a direct edge from x when t is reachable from the start.
+        for (l, s) in self.rev_transitions(t) {
+            let Some(rel) = rels.get(&l) else { continue };
+            for &u in rel.inc(v) {
+                if s == self.dfa.start() && u == x {
+                    return true;
+                }
+                if self.reach.contains(&(x, u, s)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn rev_transitions(&self, t: StateId) -> Vec<(Label, StateId)> {
+        let mut out = Vec::new();
+        for l in self.dfa.alphabet().collect::<Vec<_>>() {
+            for &(s, tt) in self.dfa.transitions_on(l) {
+                if tt == t {
+                    out.push((l, s));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_automata::Regex;
+
+    const A: Label = Label(0);
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Applies edge deltas to both the base relation map and the TC state.
+    struct Harness {
+        tc: TcState,
+        rels: FxHashMap<Label, Rel>,
+    }
+
+    impl Harness {
+        fn new(re: &Regex) -> Self {
+            let tc = TcState::new(re);
+            let mut rels = FxHashMap::default();
+            for l in tc.alphabet() {
+                rels.insert(l, Rel::new());
+            }
+            Harness { tc, rels }
+        }
+
+        fn step(&mut self, changes: &[(u64, Label, u64, i64)]) -> Vec<(u64, u64, SetDelta)> {
+            let mut edge_deltas = Vec::new();
+            for &(s, l, t, d) in changes {
+                if let Some(sd) = self.rels.get_mut(&l).unwrap().apply(v(s), v(t), d) {
+                    edge_deltas.push((v(s), l, v(t), sd));
+                }
+            }
+            let mut out = Vec::new();
+            self.tc.apply_epoch(&edge_deltas, &self.rels, &mut out);
+            out.into_iter().map(|(a, b, d)| (a.0, b.0, d)).collect()
+        }
+
+        fn pairs(&self) -> Vec<(u64, u64)> {
+            let mut p: Vec<(u64, u64)> = self.tc.pairs().map(|(a, b)| (a.0, b.0)).collect();
+            p.sort();
+            p
+        }
+    }
+
+    #[test]
+    fn chain_insertion() {
+        let mut h = Harness::new(&Regex::plus(Regex::label(A)));
+        h.step(&[(1, A, 2, 1)]);
+        h.step(&[(2, A, 3, 1)]);
+        assert_eq!(h.pairs(), vec![(1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn deletion_splits_chain() {
+        let mut h = Harness::new(&Regex::plus(Regex::label(A)));
+        h.step(&[(1, A, 2, 1), (2, A, 3, 1), (3, A, 4, 1)]);
+        assert_eq!(h.pairs().len(), 6);
+        let out = h.step(&[(2, A, 3, -1)]);
+        assert_eq!(h.pairs(), vec![(1, 2), (3, 4)]);
+        assert_eq!(
+            out.iter().filter(|(_, _, d)| *d == SetDelta::Removed).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn deletion_on_cycle_rederives_survivors() {
+        // 1→2→3→1 cycle plus chord 1→3: deleting 2→3 keeps 1→3 via chord.
+        let mut h = Harness::new(&Regex::plus(Regex::label(A)));
+        h.step(&[(1, A, 2, 1), (2, A, 3, 1), (3, A, 1, 1), (1, A, 3, 1)]);
+        assert_eq!(h.pairs().len(), 9, "full closure of the cycle");
+        h.step(&[(2, A, 3, -1)]);
+        // Remaining edges 1→2, 3→1, 1→3: closure is {1,3}×{1,3} ∪ x→2 rows.
+        let p = h.pairs();
+        assert!(p.contains(&(1, 3)));
+        assert!(p.contains(&(3, 3)));
+        assert!(p.contains(&(1, 1)));
+        assert!(p.contains(&(3, 2)));
+        assert!(!p.contains(&(2, 3)));
+        assert!(!p.contains(&(2, 1)), "2 has no outgoing edges left");
+    }
+
+    #[test]
+    fn reinsertion_after_deletion() {
+        let mut h = Harness::new(&Regex::plus(Regex::label(A)));
+        h.step(&[(1, A, 2, 1), (2, A, 3, 1)]);
+        h.step(&[(1, A, 2, -1)]);
+        assert_eq!(h.pairs(), vec![(2, 3)]);
+        h.step(&[(1, A, 2, 1)]);
+        assert_eq!(h.pairs(), vec![(1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn multiplicity_changes_do_not_touch_tc() {
+        let mut h = Harness::new(&Regex::plus(Regex::label(A)));
+        h.step(&[(1, A, 2, 1)]);
+        // Second copy of the same edge: no set-level delta, no TC churn.
+        let out = h.step(&[(1, A, 2, 1)]);
+        assert!(out.is_empty());
+        let out = h.step(&[(1, A, 2, -1)]);
+        assert!(out.is_empty());
+        assert_eq!(h.pairs(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn concat_regex() {
+        let b = Label(1);
+        let re = Regex::concat(vec![Regex::label(A), Regex::plus(Regex::label(b))]);
+        let mut h = Harness::new(&re);
+        h.step(&[(1, A, 2, 1), (2, b, 3, 1), (3, b, 4, 1)]);
+        assert_eq!(h.pairs(), vec![(1, 3), (1, 4)]);
+        h.step(&[(2, b, 3, -1)]);
+        assert_eq!(h.pairs(), vec![] as Vec<(u64, u64)>);
+    }
+
+    #[test]
+    fn matches_from_scratch_closure_randomized() {
+        use sgq_types::FxHashSet;
+        // Pseudo-random adds/removes; invariant: pairs == brute-force
+        // closure of the live edge set.
+        let mut h = Harness::new(&Regex::plus(Regex::label(A)));
+        let mut live: FxHashSet<(u64, u64)> = FxHashSet::default();
+        let mut seed = 0xdeadbeefu64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            let s = rnd() % 8;
+            let t = rnd() % 8;
+            if live.contains(&(s, t)) {
+                live.remove(&(s, t));
+                h.step(&[(s, A, t, -1)]);
+            } else {
+                live.insert((s, t));
+                h.step(&[(s, A, t, 1)]);
+            }
+            // Brute-force closure.
+            let mut closure: FxHashSet<(u64, u64)> = live.iter().copied().collect();
+            loop {
+                let mut grew = false;
+                let snapshot: Vec<(u64, u64)> = closure.iter().copied().collect();
+                for &(a, b) in &snapshot {
+                    for &(c, d) in &live {
+                        if b == c && closure.insert((a, d)) {
+                            grew = true;
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            let mut expect: Vec<(u64, u64)> = closure.into_iter().collect();
+            expect.sort();
+            assert_eq!(h.pairs(), expect);
+        }
+    }
+}

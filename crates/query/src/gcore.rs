@@ -1,0 +1,804 @@
+//! A G-CORE-subset front end (§4.2).
+//!
+//! The paper demonstrates SGQ's expressive power by mapping core G-CORE
+//! constructs (with the `WINDOW`/`SLIDE` streaming extension) to RQ. This
+//! module implements that mapping for the subset exercised in Figures 6–7:
+//!
+//! ```text
+//! PATH RL = (u1) -/<:follows^*>/-> (u2),
+//!           (u1)-[:likes]->(m1)<-[:posts]-(u2)
+//! CONSTRUCT (u)-[:notify]->(m)
+//! MATCH (u) -/<~RL*>/-> (v),
+//!       (v)-[:posts]->(m)
+//! ON social_stream WINDOW (24h) SLIDE (1h)
+//! ```
+//!
+//! Supported constructs (and their RQ translation):
+//!
+//! * `PATH N = <pattern>` — a named pattern, translated to rules with head
+//!   `N(first, last)`.
+//! * `CONSTRUCT (x)-[:l]->(y)` — the output edge; `l` becomes the answer
+//!   predicate (closure: the result is again a streaming graph).
+//! * `MATCH p₁, p₂, …` — the body pattern; `OPTIONAL p` adds alternative
+//!   rule bodies (the UNION reading of Figure 7's optionals).
+//! * Edge elements: `-[:l]->`, `<-[:l]-` (relation atoms) and
+//!   `-/<:l^*>/->`, `-/<:l^+>/->`, `-/<~N*>/->`, `-/<~N+>/->` (reachability
+//!   atoms over a base label `:l` or a named path `~N`).
+//! * `WHERE (x) = (y)` — variable unification across patterns.
+//! * `ON <stream> WINDOW (<n>h|<n>d) [SLIDE (<n>h|<n>d)]` — the windowing
+//!   extension. With several `ON` clauses, each window scopes to the
+//!   labels of its MATCH clause (Figure 7's individually-windowed
+//!   streams); the widest window is the query default. The base time
+//!   unit is 1 hour.
+//! * Inline attribute predicates `-[:l {key >= 5}]->` (the §8 property
+//!   extension) and `GRAPH VIEW <name> AS ( … )` wrappers (the view is
+//!   the query itself — composability, §5.3 — the name is informative).
+//!
+//! Not supported (as in the paper's §4.2): aggregation and property
+//! access in CONSTRUCT.
+
+use crate::rq::{RqProgram, RqProgramBuilder, RuleBuilder};
+use sgq_types::PropPred;
+use crate::window::{SgqQuery, WindowSpec};
+use std::fmt;
+
+/// A G-CORE parse/translation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcoreError {
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for GcoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G-CORE: {}", self.msg)
+    }
+}
+
+impl std::error::Error for GcoreError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, GcoreError> {
+    Err(GcoreError { msg: msg.into() })
+}
+
+/// One parsed atom of a linear pattern.
+#[derive(Debug, Clone)]
+enum PatAtom {
+    /// `(x)-[:l]->(y)` (or reversed), optionally with inline attribute
+    /// predicates `(x)-[:l {w >= 5}]->(y)` (the §8 property extension).
+    Edge {
+        label: String,
+        src: String,
+        trg: String,
+        preds: Vec<PropPred>,
+    },
+    /// `(x)-/<:l^*>/->(y)`-style reachability; `plus` distinguishes `+`/`*`.
+    Reach {
+        base: String,
+        src: String,
+        trg: String,
+        plus: bool,
+    },
+}
+
+/// A parsed `PATH name = pattern` clause: name, alternative atom lists,
+/// and the chain's written endpoints.
+type PathClause = (String, Vec<Vec<PatAtom>>, (String, String));
+
+/// A pattern's atoms plus the chain's written endpoints (if any).
+type PatternEnds = Option<(String, String)>;
+
+/// Parses a G-CORE query text into an [`SgqQuery`].
+pub fn parse_gcore(input: &str) -> Result<SgqQuery, GcoreError> {
+    let input = strip_view_wrapper(input)?;
+    let clauses = clause_split(&input);
+    let mut paths: Vec<PathClause> = Vec::new();
+    let mut construct: Option<(String, String, String)> = None;
+    let mut match_alts: Vec<Vec<PatAtom>> = Vec::new();
+    let mut unifications: Vec<(String, String)> = Vec::new();
+    let mut window: Option<(u64, u64)> = None; // (size, slide) in hours
+    // Streams may be windowed individually (Figure 7): an ON clause scopes
+    // its window to the labels of the immediately preceding MATCH clause.
+    let mut last_match_labels: Vec<String> = Vec::new();
+    let mut scoped_windows: Vec<(Vec<String>, (u64, u64))> = Vec::new();
+
+    for (kw, rest) in clauses {
+        match kw.as_str() {
+            "PATH" => {
+                let (name, body) = rest.split_once('=').ok_or_else(|| GcoreError {
+                    msg: "PATH clause needs `NAME = pattern`".into(),
+                })?;
+                let (alts, ends) = parse_pattern_alternatives_ends(body)?;
+                let ends = ends.ok_or_else(|| GcoreError {
+                    msg: format!("PATH {name} needs a non-empty first chain"),
+                })?;
+                paths.push((name.trim().to_string(), alts, ends));
+            }
+            "CONSTRUCT" => {
+                let atoms = parse_linear_pattern(rest.trim())?;
+                match atoms.as_slice() {
+                    [PatAtom::Edge { label, src, trg, .. }] => {
+                        construct = Some((label.clone(), src.clone(), trg.clone()));
+                    }
+                    _ => return err("CONSTRUCT must be a single (x)-[:l]->(y) edge"),
+                }
+            }
+            "MATCH" => {
+                // Several MATCH clauses (Figure 7's two streams) conjoin.
+                let alts = parse_pattern_alternatives(&rest)?;
+                last_match_labels = alts
+                    .iter()
+                    .flatten()
+                    .map(|a| match a {
+                        PatAtom::Edge { label, .. } => label.clone(),
+                        PatAtom::Reach { base, .. } => base.clone(),
+                    })
+                    .collect();
+                if match_alts.is_empty() {
+                    match_alts = alts;
+                } else {
+                    let mut combined = Vec::new();
+                    for a in &match_alts {
+                        for b in &alts {
+                            let mut c = a.clone();
+                            c.extend(b.iter().cloned());
+                            combined.push(c);
+                        }
+                    }
+                    match_alts = combined;
+                }
+            }
+            "WHERE" => {
+                for cond in rest.split(" AND ") {
+                    let (a, b) = cond.split_once('=').ok_or_else(|| GcoreError {
+                        msg: format!("WHERE condition `{cond}` must be (x) = (y)"),
+                    })?;
+                    unifications.push((strip_parens(a), strip_parens(b)));
+                }
+            }
+            "ON" => {
+                let (size, slide) = parse_on_clause(&rest)?;
+                if !last_match_labels.is_empty() {
+                    scoped_windows
+                        .push((std::mem::take(&mut last_match_labels), (size, slide)));
+                }
+                window = Some(match window {
+                    None => (size, slide),
+                    Some((s0, b0)) => (s0.max(size), b0.min(slide)),
+                });
+            }
+            other => return err(format!("unsupported clause `{other}`")),
+        }
+    }
+
+    let Some((out_label, out_src, out_trg)) = construct else {
+        return err("missing CONSTRUCT clause");
+    };
+    if match_alts.is_empty() {
+        return err("missing MATCH clause");
+    }
+    let (size, slide) = window.unwrap_or((24, 1));
+
+    let mut b = RqProgramBuilder::new();
+    for (name, alts, (first, last)) in &paths {
+        for alt in alts {
+            let rb = b.rule(name, first, last);
+            add_atoms(rb, alt, &unifications);
+        }
+    }
+    for alt in &match_alts {
+        let rb = b.rule(
+            &out_label,
+            &resolve_var(&out_src, &unifications),
+            &resolve_var(&out_trg, &unifications),
+        );
+        add_atoms(rb, alt, &unifications);
+    }
+    b.answer(&out_label);
+    let program: RqProgram = b.build().map_err(|e| GcoreError {
+        msg: format!("translated program invalid: {e}"),
+    })?;
+    let mut query = SgqQuery::new(program, WindowSpec::new(size, slide.max(1)));
+    // Per-stream windows: scope each MATCH clause's ON window to the
+    // labels that clause referenced (only meaningful when several ON
+    // clauses disagree).
+    if scoped_windows.len() > 1 {
+        for (labels, (sz, sl)) in scoped_windows {
+            for name in labels {
+                query = query.with_label_window(&name, WindowSpec::new(sz, sl.max(1)));
+            }
+        }
+    }
+    Ok(query)
+}
+
+/// Unwraps an optional `GRAPH VIEW <name> AS ( … )` around the query
+/// body (Figure 7). Views are not persisted — SGQ output streams are
+/// composable by construction (§5.3) — so the wrapper is transparent.
+fn strip_view_wrapper(input: &str) -> Result<String, GcoreError> {
+    let trimmed = input.trim();
+    if !trimmed.starts_with("GRAPH VIEW") {
+        return Ok(trimmed.to_string());
+    }
+    let rest = trimmed["GRAPH VIEW".len()..].trim_start();
+    let Some((name, body)) = rest.split_once(" AS ") else {
+        return err("GRAPH VIEW needs `<name> AS ( … )`");
+    };
+    if name.trim().is_empty() || name.contains(['(', ')']) {
+        return err("GRAPH VIEW needs a simple view name before AS");
+    }
+    let body = body.trim();
+    let Some(body) = body.strip_prefix('(') else {
+        return err("GRAPH VIEW body must be parenthesised");
+    };
+    let Some(body) = body.trim_end().strip_suffix(')') else {
+        return err("unterminated GRAPH VIEW body");
+    };
+    Ok(body.to_string())
+}
+
+/// Splits the input into `(KEYWORD, body)` clauses; continuation lines
+/// (including `OPTIONAL`) attach to the preceding clause.
+fn clause_split(input: &str) -> Vec<(String, String)> {
+    const KEYWORDS: [&str; 5] = ["PATH", "CONSTRUCT", "MATCH", "WHERE", "ON"];
+    let mut out: Vec<(String, String)> = Vec::new();
+    for raw_line in input.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let first_word = line.split_whitespace().next().unwrap_or("");
+        if KEYWORDS.contains(&first_word) {
+            out.push((
+                first_word.to_string(),
+                line[first_word.len()..].trim().to_string(),
+            ));
+        } else if let Some(last) = out.last_mut() {
+            last.1.push('\n');
+            last.1.push_str(line);
+        }
+    }
+    out
+}
+
+/// Parses `stream WINDOW (24h) [SLIDE (1h)]`; returns `(size, slide)` in
+/// hours (slide defaults to 1).
+fn parse_on_clause(rest: &str) -> Result<(u64, u64), GcoreError> {
+    let size = match rest.find("WINDOW") {
+        Some(i) => parse_duration(&rest[i + "WINDOW".len()..])?,
+        None => return err(format!("ON clause needs WINDOW: `{rest}`")),
+    };
+    let slide = match rest.find("SLIDE") {
+        Some(i) => parse_duration(&rest[i + "SLIDE".len()..])?,
+        None => 1,
+    };
+    Ok((size, slide))
+}
+
+/// Parses `(24h)`, `(30d)`, `(24 hours)`, `(30 days)` to hours.
+fn parse_duration(text: &str) -> Result<u64, GcoreError> {
+    let open = text.find('(').ok_or_else(|| GcoreError {
+        msg: format!("expected `(n h|d)` in `{text}`"),
+    })?;
+    let close = text[open..].find(')').ok_or_else(|| GcoreError {
+        msg: format!("unclosed duration in `{text}`"),
+    })? + open;
+    let body = text[open + 1..close].trim();
+    let digits: String = body.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let n: u64 = digits.parse().map_err(|_| GcoreError {
+        msg: format!("bad duration `{body}`"),
+    })?;
+    let unit = body[digits.len()..].trim().to_ascii_lowercase();
+    let factor = match unit.as_str() {
+        "h" | "hour" | "hours" => 1,
+        "d" | "day" | "days" => 24,
+        other => return err(format!("unknown time unit `{other}`")),
+    };
+    Ok(n * factor)
+}
+
+/// Parses a pattern body into alternatives: for each `OPTIONAL` group, one
+/// alternative of base + optional (the UNION reading of Figure 7); the
+/// base alone is a further alternative when it has atoms of its own.
+fn parse_pattern_alternatives(body: &str) -> Result<Vec<Vec<PatAtom>>, GcoreError> {
+    parse_pattern_alternatives_ends(body).map(|(a, _)| a)
+}
+
+/// As [`parse_pattern_alternatives`], also returning the base pattern's
+/// first-chain endpoints (the PATH clause head).
+fn parse_pattern_alternatives_ends(
+    body: &str,
+) -> Result<(Vec<Vec<PatAtom>>, PatternEnds), GcoreError> {
+    let mut base_text = String::new();
+    let mut optionals: Vec<String> = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("OPTIONAL") {
+            optionals.push(rest.trim().to_string());
+        } else {
+            if !base_text.is_empty() {
+                base_text.push(' ');
+            }
+            base_text.push_str(line);
+        }
+    }
+    let (base, ends) = parse_comma_patterns_ends(&base_text)?;
+    if optionals.is_empty() {
+        if base.is_empty() {
+            return err("empty pattern");
+        }
+        return Ok((vec![base], ends));
+    }
+    let mut alts = Vec::new();
+    for opt in &optionals {
+        let mut alt = base.clone();
+        alt.extend(parse_comma_patterns(opt)?);
+        alts.push(alt);
+    }
+    if !base.is_empty() {
+        alts.push(base);
+    }
+    Ok((alts, ends))
+}
+
+/// Parses `pattern, pattern, …` (top-level commas). Also returns the
+/// written endpoints of the *first* chain — the head of a PATH clause
+/// (Figure 6: `PATH RL = (u1) -/…/-> (u2), …` defines `RL(u1, u2)`).
+fn parse_comma_patterns_ends(
+    text: &str,
+) -> Result<(Vec<PatAtom>, PatternEnds), GcoreError> {
+    let mut out = Vec::new();
+    let mut ends = None;
+    for part in split_top_level_commas(text) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (atoms, chain_ends) = parse_linear_pattern_ends(part)?;
+        if ends.is_none() {
+            ends = chain_ends;
+        }
+        out.extend(atoms);
+    }
+    Ok((out, ends))
+}
+
+/// Atom-only view of [`parse_comma_patterns_ends`].
+fn parse_comma_patterns(text: &str) -> Result<Vec<PatAtom>, GcoreError> {
+    parse_comma_patterns_ends(text).map(|(a, _)| a)
+}
+
+fn split_top_level_commas(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' | '[' | '<' | '{' => depth += 1,
+            ')' | ']' | '>' | '}' => depth -= 1,
+            ',' if depth <= 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(ch);
+    }
+    out.push(cur);
+    out
+}
+
+/// Parses one linear ASCII-art chain, e.g.
+/// `(u1)-[:likes]->(m1)<-[:posts]-(u2)` or `(u)-/<~RL*>/->(v)`, returning
+/// the atoms plus the chain's *written* endpoints (first and last vertex
+/// variables in text order — the direction of a PATH clause). A bare
+/// `(u1)` contributes no atoms (Figure 7's `MATCH (u1)`).
+fn parse_linear_pattern_ends(
+    text: &str,
+) -> Result<(Vec<PatAtom>, PatternEnds), GcoreError> {
+    let s = text.trim();
+    let mut atoms = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_var: Option<String> = None;
+    let mut first_var: Option<String> = None;
+    let mut pending_conn = String::new();
+    while pos < s.len() {
+        if s.as_bytes()[pos] != b'(' {
+            return err(format!("expected `(var)` at `{}`", &s[pos..]));
+        }
+        let close = s[pos..].find(')').ok_or_else(|| GcoreError {
+            msg: format!("unclosed vertex in `{s}`"),
+        })? + pos;
+        let var = s[pos + 1..close].trim().to_string();
+        if var.is_empty() {
+            return err("empty vertex variable");
+        }
+        if first_var.is_none() {
+            first_var = Some(var.clone());
+        }
+        if let Some(prev) = prev_var.take() {
+            if pending_conn.is_empty() {
+                return err(format!("missing connector before `({var})`"));
+            }
+            atoms.push(parse_connector(&pending_conn, &prev, &var)?);
+        }
+        prev_var = Some(var);
+        pos = close + 1;
+        let next_open = s[pos..].find('(').map(|p| p + pos).unwrap_or(s.len());
+        pending_conn = s[pos..next_open].trim().to_string();
+        if !pending_conn.is_empty() && next_open == s.len() {
+            return err(format!("dangling connector `{pending_conn}`"));
+        }
+        pos = next_open;
+    }
+    let ends = first_var.zip(prev_var);
+    Ok((atoms, ends))
+}
+
+/// Atom-only view of [`parse_linear_pattern_ends`].
+fn parse_linear_pattern(text: &str) -> Result<Vec<PatAtom>, GcoreError> {
+    parse_linear_pattern_ends(text).map(|(a, _)| a)
+}
+
+/// Parses one connector (`-[:l]->`, `<-[:l]-`, `-/<:l^*>/->`, …).
+fn parse_connector(conn: &str, left: &str, right: &str) -> Result<PatAtom, GcoreError> {
+    let reversed = conn.starts_with("<-") || conn.starts_with("<~") || conn.starts_with("</");
+    let (src, trg) = if reversed {
+        (right.to_string(), left.to_string())
+    } else {
+        (left.to_string(), right.to_string())
+    };
+    if let Some(i) = conn.find("-/") {
+        let end = conn.find("/-").ok_or_else(|| GcoreError {
+            msg: format!("unterminated path connector `{conn}`"),
+        })?;
+        let mut inner = conn[i + 2..end].trim();
+        // Drop an optional path binder (`p <~RL*>`).
+        if let Some(lt) = inner.rfind('<') {
+            inner = &inner[lt..];
+        }
+        let inner = inner.trim_start_matches('<').trim_end_matches('>').trim();
+        let (name, plus) = if let Some(n) = inner
+            .strip_suffix("^+")
+            .or_else(|| inner.strip_suffix('+'))
+        {
+            (n, true)
+        } else if let Some(n) = inner
+            .strip_suffix("^*")
+            .or_else(|| inner.strip_suffix('*'))
+        {
+            (n, false)
+        } else {
+            (inner, true)
+        };
+        let base = name
+            .trim_start_matches(':')
+            .trim_start_matches('~')
+            .trim()
+            .to_string();
+        if base.is_empty() {
+            return err(format!("missing label in path connector `{conn}`"));
+        }
+        Ok(PatAtom::Reach {
+            base,
+            src,
+            trg,
+            plus,
+        })
+    } else if let Some(i) = conn.find("[:") {
+        let end = conn[i..].find(']').ok_or_else(|| GcoreError {
+            msg: format!("unterminated edge connector `{conn}`"),
+        })? + i;
+        let body = conn[i + 2..end].trim();
+        // Optional inline attribute predicates: `l {w >= 5, lang = "en"}`.
+        let (label, preds) = match body.find('{') {
+            Some(open) => {
+                let close = body.rfind('}').ok_or_else(|| GcoreError {
+                    msg: format!("unterminated property predicates in `{conn}`"),
+                })?;
+                let preds = crate::parser::parse_prop_preds(&body[open + 1..close])
+                    .map_err(|m| GcoreError { msg: m })?;
+                (body[..open].trim().to_string(), preds)
+            }
+            None => (body.to_string(), Vec::new()),
+        };
+        if label.is_empty() {
+            return err(format!("missing label in edge connector `{conn}`"));
+        }
+        Ok(PatAtom::Edge {
+            label,
+            src,
+            trg,
+            preds,
+        })
+    } else {
+        err(format!("unrecognised connector `{conn}`"))
+    }
+}
+
+fn strip_parens(s: &str) -> String {
+    s.trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .trim()
+        .to_string()
+}
+
+fn resolve_var(v: &str, unif: &[(String, String)]) -> String {
+    for (a, b) in unif {
+        if v == b {
+            return a.clone();
+        }
+    }
+    v.to_string()
+}
+
+fn add_atoms(mut rb: RuleBuilder<'_>, atoms: &[PatAtom], unif: &[(String, String)]) {
+    for atom in atoms {
+        match atom {
+            PatAtom::Edge { label, src, trg, preds } => {
+                rb = rb.rel_where(
+                    label,
+                    &resolve_var(src, unif),
+                    &resolve_var(trg, unif),
+                    preds.clone(),
+                );
+            }
+            PatAtom::Reach {
+                base,
+                src,
+                trg,
+                plus,
+            } => {
+                let regex = format!("{base}{}", if *plus { "+" } else { "*" });
+                rb = rb.path(&regex, &resolve_var(src, unif), &resolve_var(trg, unif));
+            }
+        }
+    }
+    rb.done();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 6: the Example 1 notification query.
+    const FIGURE6: &str = "
+        PATH RL = (u1) -/<:follows^*>/-> (u2), (u1)-[:likes]->(m1)<-[:posts]-(u2)
+        CONSTRUCT (u)-[:notify]->(m)
+        MATCH (u) -/<~RL*>/-> (v), (v)-[:posts]->(m)
+        ON social_stream WINDOW (24h) SLIDE (1h)";
+
+    #[test]
+    fn figure6_translates_to_example2s_rq() {
+        let q = parse_gcore(FIGURE6).unwrap();
+        assert_eq!(q.window, WindowSpec::new(24, 1));
+        let p = &q.program;
+        assert_eq!(p.labels().name(p.answer()), "notify");
+        assert_eq!(p.rules().len(), 2);
+        let edb: Vec<&str> = p.edb_labels().iter().map(|&l| p.labels().name(l)).collect();
+        assert!(edb.contains(&"follows"));
+        assert!(edb.contains(&"likes"));
+        assert!(edb.contains(&"posts"));
+    }
+
+    #[test]
+    fn figure6_answers_match_example2() {
+        use sgq_types::{Edge, SnapshotGraph, VertexId};
+        let q = parse_gcore(FIGURE6).unwrap();
+        let l = |n: &str| q.program.labels().get(n).unwrap();
+        let mut g = SnapshotGraph::new();
+        for (s, t, lab) in [
+            (0u64, 1u64, "follows"),
+            (1, 2, "posts"),
+            (3, 0, "follows"),
+            (1, 4, "posts"),
+            (0, 5, "posts"),
+            (3, 5, "likes"),
+            (0, 2, "likes"),
+            (0, 4, "likes"),
+        ] {
+            g.add_edge(Edge::new(VertexId(s), VertexId(t), l(lab)));
+        }
+        let got = crate::oracle::evaluate_answer(&q.program, &g);
+        let expect: sgq_types::FxHashSet<(VertexId, VertexId)> = [
+            (VertexId(3), VertexId(5)),
+            (VertexId(0), VertexId(2)),
+            (VertexId(0), VertexId(4)),
+            (VertexId(3), VertexId(2)),
+            (VertexId(3), VertexId(4)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn optionals_become_union_alternatives() {
+        let q = parse_gcore(
+            "CONSTRUCT (u1)-[:recommendation]->(p)
+             MATCH (u1)-[:purchase]->(p)
+             OPTIONAL (u1)-[:follows]->(u2)
+             OPTIONAL (u1)-[:likes]->(m)<-[:posts]-(u2)
+             ON social_stream WINDOW (24h)",
+        )
+        .unwrap();
+        assert_eq!(q.program.rules().len(), 3);
+        assert_eq!(q.window, WindowSpec::new(24, 1));
+    }
+
+    #[test]
+    fn two_match_clauses_with_where_unification() {
+        // Figure 7's two-stream join: social MATCH × transaction MATCH,
+        // WHERE (u2) = (c), window = widest of the two ON clauses.
+        let q = parse_gcore(
+            "CONSTRUCT (u1)-[:rec]->(p)
+             MATCH (u1)-[:knows]->(u2)
+             ON social_stream WINDOW (24 hours)
+             MATCH (c)-[:purchase]->(p)
+             ON tx_stream WINDOW (30d) SLIDE (1d)
+             WHERE (u2) = (c)",
+        )
+        .unwrap();
+        assert_eq!(q.window.size, 30 * 24);
+        assert_eq!(q.window.slide, 1, "widest window, finest slide");
+        let rule = &q.program.rules()[0];
+        assert_eq!(rule.body.len(), 2);
+        // The unified variable joins the two atoms.
+        let (_, t1) = rule.body[0].vars();
+        let (s2, _) = rule.body[1].vars();
+        assert_eq!(t1, s2);
+    }
+
+    #[test]
+    fn window_units() {
+        let q = parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)
+             MATCH (x)-[:e]->(y)
+             ON s WINDOW (30d) SLIDE (1d)",
+        )
+        .unwrap();
+        assert_eq!(q.window, WindowSpec::new(30 * 24, 24));
+    }
+
+    #[test]
+    fn missing_construct_is_an_error() {
+        let e = parse_gcore("MATCH (x)-[:e]->(y)\nON s WINDOW (1h)").unwrap_err();
+        assert!(e.msg.contains("CONSTRUCT"));
+    }
+
+    #[test]
+    fn reversed_edges_swap_endpoints() {
+        let q = parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)
+             MATCH (x)<-[:e]-(y)
+             ON s WINDOW (1h)",
+        )
+        .unwrap();
+        let rule = &q.program.rules()[0];
+        let (s, t) = rule.body[0].vars();
+        assert_eq!(s, "y");
+        assert_eq!(t, "x");
+    }
+
+    #[test]
+    fn default_window_when_no_on_clause() {
+        let q = parse_gcore("CONSTRUCT (x)-[:d]->(y)\nMATCH (x)-[:e]->(y)").unwrap();
+        assert_eq!(q.window, WindowSpec::new(24, 1));
+    }
+
+    #[test]
+    fn figure7_parses_verbatim() {
+        // The paper's Figure 7 text (modulo the `hours`→`h` unit spelling
+        // handled by parse_duration), including the GRAPH VIEW wrapper and
+        // per-stream windows.
+        let q = parse_gcore(
+            "GRAPH VIEW rec_stream AS (
+                CONSTRUCT (u1)-[:recommendation]->(p)
+                MATCH (u1)
+                OPTIONAL (u1)-[:follows]->(u2)
+                OPTIONAL (u1)-[:likes]->(m)<-[:posts]-(u2)
+                ON social_stream WINDOW (24h)
+                MATCH (c)-[:purchase]->(p)
+                ON tx_stream WINDOW (30d) SLIDE (1d)
+                WHERE (u2) = (c) )",
+        )
+        .unwrap();
+        // Figure 7's RQ (given as Example 4): ACQ via two alternatives,
+        // REC joining purchases — here the head is `recommendation`.
+        let rec = q.program.answer();
+        assert_eq!(q.program.labels().name(rec), "recommendation");
+        assert_eq!(q.program.rules_for(rec).count(), 2, "two OPTIONAL alternatives");
+        let follows = q.program.labels().get("follows").unwrap();
+        let purchase = q.program.labels().get("purchase").unwrap();
+        assert_eq!(q.window_for(follows), WindowSpec::new(24, 1));
+        assert_eq!(q.window_for(purchase), WindowSpec::new(720, 24));
+    }
+
+    #[test]
+    fn malformed_view_wrappers_error() {
+        assert!(parse_gcore("GRAPH VIEW AS (MATCH (x)-[:e]->(y))").is_err());
+        assert!(parse_gcore("GRAPH VIEW v AS MATCH (x)-[:e]->(y)").is_err());
+        assert!(parse_gcore("GRAPH VIEW v AS (CONSTRUCT (x)-[:d]->(y) MATCH (x)-[:e]->(y)").is_err());
+    }
+
+    #[test]
+    fn figure7_streams_are_windowed_individually() {
+        // Figure 7: social_stream WINDOW (24h) vs tx_stream WINDOW (30d)
+        // SLIDE (1d) — each MATCH clause's ON window scopes its labels.
+        let q = parse_gcore(
+            "CONSTRUCT (u1)-[:rec]->(p)
+             MATCH (u1)-[:knows]->(u2)
+             ON social_stream WINDOW (24h)
+             MATCH (c)-[:purchase]->(p)
+             ON tx_stream WINDOW (30d) SLIDE (1d)
+             WHERE (u2) = (c)",
+        )
+        .unwrap();
+        let knows = q.program.labels().get("knows").unwrap();
+        let purchase = q.program.labels().get("purchase").unwrap();
+        assert_eq!(q.window_for(knows), WindowSpec::new(24, 1));
+        assert_eq!(q.window_for(purchase), WindowSpec::new(720, 24));
+    }
+
+    #[test]
+    fn single_on_clause_keeps_one_window() {
+        let q = parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)
+             MATCH (x)-[:e]->(y)
+             ON s WINDOW (48h)",
+        )
+        .unwrap();
+        assert_eq!(q.window, WindowSpec::new(48, 1));
+        assert!(q.label_windows().is_empty(), "no per-label overrides needed");
+    }
+
+    #[test]
+    fn inline_property_predicates() {
+        use crate::rq::BodyAtom;
+        use sgq_types::{CmpOp, PropValue};
+        let q = parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)
+             MATCH (x)-[:likes {weight >= 5, lang = \"en\"}]->(m)<-[:posts]-(y)
+             ON s WINDOW (24h)",
+        )
+        .unwrap();
+        let rule = &q.program.rules()[0];
+        match &rule.body[0] {
+            BodyAtom::Rel { preds, .. } => {
+                assert_eq!(preds.len(), 2);
+                assert_eq!(preds[0].key.as_ref(), "weight");
+                assert_eq!(preds[0].op, CmpOp::Ge);
+                assert_eq!(preds[1].value, PropValue::text("en"));
+            }
+            other => panic!("expected Rel, got {other:?}"),
+        }
+        match &rule.body[1] {
+            BodyAtom::Rel { preds, .. } => assert!(preds.is_empty()),
+            other => panic!("expected Rel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_inline_predicates_error() {
+        let e = parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)
+             MATCH (x)-[:likes {w > 5]->(y)
+             ON s WINDOW (24h)",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("property") || e.msg.contains("predicate"), "{e}");
+    }
+
+    #[test]
+    fn bad_connector_reports_error() {
+        assert!(parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)\nMATCH (x)==(y)\nON s WINDOW (1h)"
+        )
+        .is_err());
+        assert!(parse_gcore(
+            "CONSTRUCT (x)-[:d]->(y)\nMATCH (x)-[:e]->\nON s WINDOW (1h)"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # sgq-query — the Streaming Graph Query (SGQ) model
+//!
+//! Implements Section 4 of the paper:
+//!
+//! * [`rq`] — the Regular Query model (Def. 13): binary non-recursive
+//!   Datalog with transitive closure, generalised to full RPQ path atoms
+//!   (covering Table 1's Q1–Q4), with validation of safety, non-recursion
+//!   and the EDB/IDB label split.
+//! * [`parser`] — a Datalog-style text front end.
+//! * [`gcore`] — a G-CORE-subset front end (§4.2) with the paper's `ON …
+//!   WINDOW … SLIDE` extension, translated to RQ.
+//! * [`window`] — time-based sliding windows (`W(T, β)`) and [`SgqQuery`]
+//!   (Def. 15): an RQ plus a window, with snapshot-reducible semantics.
+//! * [`oracle`] — the one-time counterpart `Q_O` (Def. 14): naive RQ
+//!   evaluation over snapshot graphs, used as the reference for testing
+//!   snapshot reducibility and as the re-evaluation strategy of §4.1.
+
+#![warn(missing_docs)]
+
+pub mod gcore;
+pub mod oracle;
+pub mod parser;
+pub mod rq;
+pub mod window;
+
+pub use parser::parse_program;
+pub use rq::{BodyAtom, HeadAtom, RqError, RqProgram, RqProgramBuilder, Rule};
+pub use window::{SgqQuery, WindowSpec};

@@ -1,0 +1,468 @@
+//! One-time (non-streaming) RQ evaluation over snapshot graphs.
+//!
+//! This is `Q_O` of Def. 14: the non-streaming counterpart used to *define*
+//! the semantics of SGQ via snapshot reducibility, and the reference
+//! implementation for the "query re-evaluation" strategy of §4.1. The
+//! streaming engines (`sgq-core`, `sgq-dd`) are tested against it: at any
+//! instant `t`, the snapshot of their output must equal
+//! `evaluate(program, snapshot_of_windowed_input_at_t)`.
+//!
+//! Evaluation is naive (set-at-a-time joins, product-graph BFS for path
+//! atoms) — clarity over speed, since this runs on test-sized snapshots.
+//!
+//! ## Empty-word semantics
+//!
+//! PATH results are materialized paths and carry validity intervals derived
+//! from their constituent edges; the empty path has neither. Following the
+//! streaming RPQ algorithms the paper builds on, a top-level `R*` therefore
+//! reports only pairs connected by a path of **at least one edge** (`R*` and
+//! `R+` coincide at the top level of a path atom). The oracle mirrors that
+//! choice so both semantics agree.
+
+use crate::rq::{BodyAtom, RqProgram, Rule};
+use sgq_automata::{Dfa, Regex};
+use sgq_types::{FxHashMap, FxHashSet, Label, SnapshotGraph, VertexId};
+
+/// A binary relation with adjacency indexes for join evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    pairs: FxHashSet<(VertexId, VertexId)>,
+    out: FxHashMap<VertexId, Vec<VertexId>>,
+    inc: FxHashMap<VertexId, Vec<VertexId>>,
+}
+
+impl Relation {
+    /// Inserts a pair (idempotent).
+    pub fn insert(&mut self, s: VertexId, t: VertexId) {
+        if self.pairs.insert((s, t)) {
+            self.out.entry(s).or_default().push(t);
+            self.inc.entry(t).or_default().push(s);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: VertexId, t: VertexId) -> bool {
+        self.pairs.contains(&(s, t))
+    }
+
+    /// All pairs.
+    pub fn pairs(&self) -> &FxHashSet<(VertexId, VertexId)> {
+        &self.pairs
+    }
+
+    /// Targets of `s`.
+    pub fn out(&self, s: VertexId) -> &[VertexId] {
+        self.out.get(&s).map_or(&[], Vec::as_slice)
+    }
+
+    /// Sources of `t`.
+    pub fn inc(&self, t: VertexId) -> &[VertexId] {
+        self.inc.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// The result of one-time evaluation: a relation per label (EDB copied from
+/// the snapshot, IDB computed).
+pub type RelationStore = FxHashMap<Label, Relation>;
+
+/// Evaluates `program` over `snapshot`, returning all computed relations.
+pub fn evaluate(program: &RqProgram, snapshot: &SnapshotGraph) -> RelationStore {
+    let mut store: RelationStore = FxHashMap::default();
+
+    // EDB relations come straight from the snapshot.
+    for &l in program.edb_labels() {
+        let rel = store.entry(l).or_default();
+        for &(s, t) in snapshot.pairs(l) {
+            rel.insert(s, t);
+        }
+    }
+
+    // IDB labels in dependency order.
+    for &l in program.idb_topological() {
+        if program.rules_for(l).next().is_some() {
+            let mut rel = Relation::default();
+            let rules: Vec<Rule> = program.rules_for(l).cloned().collect();
+            for rule in &rules {
+                for (s, t) in eval_rule(rule, &store, snapshot) {
+                    rel.insert(s, t);
+                }
+            }
+            store.insert(l, rel);
+        } else {
+            // A path-atom alias: evaluate its RPQ once and cache it.
+            if let Some(regex) = find_alias_regex(program, l) {
+                let rel = eval_rpq(&regex, &store);
+                store.insert(l, rel);
+            }
+        }
+    }
+    store
+}
+
+/// Evaluates `program` and returns the answer relation's pairs.
+pub fn evaluate_answer(
+    program: &RqProgram,
+    snapshot: &SnapshotGraph,
+) -> FxHashSet<(VertexId, VertexId)> {
+    let store = evaluate(program, snapshot);
+    store
+        .get(&program.answer())
+        .map(|r| r.pairs().clone())
+        .unwrap_or_default()
+}
+
+fn find_alias_regex(program: &RqProgram, alias: Label) -> Option<Regex> {
+    for r in program.rules() {
+        for a in &r.body {
+            if let BodyAtom::Path {
+                regex,
+                alias: Some(al),
+                ..
+            } = a
+            {
+                if *al == alias {
+                    return Some(regex.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Evaluates one conjunctive rule body by left-to-right binding extension.
+fn eval_rule(
+    rule: &Rule,
+    store: &RelationStore,
+    snapshot: &SnapshotGraph,
+) -> Vec<(VertexId, VertexId)> {
+    // Materialise path-atom relations first (cached if aliased), and
+    // per-atom filtered relations for attribute-constrained Rel atoms
+    // (props live on input edges in the snapshot).
+    let empty = Relation::default();
+    let atom_rels: Vec<Relation> = rule
+        .body
+        .iter()
+        .map(|a| match a {
+            BodyAtom::Rel { preds, .. } if preds.is_empty() => Relation::default(), // unused
+            BodyAtom::Rel { label, preds, .. } => {
+                let mut rel = Relation::default();
+                for &(s, t) in snapshot.pairs(*label) {
+                    let props = snapshot.props_of(s, t, *label);
+                    if preds.iter().all(|p| p.eval_opt(props)) {
+                        rel.insert(s, t);
+                    }
+                }
+                rel
+            }
+            BodyAtom::Path { regex, alias, .. } => match alias.and_then(|al| store.get(&al)) {
+                Some(r) => r.clone(),
+                None => eval_rpq(regex, store),
+            },
+        })
+        .collect();
+
+    let mut bindings: Vec<FxHashMap<&str, VertexId>> = vec![FxHashMap::default()];
+    for (i, atom) in rule.body.iter().enumerate() {
+        let rel: &Relation = match atom {
+            BodyAtom::Rel { label, preds, .. } if preds.is_empty() => {
+                store.get(label).unwrap_or(&empty)
+            }
+            BodyAtom::Rel { .. } => &atom_rels[i],
+            BodyAtom::Path { .. } => &atom_rels[i],
+        };
+        let (sv, tv) = atom.vars();
+        let mut next = Vec::new();
+        for b in &bindings {
+            let bs = b.get(sv.as_str()).copied();
+            let bt = b.get(tv.as_str()).copied();
+            match (bs, bt) {
+                (Some(s), Some(t)) => {
+                    if rel.contains(s, t) {
+                        next.push(b.clone());
+                    }
+                }
+                (Some(s), None) => {
+                    for &t in rel.out(s) {
+                        if sv == tv && s != t {
+                            continue;
+                        }
+                        let mut nb = b.clone();
+                        nb.insert(tv.as_str(), t);
+                        next.push(nb);
+                    }
+                }
+                (None, Some(t)) => {
+                    for &s in rel.inc(t) {
+                        if sv == tv && s != t {
+                            continue;
+                        }
+                        let mut nb = b.clone();
+                        nb.insert(sv.as_str(), s);
+                        next.push(nb);
+                    }
+                }
+                (None, None) => {
+                    for &(s, t) in rel.pairs() {
+                        if sv == tv && s != t {
+                            continue;
+                        }
+                        let mut nb = b.clone();
+                        nb.insert(sv.as_str(), s);
+                        nb.insert(tv.as_str(), t);
+                        next.push(nb);
+                    }
+                }
+            }
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            break;
+        }
+    }
+
+    bindings
+        .into_iter()
+        .map(|b| {
+            (
+                b[rule.head.src.as_str()],
+                b[rule.head.trg.as_str()],
+            )
+        })
+        .collect()
+}
+
+/// Evaluates an RPQ over the relation store by product-graph BFS:
+/// `(x, y)` is in the result iff a path of **one or more** edges from `x`
+/// to `y` spells a word in `L(R)`.
+pub fn eval_rpq(regex: &Regex, store: &RelationStore) -> Relation {
+    let dfa = Dfa::from_regex(regex);
+    let mut result = Relation::default();
+
+    // Candidate sources: vertices with an out-edge on a start label.
+    let mut sources: FxHashSet<VertexId> = FxHashSet::default();
+    for l in dfa.alphabet() {
+        if !dfa.starts_with(l) {
+            continue;
+        }
+        if let Some(rel) = store.get(&l) {
+            for &(s, _) in rel.pairs() {
+                sources.insert(s);
+            }
+        }
+    }
+
+    let empty = Relation::default();
+    for &x in &sources {
+        // BFS over (vertex, dfa-state).
+        let mut visited: FxHashSet<(VertexId, u32)> = FxHashSet::default();
+        let mut queue: std::collections::VecDeque<(VertexId, u32)> = Default::default();
+        visited.insert((x, dfa.start()));
+        queue.push_back((x, dfa.start()));
+        while let Some((u, s)) = queue.pop_front() {
+            for (l, t) in dfa.transitions_from(s) {
+                let rel = store.get(&l).unwrap_or(&empty);
+                for &v in rel.out(u) {
+                    if dfa.is_accepting(t) {
+                        result.insert(x, v);
+                    }
+                    if visited.insert((v, t)) {
+                        queue.push_back((v, t));
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use sgq_types::{Edge, Interval, Sgt};
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Builds a snapshot from `(src, trg, label-name)` triples, interning
+    /// through the program's label table.
+    fn snapshot(program: &RqProgram, edges: &[(u64, u64, &str)]) -> SnapshotGraph {
+        let mut g = SnapshotGraph::new();
+        for &(s, t, l) in edges {
+            let label = program.labels().get(l).expect("label must exist");
+            g.add_edge(Edge::new(v(s), v(t), label));
+        }
+        g
+    }
+
+    #[test]
+    fn single_join_rule() {
+        let p = parse_program("Ans(x, y) <- a(x, z), b(z, y).").unwrap();
+        let g = snapshot(&p, &[(1, 2, "a"), (2, 3, "b"), (2, 4, "b"), (5, 6, "b")]);
+        let ans = evaluate_answer(&p, &g);
+        assert_eq!(ans, [(v(1), v(3)), (v(1), v(4))].into_iter().collect());
+    }
+
+    #[test]
+    fn union_of_two_rules() {
+        let p = parse_program(
+            "Ans(x, y) <- a(x, y).
+             Ans(x, y) <- b(x, y).",
+        )
+        .unwrap();
+        let g = snapshot(&p, &[(1, 2, "a"), (3, 4, "b")]);
+        let ans = evaluate_answer(&p, &g);
+        assert_eq!(ans, [(v(1), v(2)), (v(3), v(4))].into_iter().collect());
+    }
+
+    #[test]
+    fn transitive_closure_plus() {
+        let p = parse_program("Ans(x, y) <- a+(x, y).").unwrap();
+        let g = snapshot(&p, &[(1, 2, "a"), (2, 3, "a"), (3, 1, "a")]);
+        let ans = evaluate_answer(&p, &g);
+        // Fully connected by the 3-cycle, including self-pairs via the cycle.
+        assert_eq!(ans.len(), 9);
+        assert!(ans.contains(&(v(1), v(1))));
+    }
+
+    #[test]
+    fn star_excludes_empty_word() {
+        let p = parse_program("Ans(x, y) <- a*(x, y).").unwrap();
+        let g = snapshot(&p, &[(1, 2, "a")]);
+        let ans = evaluate_answer(&p, &g);
+        // Only the one-edge path; no (1,1)/(2,2) empty-word pairs.
+        assert_eq!(ans, [(v(1), v(2))].into_iter().collect());
+    }
+
+    #[test]
+    fn q2_concat_star() {
+        let p = parse_program("Ans(x, y) <- (a b*)(x, y).").unwrap();
+        let g = snapshot(&p, &[(1, 2, "a"), (2, 3, "b"), (3, 4, "b"), (9, 2, "b")]);
+        let ans = evaluate_answer(&p, &g);
+        assert_eq!(
+            ans,
+            [(v(1), v(2)), (v(1), v(3)), (v(1), v(4))].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn triangle_pattern_example6() {
+        // recentLiker triangle: likes(u1,m), posts(u2,m), followsPath(u1,u2).
+        let p = parse_program(
+            "RL(u1, u2) <- likes(u1, m1), follows+(u1, u2), posts(u2, m1).",
+        )
+        .unwrap();
+        // Figure 3's snapshot at t=30: u=0, v=1, b=2, y=3, c=4, a=5.
+        let g = snapshot(
+            &p,
+            &[
+                (0, 1, "follows"),
+                (1, 2, "posts"),
+                (3, 0, "follows"),
+                (1, 4, "posts"),
+                (0, 5, "posts"),
+                (3, 5, "likes"),
+                (0, 2, "likes"),
+                (0, 4, "likes"),
+            ],
+        );
+        let ans = evaluate_answer(&p, &g);
+        // Example 6: (y, RL, u) and (u, RL, v).
+        assert_eq!(ans, [(v(3), v(0)), (v(0), v(1))].into_iter().collect());
+    }
+
+    #[test]
+    fn example2_full_program() {
+        let p = parse_program(
+            "RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2), posts(u2, m1).
+             Notify(u, m) <- RL+(u, v), posts(v, m).
+             Answer(u, m) <- Notify(u, m).",
+        )
+        .unwrap();
+        let g = snapshot(
+            &p,
+            &[
+                (0, 1, "follows"),
+                (1, 2, "posts"),
+                (3, 0, "follows"),
+                (1, 4, "posts"),
+                (0, 5, "posts"),
+                (3, 5, "likes"),
+                (0, 2, "likes"),
+                (0, 4, "likes"),
+            ],
+        );
+        let ans = evaluate_answer(&p, &g);
+        // RL = {(y,u),(u,v)}; RL+ = {(y,u),(u,v),(y,v)};
+        // Notify = pairs (x, m) with posts(v, m):
+        //   (y,u): u posts a → (y,a); (u,v): v posts b,c → (u,b),(u,c);
+        //   (y,v): → (y,b),(y,c).
+        let expect: FxHashSet<_> = [
+            (v(3), v(5)),
+            (v(0), v(2)),
+            (v(0), v(4)),
+            (v(3), v(2)),
+            (v(3), v(4)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ans, expect);
+    }
+
+    #[test]
+    fn alias_relation_is_shared_and_exposed() {
+        let p = parse_program(
+            "Ans(x, y) <- a+(x, y) as AP.",
+        )
+        .unwrap();
+        let g = snapshot(&p, &[(1, 2, "a"), (2, 3, "a")]);
+        let store = evaluate(&p, &g);
+        let ap = p.labels().get("AP").unwrap();
+        assert_eq!(store[&ap].len(), 3);
+    }
+
+    #[test]
+    fn self_loop_variable() {
+        let p = parse_program("Ans(x, x) <- a(x, x).").unwrap();
+        let g = snapshot(&p, &[(1, 1, "a"), (1, 2, "a")]);
+        let ans = evaluate_answer(&p, &g);
+        assert_eq!(ans, [(v(1), v(1))].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_snapshot_gives_empty_answer() {
+        let p = parse_program("Ans(x, y) <- a(x, z), b(z, y).").unwrap();
+        let g = SnapshotGraph::new();
+        assert!(evaluate_answer(&p, &g).is_empty());
+    }
+
+    #[test]
+    fn snapshot_reducibility_smoke() {
+        // Build sgts, snapshot at two instants, check windowing is what
+        // filters results (full pipeline exercised in integration tests).
+        let p = parse_program("Ans(x, y) <- a(x, z), a(z, y).").unwrap();
+        let a = p.labels().get("a").unwrap();
+        let tuples = vec![
+            Sgt::edge(v(1), v(2), a, Interval::new(0, 10)),
+            Sgt::edge(v(2), v(3), a, Interval::new(5, 15)),
+        ];
+        let g5 = SnapshotGraph::at_time(5, &tuples);
+        assert_eq!(
+            evaluate_answer(&p, &g5),
+            [(v(1), v(3))].into_iter().collect()
+        );
+        let g12 = SnapshotGraph::at_time(12, &tuples);
+        assert!(evaluate_answer(&p, &g12).is_empty());
+    }
+}

@@ -1,0 +1,512 @@
+//! Datalog-style text syntax for RQ programs.
+//!
+//! ```text
+//! # Example 2 of the paper:
+//! RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+//! Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+//! Answer(u, m) <- Notify(u, m).
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! program := (rule | comment)*
+//! rule    := IDENT '(' var ',' var ')' ('<-' | ':-') atom (',' atom)* '.'?
+//! atom    := pred '(' var ',' var ')' ('[' preds ']')? ('as' IDENT)?
+//! pred    := IDENT ('+' | '*' | '?')?        -- postfix ⇒ path atom
+//!          | '(' regex-text ')' ('+'|'*'|'?')?  -- always a path atom
+//! preds   := cmp (',' cmp)*                  -- attribute predicates (§8)
+//! cmp     := IDENT ('=' | '!=' | '<' | '<=' | '>' | '>=') value
+//! value   := INT | '"' text '"' | 'true' | 'false'
+//! comment := '#' … end-of-line
+//! ```
+//!
+//! A bare `IDENT` predicate is a relation atom; any postfix operator or
+//! parenthesised regex makes it a path atom (the regex text is handed to
+//! [`sgq_automata::parser`]). Relation atoms may carry attribute
+//! predicates over edge properties: `likes(x, m)[weight >= 5]`.
+
+use crate::rq::{RqError, RqProgram, RqProgramBuilder};
+use sgq_types::{CmpOp, PropPred, PropValue};
+use std::fmt;
+
+/// A parse error with a line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramParseError {
+    /// 1-based line of the offending rule.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ProgramParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ProgramParseError {}
+
+impl From<RqError> for ProgramParseError {
+    fn from(e: RqError) -> Self {
+        ProgramParseError {
+            line: 0,
+            msg: e.to_string(),
+        }
+    }
+}
+
+/// Parses a full program and validates it.
+pub fn parse_program(input: &str) -> Result<RqProgram, ProgramParseError> {
+    let mut b = RqProgramBuilder::new();
+    // Rules may span lines; terminate on '.' or on a line whose trailing
+    // context closes all parentheses and the next line starts a new rule.
+    // Keep it simple: statements are separated by '.' or by newlines that
+    // are not inside parentheses and after at least one atom.
+    for (line_no, stmt) in split_statements(input) {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        parse_rule(stmt, line_no, &mut b)?;
+    }
+    b.build().map_err(Into::into)
+}
+
+/// Splits on '.' terminators and full-line comments, tracking line numbers.
+fn split_statements(input: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_line = 1;
+    let mut started = false;
+    for (i, line) in input.lines().enumerate() {
+        let mut in_str = false;
+        for ch in line.chars() {
+            if ch == '#' && !in_str {
+                break; // comment to end of line
+            }
+            if ch == '"' {
+                in_str = !in_str;
+            }
+            if ch == '.' && !in_str {
+                out.push((cur_line, std::mem::take(&mut cur)));
+                started = false;
+            } else {
+                if !started && !ch.is_whitespace() {
+                    started = true;
+                    cur_line = i + 1;
+                }
+                cur.push(ch);
+            }
+        }
+        cur.push(' ');
+    }
+    if !cur.trim().is_empty() {
+        out.push((cur_line, cur));
+    }
+    out
+}
+
+fn parse_rule(
+    stmt: &str,
+    line: usize,
+    b: &mut RqProgramBuilder,
+) -> Result<(), ProgramParseError> {
+    let err = |msg: &str| ProgramParseError {
+        line,
+        msg: msg.to_string(),
+    };
+    let (head, body) = stmt
+        .split_once("<-")
+        .or_else(|| stmt.split_once(":-"))
+        .ok_or_else(|| err("expected `<-` or `:-`"))?;
+
+    let (hname, hargs) = parse_call(head.trim()).map_err(|m| err(&m))?;
+    if hargs.len() != 2 {
+        return Err(err("head predicates must be binary"));
+    }
+    let mut rb = b.rule(&hname, &hargs[0], &hargs[1]);
+
+    for atom_text in split_atoms(body) {
+        let atom_text = atom_text.trim();
+        if atom_text.is_empty() {
+            continue;
+        }
+        // Optional `[attribute predicates]` suffix (before any alias).
+        let (atom_text, preds_text) = match atom_text.rfind('[') {
+            Some(open) if atom_text.trim_end().ends_with(']') => {
+                let inner = atom_text[open + 1..atom_text.trim_end().len() - 1].to_string();
+                (atom_text[..open].trim_end(), Some(inner))
+            }
+            _ => (atom_text, None),
+        };
+        // Optional `as Alias` suffix.
+        let (atom_text, alias) = match atom_text.rsplit_once(" as ") {
+            Some((a, al)) if !al.trim().contains(['(', ')']) => (a.trim(), Some(al.trim())),
+            _ => (atom_text, None),
+        };
+        let (pred, args) = parse_call(atom_text).map_err(|m| err(&m))?;
+        if args.len() != 2 {
+            return Err(err(&format!("atom `{pred}` must be binary")));
+        }
+        let is_plain_ident = pred
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if is_plain_ident && alias.is_none() {
+            let preds = match preds_text {
+                Some(text) => parse_prop_preds(&text).map_err(|m| err(&m))?,
+                None => Vec::new(),
+            };
+            rb = rb.rel_where(&pred, &args[0], &args[1], preds);
+        } else {
+            if preds_text.is_some() {
+                return Err(err(
+                    "attribute predicates are only valid on relation atoms (paths carry no properties)",
+                ));
+            }
+            // A path atom: hand the predicate text to the regex parser.
+            let re = sgq_automata::parser::parse(&pred, b_labels(&mut rb))
+                .map_err(|e| err(&format!("in regex `{pred}`: {e}")))?;
+            let alias_label = alias.map(|a| b_labels(&mut rb).intern(a));
+            rb = rb.path_regex(re, &args[0], &args[1], alias_label);
+        }
+    }
+    rb.done();
+    Ok(())
+}
+
+/// Accessor shim: `RuleBuilder` borrows the program builder mutably, so
+/// regex parsing inside atom parsing needs the interner through it.
+fn b_labels<'a>(rb: &'a mut crate::rq::RuleBuilder<'_>) -> &'a mut sgq_types::LabelInterner {
+    rb.labels_mut()
+}
+
+/// Splits a rule body on top-level commas (ignoring commas inside parens,
+/// attribute-predicate brackets, and string literals).
+fn split_atoms(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for ch in body.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            '(' | '[' if !in_str => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' | ']' if !in_str => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 && !in_str => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(ch),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Parses `pred(arg, arg)` where `pred` may itself contain parentheses
+/// (regex predicates); the argument list is the *last* paren group.
+fn parse_call(text: &str) -> Result<(String, Vec<String>), String> {
+    let text = text.trim();
+    let open = find_args_open(text).ok_or_else(|| format!("expected `pred(x, y)` in `{text}`"))?;
+    let close = text
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| format!("unclosed argument list in `{text}`"))?;
+    let pred = text[..open].trim().to_string();
+    if pred.is_empty() {
+        return Err(format!("missing predicate name in `{text}`"));
+    }
+    let args: Vec<String> = text[open + 1..close]
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .collect();
+    if args.iter().any(String::is_empty) {
+        return Err(format!("empty argument in `{text}`"));
+    }
+    Ok((pred, args))
+}
+
+/// Finds the '(' that opens the argument list: the last top-level '('.
+fn find_args_open(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut candidate = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => {
+                if depth == 0 {
+                    candidate = Some(i);
+                }
+                depth += 1;
+            }
+            b')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    candidate
+}
+
+/// Parses a comma-separated list of attribute predicates (shared with the
+/// G-CORE front end's inline `{…}` predicates).
+pub(crate) fn parse_prop_preds(text: &str) -> Result<Vec<PropPred>, String> {
+    let mut out = Vec::new();
+    for part in split_atoms(text) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_prop_pred(part)?);
+    }
+    if out.is_empty() {
+        return Err("empty attribute-predicate list".to_string());
+    }
+    Ok(out)
+}
+
+/// Parses one `key op value` predicate.
+fn parse_prop_pred(text: &str) -> Result<PropPred, String> {
+    // Two-character operators first so `<=` is not read as `<`.
+    const OPS: [(&str, CmpOp); 6] = [
+        ("!=", CmpOp::Ne),
+        ("<=", CmpOp::Le),
+        (">=", CmpOp::Ge),
+        ("=", CmpOp::Eq),
+        ("<", CmpOp::Lt),
+        (">", CmpOp::Gt),
+    ];
+    let (pos, op_text, op) = OPS
+        .iter()
+        .filter_map(|&(sym, op)| text.find(sym).map(|p| (p, sym, op)))
+        .min_by_key(|&(p, sym, _)| (p, std::cmp::Reverse(sym.len())))
+        .ok_or_else(|| format!("expected a comparison operator in `{text}`"))?;
+    let key = text[..pos].trim();
+    let valid_ident = key
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if !valid_ident {
+        return Err(format!("invalid property key in `{text}`"));
+    }
+    let value = parse_prop_value(text[pos + op_text.len()..].trim())?;
+    Ok(PropPred {
+        key: key.into(),
+        op,
+        value,
+    })
+}
+
+/// Parses a property value literal: integer, quoted string, or boolean.
+fn parse_prop_value(text: &str) -> Result<PropValue, String> {
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string `{text}`"))?;
+        return Ok(PropValue::text(inner));
+    }
+    match text {
+        "true" => return Ok(PropValue::Bool(true)),
+        "false" => return Ok(PropValue::Bool(false)),
+        _ => {}
+    }
+    text.parse::<i64>()
+        .map(PropValue::Int)
+        .map_err(|_| format!("invalid value `{text}` (expected int, \"string\" or bool)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rq::BodyAtom;
+
+    #[test]
+    fn parses_example2() {
+        let p = parse_program(
+            "# Example 2 — real-time notification
+             RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+             Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+             Answer(u, m) <- Notify(u, m).",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 3);
+        assert_eq!(p.labels().name(p.answer()), "Answer");
+        let rl = &p.rules()[0];
+        assert_eq!(rl.body.len(), 3);
+        assert!(matches!(&rl.body[1], BodyAtom::Path { alias: Some(_), .. }));
+    }
+
+    #[test]
+    fn parses_q1_to_q4_table1() {
+        // Table 1's RPQ rows as single-rule programs.
+        for (q, expect_path) in [
+            ("Ans(x, y) <- a*(x, y).", true),
+            ("Ans(x, y) <- (a b*)(x, y).", true),
+            ("Ans(x, y) <- (a b* c*)(x, y).", true),
+            ("Ans(x, y) <- (a b c)+(x, y).", true),
+        ] {
+            let p = parse_program(q).unwrap();
+            assert_eq!(p.rules().len(), 1, "{q}");
+            assert_eq!(
+                matches!(p.rules()[0].body[0], BodyAtom::Path { .. }),
+                expect_path,
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_q5_pattern() {
+        // Q5: RR(m1,m2) <- a(x,y), b(m1,x), b(m2,y), c(m2,m1)
+        let p = parse_program(
+            "RR(m1, m2) <- a(x, y), b(m1, x), b(m2, y), c(m2, m1).",
+        )
+        .unwrap();
+        assert_eq!(p.rules()[0].body.len(), 4);
+        assert_eq!(p.edb_labels().len(), 3);
+    }
+
+    #[test]
+    fn parses_q7_two_rules() {
+        let p = parse_program(
+            "RL(x, y)  <- a+(x, y), b(x, m), c(m, y).
+             Ans(x, m) <- RL+(x, y), c(m, y).",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 2);
+        assert_eq!(p.labels().name(p.answer()), "Ans");
+    }
+
+    #[test]
+    fn multiline_rule_without_dot() {
+        let p = parse_program("Ans(x, y) <- a(x, z), b(z, y)").unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn colon_dash_accepted() {
+        let p = parse_program("Ans(x, y) :- a(x, y).").unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn missing_arrow_is_error() {
+        let e = parse_program("Ans(x, y) a(x, y).").unwrap_err();
+        assert!(e.msg.contains("<-"));
+    }
+
+    #[test]
+    fn non_binary_atom_is_error() {
+        assert!(parse_program("Ans(x, y) <- a(x, y, z).").is_err());
+        assert!(parse_program("Ans(x) <- a(x, x).").is_err());
+    }
+
+    #[test]
+    fn bad_regex_reports_position() {
+        let e = parse_program("Ans(x, y) <- (a |)(x, y).").unwrap_err();
+        assert!(e.msg.contains("regex"), "{e}");
+    }
+
+    #[test]
+    fn self_loop_atom_allowed() {
+        let p = parse_program("Ans(x, x) <- a(x, x).").unwrap();
+        let (s, t) = p.rules()[0].body[0].vars();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn parses_attribute_predicates() {
+        let p = parse_program(
+            "Ans(x, y) <- likes(x, m)[weight >= 5, lang = \"en\"], posts(y, m).",
+        )
+        .unwrap();
+        match &p.rules()[0].body[0] {
+            BodyAtom::Rel { preds, .. } => {
+                assert_eq!(preds.len(), 2);
+                assert_eq!(preds[0].key.as_ref(), "weight");
+                assert_eq!(preds[0].op, CmpOp::Ge);
+                assert_eq!(preds[0].value, PropValue::Int(5));
+                assert_eq!(preds[1].value, PropValue::text("en"));
+            }
+            other => panic!("expected Rel, got {other:?}"),
+        }
+        match &p.rules()[0].body[1] {
+            BodyAtom::Rel { preds, .. } => assert!(preds.is_empty()),
+            other => panic!("expected Rel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_predicate_value_forms() {
+        let p = parse_program(
+            "Ans(x, y) <- a(x, y)[n = -3, flag = true, s != \"x, y\"].",
+        )
+        .unwrap();
+        match &p.rules()[0].body[0] {
+            BodyAtom::Rel { preds, .. } => {
+                assert_eq!(preds[0].value, PropValue::Int(-3));
+                assert_eq!(preds[1].value, PropValue::Bool(true));
+                assert_eq!(preds[2].op, CmpOp::Ne);
+                assert_eq!(preds[2].value, PropValue::text("x, y"));
+            }
+            other => panic!("expected Rel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_predicates_on_path_atom_rejected() {
+        let e = parse_program("Ans(x, y) <- a+(x, y)[w > 1].").unwrap_err();
+        assert!(e.msg.contains("relation atoms"), "{e}");
+    }
+
+    #[test]
+    fn attribute_predicates_on_derived_atom_rejected() {
+        let e = parse_program(
+            "D(x, y)   <- a(x, y).
+             Ans(x, y) <- D(x, y)[w > 1].",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("derived"), "{e}");
+    }
+
+    #[test]
+    fn bad_attribute_predicates_are_errors() {
+        assert!(parse_program("Ans(x, y) <- a(x, y)[].").is_err());
+        assert!(parse_program("Ans(x, y) <- a(x, y)[w].").is_err());
+        assert!(parse_program("Ans(x, y) <- a(x, y)[w > ].").is_err());
+        assert!(parse_program("Ans(x, y) <- a(x, y)[1w > 2].").is_err());
+    }
+
+    #[test]
+    fn string_values_may_contain_dots_and_hashes() {
+        let p = parse_program(
+            "Ans(x, y) <- a(x, y)[site = \"v1.2#beta\"].",
+        )
+        .unwrap();
+        match &p.rules()[0].body[0] {
+            BodyAtom::Rel { preds, .. } => {
+                assert_eq!(preds[0].value, PropValue::text("v1.2#beta"));
+            }
+            other => panic!("expected Rel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trips_preds() {
+        let text = "Ans(x, y) <- a(x, y)[w >= 5, lang = \"en\"].";
+        let p = parse_program(text).unwrap();
+        let p2 = parse_program(&p.display()).unwrap();
+        match (&p.rules()[0].body[0], &p2.rules()[0].body[0]) {
+            (BodyAtom::Rel { preds: a, .. }, BodyAtom::Rel { preds: b, .. }) => {
+                assert_eq!(a, b);
+            }
+            other => panic!("expected Rel atoms, got {other:?}"),
+        }
+    }
+}

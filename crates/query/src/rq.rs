@@ -1,0 +1,679 @@
+//! The Regular Query (RQ) model (Def. 13).
+//!
+//! An RQ is a binary, non-recursive Datalog program extended with the
+//! transitive closure of binary predicates. Body atoms are either binary
+//! relation atoms `l(x, y)` or — generalising the paper's `l*(x, y) as d`
+//! construct to the full RPQ atoms used by queries Q1–Q4 — *path atoms*
+//! `(R)(x, y)` constrained by a regular expression `R` over labels.
+//!
+//! Input-edge labels (`φ(E_I)`, the EDB) are the labels that appear in rule
+//! bodies but are defined by no rule head; rule heads and path-atom aliases
+//! are derived (IDB) labels. [`RqProgramBuilder::build`] enforces the model's
+//! well-formedness: binary heads, safety, non-recursion (the dependency
+//! graph must be acyclic), and the EDB/IDB label split.
+
+use sgq_automata::Regex;
+use sgq_types::{Label, LabelInterner, PropPred};
+use std::fmt;
+
+/// A rule variable. Variables are scoped to their rule; equality of names
+/// within one rule expresses join conditions.
+pub type Var = String;
+
+/// A body atom of an RQ rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyAtom {
+    /// A binary relation atom `l(src, trg)` over an EDB or IDB label,
+    /// optionally constrained by attribute predicates over the edge's
+    /// properties (`l(src, trg)[key >= 5]` — the §8 property-graph
+    /// extension; only valid on input-edge labels).
+    Rel {
+        /// The predicate label.
+        label: Label,
+        /// Source variable.
+        src: Var,
+        /// Target variable.
+        trg: Var,
+        /// Conjunctive attribute predicates over the edge's properties.
+        preds: Vec<PropPred>,
+    },
+    /// A path atom `(R)(src, trg)`: the pair is connected by a path whose
+    /// label sequence is a word of `L(R)`. The paper's `l*(x, y) as d` is
+    /// the special case `R = l+` with an alias (see the note on `*` vs `+`
+    /// in [`crate::oracle`]).
+    Path {
+        /// The regular expression constraining path labels.
+        regex: Regex,
+        /// Source variable.
+        src: Var,
+        /// Target variable.
+        trg: Var,
+        /// Optional alias naming the closure as a derived label, so several
+        /// rules can share one PATH operator (the `as d` of Def. 13).
+        alias: Option<Label>,
+    },
+}
+
+impl BodyAtom {
+    /// The atom's (src, trg) variables.
+    pub fn vars(&self) -> (&Var, &Var) {
+        match self {
+            BodyAtom::Rel { src, trg, .. } | BodyAtom::Path { src, trg, .. } => (src, trg),
+        }
+    }
+
+    /// Labels this atom reads (one for `Rel`, the regex alphabet for `Path`).
+    pub fn read_labels(&self) -> Vec<Label> {
+        match self {
+            BodyAtom::Rel { label, .. } => vec![*label],
+            BodyAtom::Path { regex, .. } => regex.alphabet(),
+        }
+    }
+}
+
+/// The binary head `d(src, trg)` of a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadAtom {
+    /// The derived (IDB) label being defined.
+    pub label: Label,
+    /// Source variable.
+    pub src: Var,
+    /// Target variable.
+    pub trg: Var,
+}
+
+/// A single RQ rule `head ← body₁, …, bodyₙ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: HeadAtom,
+    /// The body atoms (conjunctive).
+    pub body: Vec<BodyAtom>,
+}
+
+/// A validated Regular Query program.
+///
+/// Construct through [`RqProgramBuilder`] or the Datalog-style text parser
+/// in [`crate::parser`]; both validate on construction.
+#[derive(Debug, Clone)]
+pub struct RqProgram {
+    labels: LabelInterner,
+    rules: Vec<Rule>,
+    answer: Label,
+    edb: Vec<Label>,
+    /// IDB labels in topological (dependency) order.
+    idb_topo: Vec<Label>,
+}
+
+impl RqProgram {
+    /// The label interner owning the program's label namespace.
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// The program's rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Rules whose head is `label`.
+    pub fn rules_for(&self, label: Label) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(move |r| r.head.label == label)
+    }
+
+    /// The designated output (`Answer`) predicate.
+    pub fn answer(&self) -> Label {
+        self.answer
+    }
+
+    /// Input-edge (EDB) labels referenced by the program.
+    pub fn edb_labels(&self) -> &[Label] {
+        &self.edb
+    }
+
+    /// IDB labels in an order where every label's dependencies precede it
+    /// (the topological sort of Algorithm SGQParser, line 2).
+    pub fn idb_topological(&self) -> &[Label] {
+        &self.idb_topo
+    }
+
+    /// Pretty-prints the program in the text syntax.
+    pub fn display(&self) -> String {
+        let mut s = String::new();
+        for r in &self.rules {
+            s.push_str(&format!(
+                "{}({}, {}) <- ",
+                self.labels.name(r.head.label),
+                r.head.src,
+                r.head.trg
+            ));
+            for (i, a) in r.body.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                match a {
+                    BodyAtom::Rel { label, src, trg, preds } => {
+                        s.push_str(&format!("{}({src}, {trg})", self.labels.name(*label)));
+                        if !preds.is_empty() {
+                            let ps: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+                            s.push_str(&format!("[{}]", ps.join(", ")));
+                        }
+                    }
+                    BodyAtom::Path {
+                        regex,
+                        src,
+                        trg,
+                        alias,
+                    } => {
+                        s.push_str(&format!("({})({src}, {trg})", regex.display(&self.labels)));
+                        if let Some(a) = alias {
+                            s.push_str(&format!(" as {}", self.labels.name(*a)));
+                        }
+                    }
+                }
+            }
+            s.push_str(".\n");
+        }
+        s
+    }
+}
+
+/// Errors raised by program validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RqError {
+    /// The program has no rules.
+    EmptyProgram,
+    /// A rule body is empty.
+    EmptyBody(String),
+    /// A head variable does not occur in the body (unsafe rule).
+    UnsafeRule {
+        /// Head predicate name.
+        rule: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// The dependency graph has a cycle (RQ must be non-recursive).
+    Recursive(String),
+    /// A label is used both as a rule head and as an input-edge label.
+    HeadIsInput(String),
+    /// The designated answer predicate is never defined.
+    MissingAnswer(String),
+    /// A path-atom alias collides with another definition.
+    AliasConflict(String),
+    /// An attribute predicate constrains a derived (IDB) atom; properties
+    /// exist on input edges only.
+    PredsOnDerived(String),
+}
+
+impl fmt::Display for RqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RqError::EmptyProgram => write!(f, "program has no rules"),
+            RqError::EmptyBody(r) => write!(f, "rule for `{r}` has an empty body"),
+            RqError::UnsafeRule { rule, var } => {
+                write!(f, "head variable `{var}` of `{rule}` not bound in body")
+            }
+            RqError::Recursive(l) => write!(
+                f,
+                "predicate `{l}` depends recursively on itself (RQ is non-recursive Datalog)"
+            ),
+            RqError::HeadIsInput(l) => {
+                write!(f, "`{l}` is an input-edge label and cannot be a rule head")
+            }
+            RqError::MissingAnswer(l) => write!(f, "answer predicate `{l}` is never defined"),
+            RqError::AliasConflict(l) => write!(f, "path alias `{l}` conflicts with a rule head"),
+            RqError::PredsOnDerived(l) => write!(
+                f,
+                "attribute predicates on `{l}` are invalid: `{l}` is derived and carries no properties"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RqError {}
+
+/// Builder for [`RqProgram`]: collect rules, then [`RqProgramBuilder::build`].
+#[derive(Debug, Default)]
+pub struct RqProgramBuilder {
+    labels: LabelInterner,
+    rules: Vec<Rule>,
+    answer: Option<Label>,
+}
+
+impl RqProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a label name (classification happens at build time).
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.intern(name)
+    }
+
+    /// Access to the interner (e.g. to parse regexes in the same namespace).
+    pub fn labels_mut(&mut self) -> &mut LabelInterner {
+        &mut self.labels
+    }
+
+    /// Starts a rule `head(src, trg) ← …`; finish with [`RuleBuilder::done`].
+    pub fn rule(&mut self, head: &str, src: &str, trg: &str) -> RuleBuilder<'_> {
+        let label = self.labels.intern(head);
+        RuleBuilder {
+            program: self,
+            rule: Rule {
+                head: HeadAtom {
+                    label,
+                    src: src.to_string(),
+                    trg: trg.to_string(),
+                },
+                body: Vec::new(),
+            },
+        }
+    }
+
+    /// Designates `name` as the answer predicate. Defaults to `Answer`/`Ans`
+    /// if present, else the head of the last rule.
+    pub fn answer(&mut self, name: &str) -> &mut Self {
+        let l = self.labels.intern(name);
+        self.answer = Some(l);
+        self
+    }
+
+    /// Validates and freezes the program.
+    pub fn build(self) -> Result<RqProgram, RqError> {
+        let RqProgramBuilder {
+            mut labels,
+            rules,
+            answer,
+        } = self;
+        if rules.is_empty() {
+            return Err(RqError::EmptyProgram);
+        }
+
+        // --- Safety and arity checks ------------------------------------
+        for r in &rules {
+            if r.body.is_empty() {
+                return Err(RqError::EmptyBody(labels.name(r.head.label).to_string()));
+            }
+            let bound: Vec<&Var> = r
+                .body
+                .iter()
+                .flat_map(|a| {
+                    let (s, t) = a.vars();
+                    [s, t]
+                })
+                .collect();
+            for v in [&r.head.src, &r.head.trg] {
+                if !bound.contains(&v) {
+                    return Err(RqError::UnsafeRule {
+                        rule: labels.name(r.head.label).to_string(),
+                        var: v.clone(),
+                    });
+                }
+            }
+        }
+
+        // --- EDB / IDB classification ------------------------------------
+        let heads: Vec<Label> = rules.iter().map(|r| r.head.label).collect();
+        let aliases: Vec<Label> = rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .filter_map(|a| match a {
+                BodyAtom::Path { alias, .. } => *alias,
+                BodyAtom::Rel { .. } => None,
+            })
+            .collect();
+        for a in &aliases {
+            if heads.contains(a) {
+                return Err(RqError::AliasConflict(labels.name(*a).to_string()));
+            }
+        }
+        let mut edb: Vec<Label> = Vec::new();
+        for r in &rules {
+            for atom in &r.body {
+                for l in atom.read_labels() {
+                    if !heads.contains(&l) && !aliases.contains(&l) && !edb.contains(&l) {
+                        edb.push(l);
+                    }
+                }
+            }
+        }
+        for &l in &edb {
+            let name = labels.name(l).to_string();
+            labels.input_label(&name);
+        }
+        for &h in &heads {
+            if labels.is_input(h) {
+                return Err(RqError::HeadIsInput(labels.name(h).to_string()));
+            }
+        }
+        for r in &rules {
+            for atom in &r.body {
+                if let BodyAtom::Rel { label, preds, .. } = atom {
+                    if !preds.is_empty() && !edb.contains(label) {
+                        return Err(RqError::PredsOnDerived(labels.name(*label).to_string()));
+                    }
+                }
+            }
+        }
+
+        // --- Answer predicate --------------------------------------------
+        let answer = match answer {
+            Some(a) => a,
+            None => ["Answer", "Ans"]
+                .iter()
+                .find_map(|n| labels.get(n))
+                .filter(|a| heads.contains(a))
+                .unwrap_or_else(|| *heads.last().expect("non-empty")),
+        };
+        if !heads.contains(&answer) {
+            return Err(RqError::MissingAnswer(labels.name(answer).to_string()));
+        }
+
+        // --- Non-recursion: topological sort of the dependency graph -----
+        // Nodes: IDB labels (heads + aliases). Edges: head → each IDB label
+        // read by its rules; alias → each IDB label in its regex.
+        let mut idb: Vec<Label> = heads.clone();
+        for a in &aliases {
+            if !idb.contains(a) {
+                idb.push(*a);
+            }
+        }
+        let deps_of = |l: Label| -> Vec<Label> {
+            let mut out = Vec::new();
+            for r in rules.iter().filter(|r| r.head.label == l) {
+                for atom in &r.body {
+                    match atom {
+                        BodyAtom::Rel { label, .. } => out.push(*label),
+                        BodyAtom::Path { regex, alias, .. } => {
+                            out.extend(regex.alphabet());
+                            if let Some(a) = alias {
+                                out.push(*a);
+                            }
+                        }
+                    }
+                }
+            }
+            // An alias depends on its regex alphabet.
+            for r in &rules {
+                for atom in &r.body {
+                    if let BodyAtom::Path {
+                        regex,
+                        alias: Some(a),
+                        ..
+                    } = atom
+                    {
+                        if *a == l {
+                            out.extend(regex.alphabet());
+                        }
+                    }
+                }
+            }
+            // Keep IDB dependencies only (EDB labels are leaves); keep
+            // self-references so the DFS below reports them as cycles.
+            out.retain(|d| idb.contains(d));
+            out
+        };
+
+        let mut topo: Vec<Label> = Vec::new();
+        let mut state: sgq_types::FxHashMap<Label, u8> = Default::default(); // 0=new,1=visiting,2=done
+        fn visit(
+            l: Label,
+            deps_of: &dyn Fn(Label) -> Vec<Label>,
+            state: &mut sgq_types::FxHashMap<Label, u8>,
+            topo: &mut Vec<Label>,
+            labels: &LabelInterner,
+        ) -> Result<(), RqError> {
+            match state.get(&l).copied().unwrap_or(0) {
+                2 => return Ok(()),
+                1 => return Err(RqError::Recursive(labels.name(l).to_string())),
+                _ => {}
+            }
+            state.insert(l, 1);
+            for d in deps_of(l) {
+                visit(d, deps_of, state, topo, labels)?;
+            }
+            state.insert(l, 2);
+            topo.push(l);
+            Ok(())
+        }
+        for &l in &idb {
+            visit(l, &deps_of, &mut state, &mut topo, &labels)?;
+        }
+
+        Ok(RqProgram {
+            labels,
+            rules,
+            answer,
+            edb,
+            idb_topo: topo,
+        })
+    }
+}
+
+/// Fluent builder for one rule; obtained from [`RqProgramBuilder::rule`].
+pub struct RuleBuilder<'a> {
+    program: &'a mut RqProgramBuilder,
+    rule: Rule,
+}
+
+impl RuleBuilder<'_> {
+    /// The program's label interner (used by the text parser to parse
+    /// regexes into the same namespace while a rule is being built).
+    pub fn labels_mut(&mut self) -> &mut LabelInterner {
+        &mut self.program.labels
+    }
+
+    /// Adds a relation atom `label(src, trg)`.
+    pub fn rel(self, label: &str, src: &str, trg: &str) -> Self {
+        self.rel_where(label, src, trg, Vec::new())
+    }
+
+    /// Adds a relation atom constrained by attribute predicates over the
+    /// edge's properties: `label(src, trg)[preds]`. Only valid on
+    /// input-edge (EDB) labels — derived tuples carry no properties.
+    pub fn rel_where(mut self, label: &str, src: &str, trg: &str, preds: Vec<PropPred>) -> Self {
+        let label = self.program.labels.intern(label);
+        self.rule.body.push(BodyAtom::Rel {
+            label,
+            src: src.to_string(),
+            trg: trg.to_string(),
+            preds,
+        });
+        self
+    }
+
+    /// Adds a path atom from regex text, e.g. `"follows+"`, `"(a b* c*)"`.
+    ///
+    /// # Panics
+    /// Panics on regex syntax errors (builder misuse).
+    pub fn path(self, regex: &str, src: &str, trg: &str) -> Self {
+        self.path_aliased(regex, src, trg, None)
+    }
+
+    /// Adds an aliased path atom (`… as alias`, Def. 13).
+    pub fn path_as(self, regex: &str, src: &str, trg: &str, alias: &str) -> Self {
+        self.path_aliased(regex, src, trg, Some(alias))
+    }
+
+    fn path_aliased(mut self, regex: &str, src: &str, trg: &str, alias: Option<&str>) -> Self {
+        let re = Regex::parse(regex, &mut self.program.labels)
+            .unwrap_or_else(|e| panic!("invalid regex `{regex}`: {e}"));
+        let alias = alias.map(|a| self.program.labels.intern(a));
+        self.rule.body.push(BodyAtom::Path {
+            regex: re,
+            src: src.to_string(),
+            trg: trg.to_string(),
+            alias,
+        });
+        self
+    }
+
+    /// Adds an already-built path atom.
+    pub fn path_regex(mut self, regex: Regex, src: &str, trg: &str, alias: Option<Label>) -> Self {
+        self.rule.body.push(BodyAtom::Path {
+            regex,
+            src: src.to_string(),
+            trg: trg.to_string(),
+            alias,
+        });
+        self
+    }
+
+    /// Finishes the rule, appending it to the program.
+    pub fn done(self) {
+        self.program.rules.push(self.rule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2 of the paper (the recentLiker program).
+    fn example2() -> RqProgram {
+        let mut b = RqProgramBuilder::new();
+        b.rule("RL", "u1", "u2")
+            .rel("likes", "u1", "m1")
+            .path_as("follows+", "u1", "u2", "FP")
+            .rel("posts", "u2", "m1")
+            .done();
+        b.rule("Notify", "u", "m")
+            .path_as("RL+", "u", "v", "RLP")
+            .rel("posts", "v", "m")
+            .done();
+        b.rule("Answer", "u", "m").rel("Notify", "u", "m").done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example2_classification() {
+        let p = example2();
+        let names: Vec<&str> = p.edb_labels().iter().map(|&l| p.labels().name(l)).collect();
+        assert_eq!(names, vec!["likes", "follows", "posts"]);
+        let answer = p.labels().name(p.answer());
+        assert_eq!(answer, "Answer");
+        assert!(p.labels().is_input(p.labels().get("likes").unwrap()));
+        assert!(!p.labels().is_input(p.labels().get("RL").unwrap()));
+    }
+
+    #[test]
+    fn example2_topo_order() {
+        let p = example2();
+        let topo: Vec<&str> = p
+            .idb_topological()
+            .iter()
+            .map(|&l| p.labels().name(l))
+            .collect();
+        let pos = |n: &str| topo.iter().position(|x| *x == n).unwrap();
+        assert!(pos("RL") < pos("RLP"));
+        assert!(pos("RLP") < pos("Notify"));
+        assert!(pos("Notify") < pos("Answer"));
+        assert!(pos("FP") < pos("RL"));
+    }
+
+    #[test]
+    fn example4_union_of_rules() {
+        // Example 4: ACQ defined by two rules (OPTIONAL patterns → UNION).
+        let mut b = RqProgramBuilder::new();
+        b.rule("ACQ", "u1", "u2")
+            .rel("likes", "u1", "m1")
+            .rel("posts", "u2", "m1")
+            .done();
+        b.rule("ACQ", "u1", "u2").rel("follows", "u1", "u2").done();
+        b.rule("REC", "u", "p")
+            .rel("ACQ", "u", "u2")
+            .rel("purchase", "u2", "p")
+            .done();
+        b.rule("Answer", "u", "p").rel("REC", "u", "p").done();
+        let p = b.build().unwrap();
+        assert_eq!(p.rules_for(p.labels().get("ACQ").unwrap()).count(), 2);
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("A", "x", "y").rel("B", "x", "y").done();
+        b.rule("B", "x", "y").rel("A", "x", "y").done();
+        assert!(matches!(b.build(), Err(RqError::Recursive(_))));
+    }
+
+    #[test]
+    fn direct_self_recursion_is_rejected() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("A", "x", "z")
+            .rel("e", "x", "y")
+            .rel("A", "y", "z")
+            .done();
+        assert!(matches!(b.build(), Err(RqError::Recursive(_))));
+    }
+
+    #[test]
+    fn recursion_through_regex_is_rejected() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("A", "x", "y").path("A+", "x", "y").done();
+        assert!(matches!(b.build(), Err(RqError::Recursive(_))));
+    }
+
+    #[test]
+    fn transitive_closure_alias_is_not_recursion() {
+        // RL+ inside a rule for a *different* head is the legal TC form.
+        let p = example2();
+        assert_eq!(p.rules().len(), 3);
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("A", "x", "z").rel("e", "x", "y").done();
+        assert!(matches!(
+            b.build(),
+            Err(RqError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("A", "x", "y").done();
+        assert!(matches!(b.build(), Err(RqError::EmptyBody(_))));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(
+            RqProgramBuilder::new().build(),
+            Err(RqError::EmptyProgram)
+        ));
+    }
+
+    #[test]
+    fn default_answer_is_last_head_when_unnamed() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("X", "x", "y").rel("e", "x", "y").done();
+        b.rule("Y", "x", "y").rel("X", "x", "y").done();
+        let p = b.build().unwrap();
+        assert_eq!(p.labels().name(p.answer()), "Y");
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let p = example2();
+        let text = p.display();
+        let p2 = crate::parser::parse_program(&text).unwrap();
+        assert_eq!(p2.rules().len(), p.rules().len());
+        assert_eq!(
+            p2.labels().name(p2.answer()),
+            p.labels().name(p.answer())
+        );
+    }
+
+    #[test]
+    fn alias_conflicting_with_head_rejected() {
+        let mut b = RqProgramBuilder::new();
+        b.rule("D", "x", "y").rel("e", "x", "y").done();
+        b.rule("A", "x", "y").path_as("e+", "x", "y", "D").done();
+        assert!(matches!(b.build(), Err(RqError::AliasConflict(_))));
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-based sliding windows and the Streaming Graph Query (Def. 15).
+
+use crate::rq::RqProgram;
+
+/// A time-based sliding window `W(T, β)` (Def. 16): window size `T` and
+/// slide interval `β` in the stream's time unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window size `T` (how long each tuple stays valid).
+    pub size: u64,
+    /// Slide interval `β` (granularity at which the window progresses).
+    pub slide: u64,
+}
+
+impl WindowSpec {
+    /// Creates a window with the given size and slide.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `slide == 0`.
+    pub fn new(size: u64, slide: u64) -> Self {
+        assert!(size > 0, "window size must be positive");
+        assert!(slide > 0, "slide interval must be positive");
+        WindowSpec { size, slide }
+    }
+
+    /// A per-instant sliding window (`β = 1`, the paper's default).
+    pub fn sliding(size: u64) -> Self {
+        WindowSpec::new(size, 1)
+    }
+
+    /// The validity interval WSCAN assigns to a tuple with timestamp `t`
+    /// (Def. 16): `[t, ⌊t/β⌋·β + T)`.
+    pub fn interval_for(&self, t: u64) -> sgq_types::Interval {
+        sgq_types::time::window_interval(t, self.size, self.slide)
+    }
+}
+
+/// A Streaming Graph Query (Def. 15): an RQ paired with a window
+/// specification, evaluated under snapshot-reducible semantics.
+///
+/// Queries over several input streams may window each stream differently
+/// (Figure 7 joins a 24-hour social stream with a 30-day transaction
+/// stream): [`SgqQuery::with_label_window`] overrides the default window
+/// for individual input-edge labels, and the planner parameterises each
+/// label's WSCAN accordingly (windowing is per-operator in SGA, Def. 16).
+#[derive(Debug, Clone)]
+pub struct SgqQuery {
+    /// The Regular Query program.
+    pub program: RqProgram,
+    /// The default time-based sliding window.
+    pub window: WindowSpec,
+    /// Per-input-label window overrides.
+    label_windows: Vec<(sgq_types::Label, WindowSpec)>,
+}
+
+impl SgqQuery {
+    /// Pairs a program with a window.
+    pub fn new(program: RqProgram, window: WindowSpec) -> Self {
+        SgqQuery {
+            program,
+            window,
+            label_windows: Vec::new(),
+        }
+    }
+
+    /// Overrides the window for one input-edge label (by name). Unknown
+    /// names are ignored (the label does not appear in the program).
+    pub fn with_label_window(mut self, label: &str, window: WindowSpec) -> Self {
+        if let Some(l) = self.program.labels().get(label) {
+            self.set_label_window(l, window);
+        }
+        self
+    }
+
+    /// Overrides the window for one input-edge label (by id).
+    pub fn set_label_window(&mut self, label: sgq_types::Label, window: WindowSpec) {
+        match self.label_windows.iter_mut().find(|(l, _)| *l == label) {
+            Some(entry) => entry.1 = window,
+            None => self.label_windows.push((label, window)),
+        }
+    }
+
+    /// The window governing `label`'s WSCAN (override or default).
+    pub fn window_for(&self, label: sgq_types::Label) -> WindowSpec {
+        self.label_windows
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.window)
+    }
+
+    /// All per-label overrides.
+    pub fn label_windows(&self) -> &[(sgq_types::Label, WindowSpec)] {
+        &self.label_windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_types::Interval;
+
+    #[test]
+    fn interval_for_default_slide() {
+        let w = WindowSpec::sliding(24);
+        assert_eq!(w.interval_for(7), Interval::new(7, 31));
+    }
+
+    #[test]
+    fn interval_for_coarse_slide() {
+        let w = WindowSpec::new(30, 10);
+        assert_eq!(w.interval_for(17), Interval::new(17, 40));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        WindowSpec::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slide_rejected() {
+        WindowSpec::new(10, 0);
+    }
+
+    #[test]
+    fn per_label_windows_override_default() {
+        let program = crate::parse_program("Ans(x, y) <- a(x, m), b(m, y).").unwrap();
+        let a = program.labels().get("a").unwrap();
+        let b = program.labels().get("b").unwrap();
+        let q = SgqQuery::new(program, WindowSpec::sliding(24))
+            .with_label_window("a", WindowSpec::new(720, 24));
+        assert_eq!(q.window_for(a), WindowSpec::new(720, 24));
+        assert_eq!(q.window_for(b), WindowSpec::sliding(24));
+        assert_eq!(q.label_windows().len(), 1);
+    }
+
+    #[test]
+    fn unknown_label_window_is_ignored() {
+        let program = crate::parse_program("Ans(x, y) <- a(x, y).").unwrap();
+        let q = SgqQuery::new(program, WindowSpec::sliding(24))
+            .with_label_window("nonexistent", WindowSpec::sliding(1));
+        assert!(q.label_windows().is_empty());
+    }
+
+    #[test]
+    fn set_label_window_replaces() {
+        let program = crate::parse_program("Ans(x, y) <- a(x, y).").unwrap();
+        let a = program.labels().get("a").unwrap();
+        let mut q = SgqQuery::new(program, WindowSpec::sliding(24));
+        q.set_label_window(a, WindowSpec::sliding(5));
+        q.set_label_window(a, WindowSpec::sliding(9));
+        assert_eq!(q.window_for(a), WindowSpec::sliding(9));
+        assert_eq!(q.label_windows().len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Graph edges and streaming graph edges (Defs. 1 and 3).
+
+use crate::ids::{Label, VertexId};
+use crate::time::Timestamp;
+use std::fmt;
+
+/// A directed labeled edge `(src, trg, label)` — an element of `E` in the
+/// directed labeled graph of Def. 1. Edges are value types; identity is
+/// `(src, trg, label)` per value-equivalence (Def. 10).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Target endpoint.
+    pub trg: VertexId,
+    /// Edge label `φ(e)`.
+    pub label: Label,
+}
+
+impl Edge {
+    /// Creates an edge.
+    #[inline]
+    pub fn new(src: VertexId, trg: VertexId, label: Label) -> Self {
+        Edge { src, trg, label }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}-{:?}->{:?})", self.src, self.label, self.trg)
+    }
+}
+
+/// A **streaming graph edge** (Def. 3): an input-stream element
+/// `(src, trg, l, t)` where `t` is the event timestamp assigned by the
+/// source. Input graph streams (Def. 4) are sequences of sges ordered
+/// non-decreasingly by `t`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sge {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Target endpoint.
+    pub trg: VertexId,
+    /// Edge label.
+    pub label: Label,
+    /// Event (application) timestamp.
+    pub t: Timestamp,
+}
+
+impl Sge {
+    /// Creates an sge.
+    #[inline]
+    pub fn new(src: VertexId, trg: VertexId, label: Label, t: Timestamp) -> Self {
+        Sge { src, trg, label, t }
+    }
+
+    /// Convenience constructor from raw ids.
+    #[inline]
+    pub fn raw(src: u64, trg: u64, label: Label, t: Timestamp) -> Self {
+        Sge::new(VertexId(src), VertexId(trg), label, t)
+    }
+
+    /// The underlying edge (dropping the timestamp).
+    #[inline]
+    pub fn edge(&self) -> Edge {
+        Edge::new(self.src, self.trg, self.label)
+    }
+}
+
+impl fmt::Debug for Sge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:?}-{:?}->{:?} @{})",
+            self.src, self.label, self.trg, self.t
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sge_projects_to_edge() {
+        let e = Sge::raw(1, 2, Label(0), 7);
+        assert_eq!(e.edge(), Edge::new(VertexId(1), VertexId(2), Label(0)));
+    }
+
+    #[test]
+    fn edge_identity_is_value_based() {
+        let a = Edge::new(VertexId(1), VertexId(2), Label(3));
+        let b = Edge::new(VertexId(1), VertexId(2), Label(3));
+        assert_eq!(a, b);
+        let c = Edge::new(VertexId(2), VertexId(1), Label(3));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,134 @@
+//! FxHash-style hashing, implemented in-repo to avoid an external dependency.
+//!
+//! The engine's hot paths are hash probes keyed by small integers (vertex
+//! ids, `(vertex, state)` pairs, join keys). SipHash — the std default — is
+//! a poor fit for such keys, so we use the multiply-and-rotate scheme
+//! popularised by rustc's `FxHasher`. The constant is the 64-bit golden
+//! ratio; quality is low but distribution over sequential integer keys is
+//! more than adequate for open-addressing tables.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (64-bit golden ratio, as used by rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic, DoS-vulnerable hasher for trusted keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in replacement for `std::collections::HashMap`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]. Drop-in replacement for `std::collections::HashSet`.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("streaming"), hash_of("streaming"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        // Sequential keys must not collide (the common vertex-id pattern).
+        let hashes: std::collections::HashSet<u64> = (0u64..10_000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn distinguishes_tuples() {
+        assert_ne!(hash_of((1u64, 2u64)), hash_of((2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        assert_ne!(hash_of(&b"abcdefgh1"[..]), hash_of(&b"abcdefgh2"[..]));
+        assert_ne!(hash_of(&b"abc"[..]), hash_of(&b"abd"[..]));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -1,0 +1,233 @@
+//! Vertex identifiers and interned edge/path labels.
+//!
+//! Labels play a double role in the paper (Def. 13): labels of *input graph
+//! edges* (`φ(E_I)`) are the extensional schema (EDB) and are reserved, while
+//! operators and rules mint *derived* labels (`Σ \ φ(E_I)`) for their
+//! outputs (IDB). [`LabelInterner`] tracks that split so the planner can
+//! reject programs that write to an input label.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A graph vertex identifier.
+///
+/// Vertices are dense `u64`s; datasets and generators are responsible for
+/// mapping external identifiers onto this space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VertexId(pub u64);
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+/// An interned edge or path label (`l ∈ Σ`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Interns label strings to dense [`Label`] ids and records which labels are
+/// reserved for input graph edges (EDB) versus derived by operators (IDB).
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    by_name: FxHashMap<String, Label>,
+    /// `true` at index `l` iff label `l` is an input-edge (EDB) label.
+    is_input: Vec<bool>,
+    fresh_counter: u32,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` as an **input-edge (EDB)** label, i.e. a member of
+    /// `φ(E_I)`. Idempotent; upgrading an existing derived label to an input
+    /// label is allowed (the label was forward-referenced).
+    pub fn input_label(&mut self, name: &str) -> Label {
+        let l = self.intern(name);
+        self.is_input[l.0 as usize] = true;
+        l
+    }
+
+    /// Interns `name` as a **derived (IDB)** label in `Σ \ φ(E_I)`.
+    ///
+    /// Returns an error if `name` is already reserved for input edges:
+    /// operators may not produce sgts with input labels (Def. 13/§5.1 fn. 6).
+    pub fn derived_label(&mut self, name: &str) -> Result<Label, LabelError> {
+        if let Some(&l) = self.by_name.get(name) {
+            if self.is_input[l.0 as usize] {
+                return Err(LabelError::ReservedInputLabel(name.to_string()));
+            }
+            return Ok(l);
+        }
+        Ok(self.intern(name))
+    }
+
+    /// Mints a fresh derived label with an auto-generated unique name.
+    ///
+    /// Used by the planner for intermediate operator outputs.
+    pub fn fresh_derived(&mut self, hint: &str) -> Label {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("_{hint}#{}", self.fresh_counter);
+            if !self.by_name.contains_key(&name) {
+                return self.intern(&name);
+            }
+        }
+    }
+
+    /// Interns `name` without classifying it as input or derived.
+    ///
+    /// Used by parsers that resolve label names before the program-level
+    /// EDB/IDB split is known; `input_label`/`derived_label` refine the
+    /// classification afterwards.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), l);
+        self.is_input.push(false);
+        l
+    }
+
+    /// Looks up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `l`.
+    ///
+    /// # Panics
+    /// Panics if `l` was not interned by this interner.
+    pub fn name(&self, l: Label) -> &str {
+        &self.names[l.0 as usize]
+    }
+
+    /// Whether `l` is reserved for input graph edges (EDB).
+    pub fn is_input(&self, l: Label) -> bool {
+        self.is_input[l.0 as usize]
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(label, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+/// Errors from label interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelError {
+    /// Attempted to use an input-edge (EDB) label as an operator output label.
+    ReservedInputLabel(String),
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::ReservedInputLabel(n) => write!(
+                f,
+                "label `{n}` is reserved for input graph edges and cannot be derived"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = LabelInterner::new();
+        let a = it.input_label("follows");
+        let b = it.input_label("follows");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+        assert_eq!(it.name(a), "follows");
+    }
+
+    #[test]
+    fn edb_idb_split() {
+        let mut it = LabelInterner::new();
+        let f = it.input_label("follows");
+        assert!(it.is_input(f));
+        let d = it.derived_label("recentLiker").unwrap();
+        assert!(!it.is_input(d));
+        assert_ne!(f, d);
+    }
+
+    #[test]
+    fn deriving_an_input_label_is_rejected() {
+        let mut it = LabelInterner::new();
+        it.input_label("likes");
+        assert_eq!(
+            it.derived_label("likes"),
+            Err(LabelError::ReservedInputLabel("likes".into()))
+        );
+    }
+
+    #[test]
+    fn forward_referenced_label_can_become_input() {
+        let mut it = LabelInterner::new();
+        let d = it.derived_label("knows").unwrap();
+        let i = it.input_label("knows");
+        assert_eq!(d, i);
+        assert!(it.is_input(i));
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut it = LabelInterner::new();
+        let a = it.fresh_derived("join");
+        let b = it.fresh_derived("join");
+        assert_ne!(a, b);
+        assert_ne!(it.name(a), it.name(b));
+    }
+
+    #[test]
+    fn iter_matches_interning_order() {
+        let mut it = LabelInterner::new();
+        it.input_label("a");
+        it.input_label("b");
+        let names: Vec<&str> = it.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Sets of disjoint validity intervals with coalescing insertion.
+//!
+//! Operator state must remember *when* a value-equivalent tuple is valid.
+//! Because coalescing (Def. 11) only merges overlapping-or-adjacent
+//! intervals, the state per distinguished key is in general a set of
+//! pairwise disjoint, non-adjacent intervals. [`IntervalSet`] maintains that
+//! normal form under insertion and answers validity/overlap queries.
+//!
+//! Sets are tiny in practice (almost always one interval — a re-inserted
+//! edge extends the previous interval), so a sorted `Vec` beats tree
+//! structures here.
+
+use crate::time::{Interval, Timestamp};
+
+/// A normalised set of disjoint, non-adjacent, non-empty intervals kept
+/// sorted by start time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding a single interval (if non-empty).
+    pub fn from_interval(iv: Interval) -> Self {
+        let mut s = Self::new();
+        s.insert(iv);
+        s
+    }
+
+    /// Inserts `iv`, coalescing with any overlapping or adjacent members.
+    /// Returns the coalesced interval that now covers `iv` (or `None` if
+    /// `iv` was empty).
+    pub fn insert(&mut self, iv: Interval) -> Option<Interval> {
+        if iv.is_empty() {
+            return None;
+        }
+        // Find the range of existing intervals that meet `iv`.
+        let start = self.ivs.partition_point(|x| x.exp < iv.ts);
+        let end = self.ivs[start..]
+            .iter()
+            .position(|x| x.ts > iv.exp)
+            .map_or(self.ivs.len(), |p| start + p);
+        if start == end {
+            self.ivs.insert(start, iv);
+            return Some(iv);
+        }
+        let merged = Interval::new(
+            iv.ts.min(self.ivs[start].ts),
+            iv.exp.max(self.ivs[end - 1].exp),
+        );
+        self.ivs.drain(start + 1..end);
+        self.ivs[start] = merged;
+        Some(merged)
+    }
+
+    /// Removes every instant of `iv` from the set (used for explicit
+    /// deletions via negative tuples, §6.2.5). Splits intervals as needed.
+    pub fn remove(&mut self, iv: Interval) {
+        if iv.is_empty() || self.ivs.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        for &x in &self.ivs {
+            if x.exp <= iv.ts || x.ts >= iv.exp {
+                out.push(x);
+                continue;
+            }
+            let left = Interval::new(x.ts, iv.ts.min(x.exp));
+            let right = Interval::new(iv.exp.max(x.ts), x.exp);
+            if !left.is_empty() {
+                out.push(left);
+            }
+            if !right.is_empty() {
+                out.push(right);
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// Whether a single member fully covers `iv` (an insert of `iv` would
+    /// add no new instants). Empty intervals are trivially covered.
+    pub fn covers(&self, iv: &Interval) -> bool {
+        if iv.is_empty() {
+            return true;
+        }
+        let i = self.ivs.partition_point(|x| x.exp < iv.exp);
+        self.ivs
+            .get(i)
+            .is_some_and(|x| x.ts <= iv.ts && iv.exp <= x.exp)
+    }
+
+    /// Whether any member contains instant `t`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        let i = self.ivs.partition_point(|x| x.exp <= t);
+        self.ivs.get(i).is_some_and(|x| x.contains(t))
+    }
+
+    /// Iterates over members of the set that overlap `iv`.
+    pub fn overlapping<'a>(&'a self, iv: &'a Interval) -> impl Iterator<Item = Interval> + 'a {
+        let start = self.ivs.partition_point(|x| x.exp <= iv.ts);
+        self.ivs[start..]
+            .iter()
+            .take_while(move |x| x.ts < iv.exp)
+            .copied()
+    }
+
+    /// Drops every interval that has fully expired at `t` (direct approach:
+    /// `exp <= t`). Returns how many intervals were dropped.
+    pub fn purge_expired(&mut self, t: Timestamp) -> usize {
+        let before = self.ivs.len();
+        self.ivs.retain(|x| !x.expired_at(t));
+        before - self.ivs.len()
+    }
+
+    /// Largest expiry over all members, or `None` if empty.
+    pub fn max_exp(&self) -> Option<Timestamp> {
+        self.ivs.last().map(|x| x.exp)
+    }
+
+    /// The members, sorted by start.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Number of disjoint intervals.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Total number of instants covered.
+    pub fn covered(&self) -> u64 {
+        self.ivs.iter().map(|x| x.len()).sum()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut s = IntervalSet::new();
+        for iv in iter {
+            s.insert(iv);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(a, b)
+    }
+
+    #[test]
+    fn insert_disjoint_keeps_both() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(10, 20));
+        s.insert(iv(0, 5));
+        assert_eq!(s.intervals(), &[iv(0, 5), iv(10, 20)]);
+    }
+
+    #[test]
+    fn insert_overlapping_coalesces() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 10));
+        let merged = s.insert(iv(5, 15)).unwrap();
+        assert_eq!(merged, iv(0, 15));
+        assert_eq!(s.intervals(), &[iv(0, 15)]);
+    }
+
+    #[test]
+    fn insert_adjacent_coalesces() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 10));
+        s.insert(iv(10, 12));
+        assert_eq!(s.intervals(), &[iv(0, 12)]);
+    }
+
+    #[test]
+    fn insert_bridging_merges_many() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 2));
+        s.insert(iv(4, 6));
+        s.insert(iv(8, 10));
+        let merged = s.insert(iv(1, 9)).unwrap();
+        assert_eq!(merged, iv(0, 10));
+        assert_eq!(s.intervals(), &[iv(0, 10)]);
+    }
+
+    #[test]
+    fn insert_contained_is_absorbed() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 10));
+        s.insert(iv(3, 4));
+        assert_eq!(s.intervals(), &[iv(0, 10)]);
+    }
+
+    #[test]
+    fn empty_insert_ignored() {
+        let mut s = IntervalSet::new();
+        assert!(s.insert(Interval::empty()).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn contains_queries() {
+        let s: IntervalSet = [iv(0, 3), iv(7, 9)].into_iter().collect();
+        assert!(s.contains(0));
+        assert!(!s.contains(3));
+        assert!(!s.contains(5));
+        assert!(s.contains(8));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn overlapping_iterator() {
+        let s: IntervalSet = [iv(0, 3), iv(5, 8), iv(10, 12)].into_iter().collect();
+        let hits: Vec<_> = s.overlapping(&iv(2, 11)).collect();
+        assert_eq!(hits, vec![iv(0, 3), iv(5, 8), iv(10, 12)]);
+        let hits: Vec<_> = s.overlapping(&iv(3, 5)).collect();
+        assert!(hits.is_empty(), "adjacent-only intervals do not overlap");
+    }
+
+    #[test]
+    fn purge_expired_direct_approach() {
+        let mut s: IntervalSet = [iv(0, 3), iv(5, 8), iv(10, 12)].into_iter().collect();
+        assert_eq!(s.purge_expired(8), 2);
+        assert_eq!(s.intervals(), &[iv(10, 12)]);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = IntervalSet::from_interval(iv(0, 10));
+        s.remove(iv(3, 6));
+        assert_eq!(s.intervals(), &[iv(0, 3), iv(6, 10)]);
+        s.remove(iv(0, 3));
+        assert_eq!(s.intervals(), &[iv(6, 10)]);
+        s.remove(iv(0, 100));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn covers_queries() {
+        let s: IntervalSet = [iv(0, 5), iv(8, 12)].into_iter().collect();
+        assert!(s.covers(&iv(0, 5)));
+        assert!(s.covers(&iv(1, 4)));
+        assert!(s.covers(&iv(9, 12)));
+        assert!(!s.covers(&iv(0, 6)));
+        assert!(!s.covers(&iv(4, 9))); // spans the gap
+        assert!(!s.covers(&iv(13, 14)));
+        assert!(s.covers(&Interval::empty()));
+    }
+
+    #[test]
+    fn covered_counts_instants() {
+        let s: IntervalSet = [iv(0, 3), iv(5, 8)].into_iter().collect();
+        assert_eq!(s.covered(), 6);
+    }
+
+    #[test]
+    fn max_exp_is_last() {
+        let s: IntervalSet = [iv(5, 8), iv(0, 3)].into_iter().collect();
+        assert_eq!(s.max_exp(), Some(8));
+    }
+}

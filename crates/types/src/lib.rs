@@ -1,0 +1,49 @@
+//! # sgq-types — the streaming graph data model
+//!
+//! This crate implements the data model of *"Evaluating Complex Queries on
+//! Streaming Graphs"* (Pacaci, Bonifati, Özsu — ICDE 2022), Section 3:
+//!
+//! * [`Sge`] — a **streaming graph edge**: `(src, trg, label, t)` (Def. 3),
+//!   the external input format produced by sources.
+//! * [`Sgt`] — a **streaming graph tuple**: `(src, trg, label, [ts, exp), D)`
+//!   (Def. 7), the internal format that also represents *derived edges* and
+//!   *materialized paths* (paths as first-class citizens, Def. 6).
+//! * [`Interval`] — half-open validity intervals `[ts, exp)` (Def. 5).
+//! * [`coalesce`] / [`IntervalSet`] — the coalesce primitive (Def. 11) that
+//!   merges value-equivalent tuples with overlapping or adjacent intervals,
+//!   giving snapshot graphs set semantics (Def. 12).
+//! * [`SnapshotGraph`] — the materialized path graph valid at an instant `t`
+//!   (Def. 12), used by the one-time oracle evaluator and by tests of
+//!   *snapshot reducibility* (Def. 14).
+//! * [`LabelInterner`] — string labels interned to dense [`Label`] ids, with
+//!   the EDB/IDB split of Def. 13 (input-edge labels are reserved; operators
+//!   mint fresh derived labels).
+//!
+//! The crate has no dependencies; the hash tables used throughout the engine
+//! live in [`hash`] (an FxHash-style hasher implemented in-repo).
+
+#![warn(missing_docs)]
+
+pub mod edge;
+pub mod hash;
+pub mod ids;
+pub mod interval_set;
+pub mod path;
+pub mod props;
+pub mod reorder;
+pub mod sgt;
+pub mod snapshot;
+pub mod stream;
+pub mod time;
+
+pub use edge::{Edge, Sge};
+pub use hash::{FxHashMap, FxHashSet};
+pub use ids::{Label, LabelInterner, VertexId};
+pub use interval_set::IntervalSet;
+pub use path::PathSeq;
+pub use props::{CmpOp, PropMap, PropPred, PropValue, SharedProps};
+pub use reorder::ReorderBuffer;
+pub use sgt::{coalesce, Payload, Sgt};
+pub use snapshot::SnapshotGraph;
+pub use stream::InputStream;
+pub use time::{Interval, Timestamp, TS_MAX};

@@ -1,0 +1,309 @@
+//! Edge properties and attribute predicates (the §8 future-work extension
+//! "incorporating attribute-based predicates to fully support the property
+//! graph model").
+//!
+//! Input graph edges may carry a [`PropMap`] of named values; queries
+//! constrain them with [`PropPred`]s, which the planner pushes below the
+//! windowing operator (the `W(σ_φ(S)) = σ_φ(W(S))` transformation rule of
+//! §5.4) so non-qualifying edges never enter operator state.
+//!
+//! Semantics follow the collapsed three-valued logic common in graph query
+//! languages: a predicate over an **absent** key, or comparing values of
+//! **different types**, evaluates to `false`. Derived edges and paths carry
+//! no properties, so attribute predicates apply to input edges only.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A property value: 64-bit integer, text, or boolean.
+///
+/// Floats are deliberately excluded so values are `Eq + Hash` (operator
+/// state is hash-indexed); fixed-point data can be scaled into integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PropValue {
+    /// A signed integer.
+    Int(i64),
+    /// A text value (ordered lexicographically).
+    Text(Box<str>),
+    /// A boolean (`false < true`).
+    Bool(bool),
+}
+
+impl PropValue {
+    /// Creates a text value.
+    pub fn text(s: &str) -> PropValue {
+        PropValue::Text(s.into())
+    }
+
+    /// Total order within one type; `None` across types.
+    pub fn partial_cmp_same_type(&self, other: &PropValue) -> Option<Ordering> {
+        match (self, other) {
+            (PropValue::Int(a), PropValue::Int(b)) => Some(a.cmp(b)),
+            (PropValue::Text(a), PropValue::Text(b)) => Some(a.cmp(b)),
+            (PropValue::Bool(a), PropValue::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::text(v)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Int(v) => write!(f, "{v}"),
+            PropValue::Text(v) => write!(f, "\"{v}\""),
+            PropValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An immutable set of named property values attached to an input edge.
+///
+/// Keys are kept sorted for canonical equality/hashing; maps are small
+/// (a handful of attributes per edge), so a sorted vector beats a hash map.
+/// Sharing is via [`SharedProps`] (an `Arc`): tuples flowing through joins
+/// clone the pointer, not the map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PropMap {
+    entries: Box<[(Box<str>, PropValue)]>,
+}
+
+/// A cheaply clonable reference to a [`PropMap`].
+pub type SharedProps = Arc<PropMap>;
+
+impl PropMap {
+    /// The empty property map.
+    pub fn new() -> PropMap {
+        PropMap::default()
+    }
+
+    /// Builds a map from `(key, value)` pairs. Later duplicates of a key
+    /// override earlier ones.
+    pub fn from_pairs<K, V, I>(pairs: I) -> PropMap
+    where
+        K: AsRef<str>,
+        V: Into<PropValue>,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut entries: Vec<(Box<str>, PropValue)> = Vec::new();
+        for (k, v) in pairs {
+            let k: Box<str> = k.as_ref().into();
+            let v = v.into();
+            match entries.binary_search_by(|(e, _)| e.as_ref().cmp(k.as_ref())) {
+                Ok(i) => entries[i].1 = v,
+                Err(i) => entries.insert(i, (k, v)),
+            }
+        }
+        PropMap {
+            entries: entries.into_boxed_slice(),
+        }
+    }
+
+    /// Looks up a property by key.
+    pub fn get(&self, key: &str) -> Option<&PropValue> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no properties.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PropValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+}
+
+/// A comparison operator for attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering.
+    fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// An attribute predicate `key op value` over an edge's [`PropMap`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PropPred {
+    /// The property key.
+    pub key: Box<str>,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The constant to compare against.
+    pub value: PropValue,
+}
+
+impl PropPred {
+    /// Creates a predicate.
+    pub fn new(key: &str, op: CmpOp, value: impl Into<PropValue>) -> PropPred {
+        PropPred {
+            key: key.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluates against a property map: absent key or cross-type
+    /// comparison ⇒ `false`.
+    pub fn eval(&self, props: &PropMap) -> bool {
+        props
+            .get(&self.key)
+            .and_then(|v| v.partial_cmp_same_type(&self.value))
+            .is_some_and(|ord| self.op.matches(ord))
+    }
+
+    /// Evaluates against optional (possibly absent) properties.
+    pub fn eval_opt(&self, props: Option<&PropMap>) -> bool {
+        props.is_some_and(|p| self.eval(p))
+    }
+}
+
+impl fmt::Display for PropPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.key, self.op.symbol(), self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_overrides() {
+        let m = PropMap::from_pairs([("z", 1i64), ("a", 2), ("z", 3)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("z"), Some(&PropValue::Int(3)));
+        assert_eq!(m.get("a"), Some(&PropValue::Int(2)));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn mixed_value_types() {
+        let m = PropMap::from_pairs::<_, PropValue, _>([
+            ("n", PropValue::Int(5)),
+            ("s", PropValue::text("en")),
+            ("b", PropValue::Bool(true)),
+        ]);
+        assert_eq!(m.get("s"), Some(&PropValue::text("en")));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn int_comparisons() {
+        let m = PropMap::from_pairs([("w", 10i64)]);
+        assert!(PropPred::new("w", CmpOp::Eq, 10i64).eval(&m));
+        assert!(PropPred::new("w", CmpOp::Ne, 9i64).eval(&m));
+        assert!(PropPred::new("w", CmpOp::Gt, 9i64).eval(&m));
+        assert!(PropPred::new("w", CmpOp::Ge, 10i64).eval(&m));
+        assert!(PropPred::new("w", CmpOp::Lt, 11i64).eval(&m));
+        assert!(PropPred::new("w", CmpOp::Le, 10i64).eval(&m));
+        assert!(!PropPred::new("w", CmpOp::Gt, 10i64).eval(&m));
+    }
+
+    #[test]
+    fn text_is_lexicographic() {
+        let m = PropMap::from_pairs([("lang", "en")]);
+        assert!(PropPred::new("lang", CmpOp::Eq, "en").eval(&m));
+        assert!(PropPred::new("lang", CmpOp::Lt, "fr").eval(&m));
+    }
+
+    #[test]
+    fn absent_key_is_false_for_every_op() {
+        let m = PropMap::new();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!PropPred::new("w", op, 1i64).eval(&m), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn cross_type_comparison_is_false() {
+        let m = PropMap::from_pairs([("w", 10i64)]);
+        assert!(!PropPred::new("w", CmpOp::Eq, "10").eval(&m));
+        assert!(!PropPred::new("w", CmpOp::Ne, "10").eval(&m), "Ne across types is still false");
+    }
+
+    #[test]
+    fn eval_opt_none_is_false() {
+        let p = PropPred::new("w", CmpOp::Ne, 1i64);
+        assert!(!p.eval_opt(None));
+        assert!(p.eval_opt(Some(&PropMap::from_pairs([("w", 2i64)]))));
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = PropPred::new("weight", CmpOp::Ge, 5i64);
+        assert_eq!(p.to_string(), "weight >= 5");
+        let q = PropPred::new("lang", CmpOp::Eq, "en");
+        assert_eq!(q.to_string(), "lang = \"en\"");
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = PropMap::from_pairs([("a", 1i64), ("b", 2)]);
+        let b = PropMap::from_pairs([("b", 2i64), ("a", 1)]);
+        assert_eq!(a, b);
+    }
+}

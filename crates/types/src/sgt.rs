@@ -1,0 +1,271 @@
+//! Streaming graph tuples (Def. 7), value-equivalence (Def. 10) and the
+//! coalesce primitive (Def. 11).
+
+use crate::edge::Edge;
+use crate::ids::{Label, VertexId};
+use crate::path::PathSeq;
+use crate::props::SharedProps;
+use crate::time::Interval;
+use std::fmt;
+
+/// The non-distinguished payload `D` of an sgt: the edge it represents, or —
+/// when the sgt is a materialized path — the sequence of edges forming it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// The sgt represents a (possibly derived) edge.
+    Edge(Edge),
+    /// The sgt represents a materialized path (requirement R3).
+    Path(PathSeq),
+}
+
+impl Payload {
+    /// Number of input edges that participate in the payload.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Edge(_) => 1,
+            Payload::Path(p) => p.len(),
+        }
+    }
+
+    /// Payloads are never empty; present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The payload as an edge slice (single edge or the path's edges).
+    pub fn edges(&self) -> &[Edge] {
+        match self {
+            Payload::Edge(e) => std::slice::from_ref(e),
+            Payload::Path(p) => p.edges(),
+        }
+    }
+
+    /// Returns the materialized path, if this payload is one.
+    pub fn as_path(&self) -> Option<&PathSeq> {
+        match self {
+            Payload::Path(p) => Some(p),
+            Payload::Edge(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Edge(e) => write!(f, "{e:?}"),
+            Payload::Path(p) => write!(f, "{p:?}"),
+        }
+    }
+}
+
+/// A **streaming graph tuple** (Def. 7):
+/// `(src, trg, l, [ts, exp), D)`.
+///
+/// The *distinguished* attributes `(src, trg, l)` identify the edge or path
+/// the tuple represents; the *non-distinguished* attributes are the validity
+/// interval and the payload. Two sgts are **value-equivalent** (Def. 10) iff
+/// their distinguished attributes are equal — see [`Sgt::value_eq`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Sgt {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Target endpoint.
+    pub trg: VertexId,
+    /// Label of the represented edge or path.
+    pub label: Label,
+    /// Validity interval `[ts, exp)`.
+    pub interval: Interval,
+    /// Provenance payload `D`.
+    pub payload: Payload,
+    /// Properties of the input edge this tuple represents (the §8
+    /// property-graph extension). Derived edges and paths carry none.
+    /// Shared, so tuples flowing through joins clone a pointer only.
+    pub props: Option<SharedProps>,
+}
+
+impl Sgt {
+    /// Creates an sgt representing an edge.
+    pub fn edge(src: VertexId, trg: VertexId, label: Label, interval: Interval) -> Self {
+        Sgt {
+            src,
+            trg,
+            label,
+            interval,
+            payload: Payload::Edge(Edge::new(src, trg, label)),
+            props: None,
+        }
+    }
+
+    /// Creates an sgt with an explicit payload (derived edge or path).
+    pub fn with_payload(
+        src: VertexId,
+        trg: VertexId,
+        label: Label,
+        interval: Interval,
+        payload: Payload,
+    ) -> Self {
+        Sgt {
+            src,
+            trg,
+            label,
+            interval,
+            payload,
+            props: None,
+        }
+    }
+
+    /// Attaches input-edge properties (builder style).
+    pub fn with_props(mut self, props: SharedProps) -> Self {
+        self.props = Some(props);
+        self
+    }
+
+    /// The tuple's properties, if it is an input edge that carries any.
+    pub fn props(&self) -> Option<&crate::props::PropMap> {
+        self.props.as_deref()
+    }
+
+    /// Value-equivalence (Def. 10): equality of distinguished attributes.
+    #[inline]
+    pub fn value_eq(&self, other: &Sgt) -> bool {
+        self.src == other.src && self.trg == other.trg && self.label == other.label
+    }
+
+    /// The distinguished attributes as a key (for coalescing maps).
+    #[inline]
+    pub fn key(&self) -> (VertexId, VertexId, Label) {
+        (self.src, self.trg, self.label)
+    }
+}
+
+impl fmt::Debug for Sgt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:?}-{:?}->{:?} {:?} D:{:?})",
+            self.src, self.label, self.trg, self.interval, self.payload
+        )
+    }
+}
+
+/// The **coalesce primitive** (Def. 11): merges a set of value-equivalent
+/// sgts with pairwise overlapping-or-adjacent validity intervals into a
+/// single sgt with interval `[min ts, max exp)`, combining payloads with
+/// `f_agg`.
+///
+/// The paper leaves `f_agg` operator-specific (§6.2.4 footnote 7); S-PATH
+/// uses "keep the payload of the max-expiry constituent", which is what
+/// [`coalesce`] implements. Returns `None` for an empty input.
+///
+/// # Panics
+/// Debug-asserts that all inputs are value-equivalent. The
+/// overlapping/adjacency requirement is *not* checked here (callers such as
+/// [`crate::IntervalSet`] maintain it); coalescing disjoint intervals would
+/// over-claim validity.
+pub fn coalesce(tuples: &[Sgt]) -> Option<Sgt> {
+    let first = tuples.first()?;
+    debug_assert!(tuples.iter().all(|t| t.value_eq(first)));
+    let mut ts = first.interval.ts;
+    let mut best = first;
+    for t in &tuples[1..] {
+        ts = ts.min(t.interval.ts);
+        if t.interval.exp > best.interval.exp {
+            best = t;
+        }
+    }
+    Some(Sgt {
+        src: first.src,
+        trg: first.trg,
+        label: first.label,
+        interval: Interval::new(ts, best.interval.exp),
+        payload: best.payload.clone(),
+        props: best.props.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sgt(src: u64, trg: u64, l: u32, ts: u64, exp: u64) -> Sgt {
+        Sgt::edge(
+            VertexId(src),
+            VertexId(trg),
+            Label(l),
+            Interval::new(ts, exp),
+        )
+    }
+
+    #[test]
+    fn value_equivalence_ignores_interval_and_payload() {
+        let a = sgt(1, 2, 0, 0, 5);
+        let b = sgt(1, 2, 0, 3, 9);
+        assert!(a.value_eq(&b));
+        assert_ne!(a, b); // full equality still differs
+    }
+
+    #[test]
+    fn coalesce_merges_overlapping_intervals() {
+        // Example from §5.1: PATTERN produces (u,RL,v,[29,31)) and
+        // (u,RL,v,[30,31)); coalescing yields [29,31).
+        let a = sgt(1, 2, 0, 29, 31);
+        let b = sgt(1, 2, 0, 30, 31);
+        let c = coalesce(&[a, b]).unwrap();
+        assert_eq!(c.interval, Interval::new(29, 31));
+    }
+
+    #[test]
+    fn coalesce_takes_min_ts_max_exp() {
+        let a = sgt(1, 2, 0, 5, 10);
+        let b = sgt(1, 2, 0, 8, 20);
+        let c = sgt(1, 2, 0, 3, 12);
+        let m = coalesce(&[a, b, c]).unwrap();
+        assert_eq!(m.interval, Interval::new(3, 20));
+    }
+
+    #[test]
+    fn coalesce_keeps_max_expiry_payload() {
+        use crate::path::PathSeq;
+        let p1 = PathSeq::single(Edge::new(VertexId(1), VertexId(2), Label(0)));
+        let p2 = PathSeq::new(vec![
+            Edge::new(VertexId(1), VertexId(3), Label(0)),
+            Edge::new(VertexId(3), VertexId(2), Label(0)),
+        ]);
+        let a = Sgt::with_payload(
+            VertexId(1),
+            VertexId(2),
+            Label(9),
+            Interval::new(0, 10),
+            Payload::Path(p1),
+        );
+        let b = Sgt::with_payload(
+            VertexId(1),
+            VertexId(2),
+            Label(9),
+            Interval::new(5, 20),
+            Payload::Path(p2.clone()),
+        );
+        let m = coalesce(&[a, b]).unwrap();
+        assert_eq!(m.interval, Interval::new(0, 20));
+        assert_eq!(m.payload, Payload::Path(p2));
+    }
+
+    #[test]
+    fn coalesce_of_empty_is_none() {
+        assert!(coalesce(&[]).is_none());
+    }
+
+    #[test]
+    fn coalesce_singleton_is_identity() {
+        let a = sgt(1, 2, 0, 4, 9);
+        assert_eq!(coalesce(std::slice::from_ref(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn payload_edges_view() {
+        let s = sgt(1, 2, 0, 0, 1);
+        assert_eq!(s.payload.len(), 1);
+        assert_eq!(s.payload.edges().len(), 1);
+        assert!(s.payload.as_path().is_none());
+    }
+}

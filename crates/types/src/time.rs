@@ -1,0 +1,223 @@
+//! The time domain and half-open validity intervals (Defs. 5 and 16).
+//!
+//! The paper uses a discrete, totally ordered time domain; we use `u64`
+//! timestamps. Every sgt carries a validity [`Interval`] `[ts, exp)`;
+//! operators intersect intervals (PATTERN/PATH) and coalescing unions
+//! overlapping or adjacent ones (Def. 11).
+
+use std::fmt;
+
+/// A discrete event timestamp (`t ∈ T`).
+pub type Timestamp = u64;
+
+/// The maximum representable timestamp; an interval with `exp == TS_MAX`
+/// never expires (used for unbounded windows).
+pub const TS_MAX: Timestamp = u64::MAX;
+
+/// A half-open validity interval `[ts, exp)` (Def. 5).
+///
+/// An interval contains every instant `t` with `ts <= t < exp`. Empty
+/// intervals (`ts >= exp`) are representable but normalised away by
+/// constructors where possible; use [`Interval::is_empty`] to check.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive start.
+    pub ts: Timestamp,
+    /// Exclusive end (expiry).
+    pub exp: Timestamp,
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.ts, self.exp)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.ts, self.exp)
+    }
+}
+
+impl Interval {
+    /// Creates `[ts, exp)`.
+    #[inline]
+    pub fn new(ts: Timestamp, exp: Timestamp) -> Self {
+        Interval { ts, exp }
+    }
+
+    /// The single-instant interval `[t, t+1)` — the "NOW window" of §3.1.
+    #[inline]
+    pub fn instant(t: Timestamp) -> Self {
+        Interval { ts: t, exp: t + 1 }
+    }
+
+    /// The canonical empty interval.
+    #[inline]
+    pub fn empty() -> Self {
+        Interval { ts: 0, exp: 0 }
+    }
+
+    /// Whether the interval contains no instants.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ts >= self.exp
+    }
+
+    /// Whether instant `t` lies in `[ts, exp)`.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.ts <= t && t < self.exp
+    }
+
+    /// Intersection `[max ts, min exp)`; empty if the intervals are disjoint.
+    ///
+    /// This is the interval combination rule of PATTERN (Def. 19) and PATH
+    /// (Def. 20): a join/path result is valid exactly when all its
+    /// constituents are simultaneously valid.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            ts: self.ts.max(other.ts),
+            exp: self.exp.min(other.exp),
+        }
+    }
+
+    /// Whether the two intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.ts < other.exp && other.ts < self.exp
+    }
+
+    /// Whether the intervals overlap **or are adjacent** (`[1,3)` and `[3,5)`).
+    ///
+    /// This is the merge condition of the coalesce primitive (Def. 11).
+    #[inline]
+    pub fn meets(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.ts <= other.exp && other.ts <= self.exp
+    }
+
+    /// The convex hull `[min ts, max exp)`. Only a true union when
+    /// `self.meets(other)`; coalescing checks that before calling this.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            ts: self.ts.min(other.ts),
+            exp: self.exp.max(other.exp),
+        }
+    }
+
+    /// Number of instants in the interval.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.exp.saturating_sub(self.ts)
+    }
+
+    /// Whether `t` is at or past the expiry of this interval — the *direct
+    /// approach* test used by S-PATH and the join state to drop tuples
+    /// without negative-tuple processing (§6.2.4).
+    #[inline]
+    pub fn expired_at(&self, t: Timestamp) -> bool {
+        self.exp <= t
+    }
+}
+
+/// Computes the sliding-window validity interval assigned by WSCAN
+/// (Def. 16): an sge with timestamp `t` gets `[t, ⌊t/β⌋·β + T)`.
+///
+/// `window` is the window size `T`; `slide` is the slide interval `β`
+/// (`β = 1` for a per-instant sliding window). Saturates at [`TS_MAX`].
+#[inline]
+pub fn window_interval(t: Timestamp, window: u64, slide: u64) -> Interval {
+    debug_assert!(slide >= 1, "slide interval must be at least 1");
+    let base = (t / slide) * slide;
+    Interval {
+        ts: t,
+        exp: base.saturating_add(window),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let i = Interval::new(3, 7);
+        assert!(!i.contains(2));
+        assert!(i.contains(3));
+        assert!(i.contains(6));
+        assert!(!i.contains(7));
+    }
+
+    #[test]
+    fn instant_has_unit_length() {
+        let i = Interval::instant(5);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(5));
+        assert!(!i.contains(6));
+    }
+
+    #[test]
+    fn intersect_of_overlapping() {
+        let a = Interval::new(1, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert_eq!(b.intersect(&a), Interval::new(5, 10));
+    }
+
+    #[test]
+    fn intersect_of_disjoint_is_empty() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(5, 9);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn adjacent_meets_but_does_not_overlap() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(3, 5);
+        assert!(!a.overlaps(&b));
+        assert!(a.meets(&b));
+        assert!(b.meets(&a));
+        assert_eq!(a.hull(&b), Interval::new(1, 5));
+    }
+
+    #[test]
+    fn empty_never_meets() {
+        let e = Interval::empty();
+        let a = Interval::new(0, 5);
+        assert!(!e.meets(&a));
+        assert!(!a.meets(&e));
+        assert_eq!(a.hull(&e), a);
+    }
+
+    #[test]
+    fn window_interval_with_unit_slide() {
+        // β = 1: exp = t + T (Figure 3: t=7, 24h window → [7, 31)).
+        assert_eq!(window_interval(7, 24, 1), Interval::new(7, 31));
+        assert_eq!(window_interval(30, 24, 1), Interval::new(30, 54));
+    }
+
+    #[test]
+    fn window_interval_aligns_to_slide() {
+        // β = 10, T = 30: t = 17 → base 10 → [17, 40).
+        assert_eq!(window_interval(17, 30, 10), Interval::new(17, 40));
+        // A tuple on the boundary: t = 20 → [20, 50).
+        assert_eq!(window_interval(20, 30, 10), Interval::new(20, 50));
+    }
+
+    #[test]
+    fn expired_at_uses_exclusive_expiry() {
+        let i = Interval::new(1, 5);
+        assert!(!i.expired_at(4));
+        assert!(i.expired_at(5));
+        assert!(i.expired_at(6));
+    }
+}

@@ -1,0 +1,50 @@
+//! Explicit deletions (§6.2.5): negative tuples retract previously
+//! inserted edges, cancelling derived results — beyond the implicit
+//! expirations that sliding windows already handle.
+//!
+//! ```text
+//! cargo run --example explicit_deletions
+//! ```
+
+use s_graffito::prelude::*;
+
+fn main() {
+    let program = parse_program("Ans(x, y) <- flight(x, z), flight(z, y).").unwrap();
+    let query = SgqQuery::new(program, WindowSpec::sliding(1_000));
+    // Deletion pipelines disable duplicate suppression so insert/delete
+    // emissions cancel exactly (§6.2.5).
+    let mut engine = Engine::from_query_with(
+        &query,
+        EngineOptions {
+            suppress_duplicates: false,
+            ..Default::default()
+        },
+    );
+    let flight = engine.labels().get("flight").unwrap();
+
+    println!("one-stop connections, with schedule changes:\n");
+    let show = |engine: &Engine, t: u64| {
+        let mut pairs: Vec<_> = engine.answer_at(t).into_iter().collect();
+        pairs.sort();
+        let s: Vec<String> = pairs.iter().map(|(a, b)| format!("{}→{}", a.0, b.0)).collect();
+        println!("    connections now: [{}]", s.join(", "));
+    };
+
+    // YYZ=1, FRA=2, LYS=3, WLO=4.
+    engine.process(Sge::raw(1, 2, flight, 10)); // YYZ–FRA
+    engine.process(Sge::raw(2, 3, flight, 11)); // FRA–LYS
+    engine.process(Sge::raw(2, 4, flight, 12)); // FRA–WLO
+    println!("t=12: schedule loaded");
+    show(&engine, 12);
+
+    // The FRA–LYS flight is cancelled: a negative tuple retracts it and
+    // the derived YYZ–LYS connection disappears.
+    let cancelled = engine.delete(Sge::raw(2, 3, flight, 11));
+    println!("\nt=13: FRA–LYS cancelled ({} retraction(s) emitted)", cancelled.len());
+    show(&engine, 13);
+
+    // A replacement flight restores the connection.
+    engine.process(Sge::raw(2, 3, flight, 14));
+    println!("\nt=14: replacement FRA–LYS scheduled");
+    show(&engine, 14);
+}

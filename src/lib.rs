@@ -1,0 +1,52 @@
+//! # s-graffito — a streaming graph query processor
+//!
+//! A from-scratch Rust implementation of *"Evaluating Complex Queries on
+//! Streaming Graphs"* (Pacaci, Bonifati, Özsu — ICDE 2022): the SGQ query
+//! model, the Streaming Graph Algebra (SGA), non-blocking physical
+//! operators (symmetric hash joins, the S-PATH Δ-PATH index and its
+//! negative-tuple baseline), a push-based execution engine, a
+//! Differential-Dataflow-style incremental baseline, and synthetic
+//! workload generators reproducing the paper's evaluation.
+//!
+//! This umbrella crate re-exports the member crates; see each for details:
+//!
+//! * [`types`] — streaming graph data model (sgts, validity intervals,
+//!   coalescing, snapshot graphs, materialized paths).
+//! * [`automata`] — regular expressions over label alphabets, NFA/DFA.
+//! * [`query`] — the Regular Query model, Datalog & G-CORE front ends,
+//!   sliding windows, and the one-time oracle evaluator.
+//! * [`core`] — SGA algebra, planner, transformation rules, physical
+//!   operators, and the execution engine.
+//! * [`dd`] — the Differential-Dataflow-style incremental baseline.
+//! * [`datagen`] — StackOverflow/SNB-like stream generators and Q1–Q7.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use s_graffito::prelude::*;
+//!
+//! let program = parse_program("Ans(x, y) <- follows+(x, y).").unwrap();
+//! let query = SgqQuery::new(program, WindowSpec::sliding(24));
+//! let mut engine = Engine::from_query(&query);
+//! let follows = engine.labels().get("follows").unwrap();
+//!
+//! engine.process(Sge::raw(1, 2, follows, 0));
+//! let results = engine.process(Sge::raw(2, 3, follows, 5));
+//! assert!(results.iter().any(|r| r.src.0 == 1 && r.trg.0 == 3));
+//! ```
+
+pub use sgq_automata as automata;
+pub use sgq_core as core;
+pub use sgq_datagen as datagen;
+pub use sgq_dd as dd;
+pub use sgq_query as query;
+pub use sgq_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sgq_core::engine::{Engine, EngineOptions, PathImpl, PatternImpl};
+    pub use sgq_core::planner::{plan_canonical, Plan};
+    pub use sgq_core::rewrite;
+    pub use sgq_query::{parse_program, SgqQuery, WindowSpec};
+    pub use sgq_types::{Interval, Label, Payload, Sge, Sgt, VertexId};
+}

@@ -1,0 +1,254 @@
+//! Failure-injection and adversarial-input tests: malformed retractions,
+//! duplicate storms, degenerate windows, and clock edge cases. The engine
+//! must stay consistent (never panic, never fabricate results) under
+//! inputs that violate the "happy path" the paper's experiments exercise.
+
+use s_graffito::prelude::*;
+use s_graffito::query::oracle;
+use s_graffito::types::{PropMap, ReorderBuffer, SnapshotGraph};
+
+fn deletion_engine(text: &str, window: u64) -> Engine {
+    let p = parse_program(text).unwrap();
+    Engine::from_query_with(
+        &SgqQuery::new(p, WindowSpec::sliding(window)),
+        EngineOptions {
+            suppress_duplicates: false,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn deleting_a_tuple_that_was_never_inserted_is_harmless() {
+    for text in [
+        "Ans(x, y) <- a(x, z), b(z, y).",
+        "Ans(x, y) <- a+(x, y).",
+    ] {
+        let mut e = deletion_engine(text, 50);
+        let a = e.labels().get("a").unwrap();
+        e.process(Sge::raw(1, 2, a, 0));
+        let out = e.delete(Sge::raw(7, 8, a, 0)); // never inserted
+        assert!(out.is_empty(), "{text}: spurious retractions {out:?}");
+        assert_eq!(e.answer_at(1).len(), if text.contains('+') { 1 } else { 0 });
+    }
+}
+
+#[test]
+fn double_deletion_does_not_over_retract() {
+    let mut e = deletion_engine("Ans(x, y) <- a(x, z), b(z, y).", 100);
+    let a = e.labels().get("a").unwrap();
+    let b = e.labels().get("b").unwrap();
+    e.process(Sge::raw(1, 2, a, 0));
+    e.process(Sge::raw(2, 3, b, 1));
+    assert_eq!(e.answer_at(2).len(), 1);
+    e.delete(Sge::raw(1, 2, a, 0));
+    assert!(e.answer_at(2).is_empty());
+    // Second deletion of the same edge: state is already gone; the engine
+    // must not fabricate another retraction of a live result.
+    let before = e.deleted_results().len();
+    e.delete(Sge::raw(1, 2, a, 0));
+    // Either zero or a no-op retraction of an already-dead pair is fine,
+    // but the net answer must not change and nothing may panic.
+    assert!(e.answer_at(2).is_empty());
+    assert!(e.deleted_results().len() <= before + 1);
+}
+
+#[test]
+fn deletion_after_expiry_is_a_noop() {
+    let mut e = deletion_engine("Ans(x, y) <- a(x, z), b(z, y).", 10);
+    let a = e.labels().get("a").unwrap();
+    let b = e.labels().get("b").unwrap();
+    e.process(Sge::raw(1, 2, a, 0));
+    e.process(Sge::raw(2, 3, b, 1));
+    // Move far past the window; the join pair is long expired.
+    e.advance_time(100);
+    let out = e.delete(Sge::raw(1, 2, a, 0));
+    // The retraction targets an interval that no live result overlaps.
+    for r in &out {
+        assert!(r.interval.exp <= 11, "retraction of live data: {r:?}");
+    }
+    assert!(e.answer_at(100).is_empty());
+}
+
+#[test]
+fn duplicate_storm_keeps_state_bounded() {
+    // 500 re-insertions of the same edge must coalesce, not accumulate.
+    let p = parse_program("Ans(x, y) <- a(x, z), a(z, y).").unwrap();
+    let q = SgqQuery::new(p, WindowSpec::sliding(1000));
+    let mut e = Engine::from_query(&q);
+    let a = e.labels().get("a").unwrap();
+    for i in 0..500u64 {
+        e.process(Sge::raw(1, 2, a, i / 100)); // slowly advancing clock
+    }
+    assert!(
+        e.state_size() <= 4,
+        "coalescing failed: {} state entries",
+        e.state_size()
+    );
+}
+
+#[test]
+fn empty_window_spec_tuples_can_miss_windows() {
+    // β > T (Def. 16 corner): tuples arriving late in a slide period get
+    // empty validity and must be dropped everywhere, producing no results.
+    let p = parse_program("Ans(x, y) <- a(x, z), b(z, y).").unwrap();
+    let q = SgqQuery::new(p, WindowSpec::new(2, 10)); // T=2, β=10
+    let mut e = Engine::from_query(&q);
+    let a = e.labels().get("a").unwrap();
+    let b = e.labels().get("b").unwrap();
+    e.process(Sge::raw(1, 2, a, 0)); // [0, 2): visible
+    let out = e.process(Sge::raw(2, 3, b, 5)); // arrives ≥ T into the slide: dropped
+    assert!(out.is_empty());
+    // Within-window pair in the next slide period works.
+    e.process(Sge::raw(4, 5, a, 10));
+    let out = e.process(Sge::raw(5, 6, b, 11));
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn large_timestamp_jumps_cross_many_boundaries() {
+    let p = parse_program("Ans(x, y) <- a+(x, y).").unwrap();
+    let q = SgqQuery::new(p, WindowSpec::new(20, 1));
+    let mut e = Engine::from_query(&q);
+    let a = e.labels().get("a").unwrap();
+    e.process(Sge::raw(1, 2, a, 0));
+    // Jump 100k ticks in one step: every crossed boundary is handled.
+    let out = e.process(Sge::raw(2, 3, a, 100_000));
+    assert_eq!(out.len(), 1, "only the fresh edge remains");
+    assert!(e.answer_at(100_000).contains(&(VertexId(2), VertexId(3))));
+    assert!(!e.answer_at(100_000).contains(&(VertexId(1), VertexId(3))));
+}
+
+#[test]
+fn reorder_buffer_repairs_out_of_order_sources() {
+    // The engine requires ordered streams (Def. 4); the reorder buffer is
+    // the ingestion-side fix for slightly-disordered sources.
+    let p = parse_program("Ans(x, y) <- a(x, z), b(z, y).").unwrap();
+    let q = SgqQuery::new(p, WindowSpec::sliding(50));
+    let mut e = Engine::from_query(&q);
+    let a = e.labels().get("a").unwrap();
+    let b = e.labels().get("b").unwrap();
+    let mut buf = ReorderBuffer::new(10); // tolerate 10 ticks of disorder
+    let disordered = [
+        Sge::raw(2, 3, b, 5),
+        Sge::raw(1, 2, a, 2), // late by 3 ticks
+        Sge::raw(4, 5, a, 14),
+        Sge::raw(5, 6, b, 12), // late by 2
+        Sge::raw(9, 9, a, 40),
+    ];
+    let mut results = Vec::new();
+    for sge in disordered {
+        let released = buf.push(sge);
+        assert!(!released.dropped, "slack too small for test fixture");
+        for ready in released.ready {
+            results.extend(e.process(ready));
+        }
+    }
+    for released in buf.flush() {
+        results.extend(e.process(released));
+    }
+    let pairs: Vec<(u64, u64)> = results.iter().map(|r| (r.src.0, r.trg.0)).collect();
+    assert!(pairs.contains(&(1, 3)), "{pairs:?}");
+    assert!(pairs.contains(&(4, 6)), "{pairs:?}");
+}
+
+#[test]
+fn prop_deletion_with_mismatched_props_does_not_retract() {
+    // A retraction whose properties fail the filter never passes the
+    // ingestion FILTER, so it cannot cancel a result whose insertion did.
+    let p = parse_program("Ans(x, y) <- a(x, m)[w > 0], b(m, y).").unwrap();
+    let q = SgqQuery::new(p, WindowSpec::sliding(100));
+    let mut e = Engine::from_query_with(
+        &q,
+        EngineOptions {
+            suppress_duplicates: false,
+            ..Default::default()
+        },
+    );
+    let a = e.labels().get("a").unwrap();
+    let b = e.labels().get("b").unwrap();
+    e.process_with_props(Sge::raw(1, 2, a, 0), PropMap::from_pairs([("w", 5i64)]));
+    e.process(Sge::raw(2, 3, b, 1));
+    assert_eq!(e.answer_at(2).len(), 1);
+    // Wrong props on the retraction: filtered out, answer unchanged.
+    e.delete_with_props(Sge::raw(1, 2, a, 0), PropMap::from_pairs([("w", 0i64)]));
+    assert_eq!(e.answer_at(2).len(), 1);
+    // Matching props cancel.
+    e.delete_with_props(Sge::raw(1, 2, a, 0), PropMap::from_pairs([("w", 5i64)]));
+    assert!(e.answer_at(2).is_empty());
+}
+
+#[test]
+fn negpath_deletion_with_alternative_path_keeps_answer() {
+    // Deleting one of two parallel derivations must not retract the pair
+    // while the alternative is live (DRed-style re-derivation, §6.2.5).
+    let p = parse_program("Ans(x, y) <- a+(x, y).").unwrap();
+    let q = SgqQuery::new(p, WindowSpec::sliding(100));
+    let mut e = Engine::from_query_with(
+        &q,
+        EngineOptions {
+            suppress_duplicates: false,
+            path_impl: PathImpl::NegativeTuple,
+            ..Default::default()
+        },
+    );
+    let a = e.labels().get("a").unwrap();
+    e.process(Sge::raw(1, 2, a, 0));
+    e.process(Sge::raw(2, 4, a, 1));
+    e.process(Sge::raw(1, 3, a, 2));
+    e.process(Sge::raw(3, 4, a, 3));
+    assert!(e.answer_at(4).contains(&(VertexId(1), VertexId(4))));
+    // Kill the 1→2→4 route; 1→3→4 still stands.
+    e.delete(Sge::raw(1, 2, a, 0));
+    assert!(
+        e.answer_at(4).contains(&(VertexId(1), VertexId(4))),
+        "alternative derivation lost"
+    );
+    assert!(!e.answer_at(4).contains(&(VertexId(1), VertexId(2))));
+    // Kill the second route too.
+    e.delete(Sge::raw(3, 4, a, 3));
+    assert!(!e.answer_at(4).contains(&(VertexId(1), VertexId(4))));
+}
+
+#[test]
+fn oracle_agrees_after_mixed_inserts_and_deletes() {
+    // Deterministic insert/delete interleaving checked against the oracle
+    // over the surviving tuple set at several instants.
+    let text = "Ans(x, y) <- a(x, z), b(z, y).";
+    let program = parse_program(text).unwrap();
+    let window = WindowSpec::sliding(30);
+    let mut e = Engine::from_query_with(
+        &SgqQuery::new(program.clone(), window),
+        EngineOptions {
+            suppress_duplicates: false,
+            ..Default::default()
+        },
+    );
+    let a = e.labels().get("a").unwrap();
+    let b = e.labels().get("b").unwrap();
+    let mut live: Vec<Sge> = Vec::new();
+    for i in 0..60u64 {
+        let s = i % 5;
+        let t = (i + 1) % 5;
+        let label = if i % 2 == 0 { a } else { b };
+        let sge = Sge::raw(s, t, label, i);
+        e.process(sge);
+        live.push(sge);
+        if i % 7 == 3 {
+            // Delete the median live edge.
+            let victim = live.remove(live.len() / 2);
+            e.delete(victim);
+        }
+    }
+    for t in [10u64, 25, 40, 59, 80] {
+        let windowed: Vec<Sgt> = live
+            .iter()
+            .map(|s| Sgt::edge(s.src, s.trg, s.label, window.interval_for(s.t)))
+            .collect();
+        let snap = SnapshotGraph::at_time(t, &windowed);
+        let expect = oracle::evaluate_answer(&program, &snap);
+        assert_eq!(e.answer_at(t), expect, "t={t}");
+    }
+}
+
+use s_graffito::types::{Sgt, VertexId};

@@ -1,0 +1,121 @@
+//! Soundness of the §5.4 transformation rules: every plan produced by the
+//! rewriter computes exactly the same streaming answers as the canonical
+//! plan, on every query shape the rules apply to.
+
+use s_graffito::datagen::{resolve, uniform_stream};
+use s_graffito::prelude::*;
+use s_graffito::types::FxHashSet;
+
+fn check_plan_space(program_text: &str, labels: &[&'static str], seed: u64) -> usize {
+    let program = parse_program(program_text).unwrap();
+    let window = WindowSpec::sliding(15);
+    let query = SgqQuery::new(program, window);
+    let canonical = plan_canonical(&query);
+    let plans = rewrite::enumerate_plans(&canonical, 24);
+    assert!(!plans.is_empty());
+
+    let raw = uniform_stream(labels, 8, 150, 75, seed);
+    let stream = resolve(&raw, &canonical.labels);
+
+    let mut reference: Option<Vec<FxHashSet<(VertexId, VertexId)>>> = None;
+    for (i, plan) in plans.iter().enumerate() {
+        let mut engine = Engine::from_plan(plan);
+        engine.run(&stream);
+        // Compare snapshots at several instants, not just the final one.
+        let snaps: Vec<FxHashSet<(VertexId, VertexId)>> =
+            (0..90).step_by(7).map(|t| engine.answer_at(t)).collect();
+        match &reference {
+            None => reference = Some(snaps),
+            Some(r) => assert_eq!(
+                r,
+                &snaps,
+                "plan {i} of `{program_text}` disagrees:\n{}",
+                plan.display()
+            ),
+        }
+    }
+    plans.len()
+}
+
+#[test]
+fn q2_plan_space_is_equivalent() {
+    let n = check_plan_space("Ans(x, y) <- (a b*)(x, y).", &["a", "b"], 11);
+    assert!(n >= 2, "Q2 must have the relationalized alternative");
+}
+
+#[test]
+fn q3_plan_space_is_equivalent() {
+    let n = check_plan_space("Ans(x, y) <- (a b* c*)(x, y).", &["a", "b", "c"], 12);
+    assert!(n >= 2);
+}
+
+#[test]
+fn q4_plan_space_is_equivalent() {
+    // (a·b·c)+ over the rule form: canonical loop-caching plan plus the
+    // P1/P2/P3 groupings of Figure 12.
+    let n = check_plan_space(
+        "T(x, y)   <- a(x, m1), b(m1, m2), c(m2, y).
+         Ans(x, y) <- T+(x, y).",
+        &["a", "b", "c"],
+        13,
+    );
+    assert!(n >= 4, "Q4 exposes at least the 4 plans of Figure 12, got {n}");
+}
+
+#[test]
+fn q4_regex_form_plan_space_is_equivalent() {
+    let n = check_plan_space("Ans(x, y) <- (a b c)+(x, y).", &["a", "b", "c"], 14);
+    assert!(n >= 4);
+}
+
+#[test]
+fn alternation_plan_space_is_equivalent() {
+    let n = check_plan_space("Ans(x, y) <- (a|b)(x, y).", &["a", "b"], 15);
+    assert!(n >= 2, "alternation rule must fire");
+}
+
+#[test]
+fn alternation_under_plus_is_equivalent() {
+    check_plan_space("Ans(x, y) <- (a|b)+(x, y).", &["a", "b"], 16);
+}
+
+#[test]
+fn composite_query_plan_space_is_equivalent() {
+    check_plan_space(
+        "RL(x, y)  <- a+(x, y), b(x, m), c(m, y).
+         Ans(x, m) <- RL+(x, y), c(m, y).",
+        &["a", "b", "c"],
+        17,
+    );
+}
+
+#[test]
+fn rewritten_plans_also_satisfy_reducibility() {
+    // Spot-check one rewritten plan directly against the oracle.
+    use s_graffito::query::oracle;
+    use s_graffito::types::SnapshotGraph;
+
+    let program = parse_program("Ans(x, y) <- (a b*)(x, y).").unwrap();
+    let window = WindowSpec::sliding(10);
+    let query = SgqQuery::new(program.clone(), window);
+    let canonical = plan_canonical(&query);
+    let plans = rewrite::enumerate_plans(&canonical, 8);
+    let rewritten = plans.last().unwrap();
+
+    let raw = uniform_stream(&["a", "b"], 6, 60, 30, 18);
+    let stream = resolve(&raw, &rewritten.labels);
+    let mut engine = Engine::from_plan(rewritten);
+    let mut windowed = Vec::new();
+    for sge in &stream {
+        engine.process(*sge);
+        windowed.push(Sgt::edge(sge.src, sge.trg, sge.label, window.interval_for(sge.t)));
+    }
+    for t in 0..40 {
+        let snap = SnapshotGraph::at_time(t, &windowed);
+        assert_eq!(
+            engine.answer_at(t),
+            oracle::evaluate_answer(&program, &snap),
+            "t={t}"
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Property-based tests (proptest) on the core invariants: interval
+//! algebra, coalescing state, regex→DFA equivalence, and full-engine
+//! snapshot reducibility on randomized streams.
+
+use proptest::prelude::*;
+use s_graffito::automata::{Dfa, Nfa, Regex};
+use s_graffito::prelude::*;
+use s_graffito::query::oracle;
+use s_graffito::types::{IntervalSet, Label, SnapshotGraph};
+
+// ---------------------------------------------------------------------
+// Interval algebra
+// ---------------------------------------------------------------------
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (0u64..60, 1u64..30).prop_map(|(ts, len)| Interval::new(ts, ts + len))
+}
+
+proptest! {
+    #[test]
+    fn intersect_is_commutative(a in interval(), b in interval()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn intersect_agrees_with_pointwise(a in interval(), b in interval(), t in 0u64..100) {
+        let i = a.intersect(&b);
+        prop_assert_eq!(i.contains(t), a.contains(t) && b.contains(t));
+    }
+
+    #[test]
+    fn hull_contains_both(a in interval(), b in interval()) {
+        let h = a.hull(&b);
+        for t in 0..100u64 {
+            if a.contains(t) || b.contains(t) {
+                prop_assert!(h.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn meets_iff_hull_adds_no_gap(a in interval(), b in interval()) {
+        // When two intervals meet, their hull covers exactly their union.
+        prop_assume!(a.meets(&b));
+        let h = a.hull(&b);
+        for t in 0..100u64 {
+            prop_assert_eq!(h.contains(t), a.contains(t) || b.contains(t));
+        }
+    }
+
+    #[test]
+    fn window_interval_contains_its_timestamp(t in 0u64..1000, w in 1u64..100, s in 1u64..20) {
+        let iv = s_graffito::types::time::window_interval(t, w, s);
+        // With β ≤ T every tuple is visible for at least one instant; with
+        // β > T a tuple arriving ≥ T into its slide period misses the
+        // window entirely (empty interval) — both per Def. 16.
+        if s <= w {
+            prop_assert!(iv.contains(t));
+        } else {
+            prop_assert_eq!(iv.contains(t), t % s < w);
+        }
+        // Expiry is aligned: exp - T is a multiple of the slide.
+        prop_assert_eq!((iv.exp - w) % s, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// IntervalSet vs a naive instant-set model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interval_set_matches_instant_model(ops in prop::collection::vec(interval(), 1..20)) {
+        let mut set = IntervalSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for iv in &ops {
+            set.insert(*iv);
+            for t in iv.ts..iv.exp {
+                model.insert(t);
+            }
+        }
+        for t in 0..100u64 {
+            prop_assert_eq!(set.contains(t), model.contains(&t), "t={}", t);
+        }
+        prop_assert_eq!(set.covered(), model.len() as u64);
+        // Normal form: members are disjoint, non-adjacent, sorted.
+        for w in set.intervals().windows(2) {
+            prop_assert!(w[0].exp < w[1].ts);
+        }
+    }
+
+    #[test]
+    fn interval_set_insert_order_is_irrelevant(mut ivs in prop::collection::vec(interval(), 1..12)) {
+        let forward: IntervalSet = ivs.iter().copied().collect();
+        ivs.reverse();
+        let backward: IntervalSet = ivs.iter().copied().collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn remove_then_contains_is_false(base in interval(), cut in interval()) {
+        let mut set = IntervalSet::from_interval(base);
+        set.remove(cut);
+        for t in cut.ts..cut.exp {
+            prop_assert!(!set.contains(t));
+        }
+        for t in base.ts..base.exp {
+            if !cut.contains(t) {
+                prop_assert!(set.contains(t));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex → DFA equivalence with the NFA oracle
+// ---------------------------------------------------------------------
+
+fn regex(depth: u32) -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(|l| Regex::Label(Label(l))),
+        Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::plus),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn dfa_equals_nfa_on_random_words(re in regex(3), words in prop::collection::vec(prop::collection::vec(0u32..3, 0..6), 1..20)) {
+        let dfa = Dfa::from_regex(&re);
+        let nfa = Nfa::from_regex(&re);
+        for w in &words {
+            let word: Vec<Label> = w.iter().map(|&l| Label(l)).collect();
+            prop_assert_eq!(dfa.accepts(&word), nfa.accepts(&word), "word {:?} of {:?}", word, re);
+        }
+    }
+
+    #[test]
+    fn dfa_nullability_matches_regex(re in regex(3)) {
+        let dfa = Dfa::from_regex(&re);
+        prop_assert_eq!(dfa.accepts_empty(), re.nullable());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-engine snapshot reducibility on random streams
+// ---------------------------------------------------------------------
+
+/// (src, trg, label-idx, ts-increment) tuples → a valid ordered stream.
+fn raw_edges() -> impl Strategy<Value = Vec<(u64, u64, u32, u64)>> {
+    prop::collection::vec((0u64..5, 0u64..5, 0u32..2, 0u64..3), 1..40)
+}
+
+fn run_reducibility(
+    program_text: &str,
+    edges: Vec<(u64, u64, u32, u64)>,
+    window: WindowSpec,
+    opts: EngineOptions,
+) -> Result<(), TestCaseError> {
+    let program = parse_program(program_text).unwrap();
+    let names = ["a", "b"];
+    let query = SgqQuery::new(program.clone(), window);
+    let mut engine = Engine::from_query_with(&query, opts);
+    let mut windowed = Vec::new();
+    let mut t = 0u64;
+    for (s, tr, l, dt) in edges {
+        t += dt;
+        // Labels the query does not reference are discarded (§7.2.1).
+        let Some(label) = engine.labels().get(names[l as usize]) else {
+            continue;
+        };
+        let sge = Sge::raw(s, tr, label, t);
+        engine.process(sge);
+        windowed.push(Sgt::edge(sge.src, sge.trg, sge.label, window.interval_for(t)));
+    }
+    // Window movement is time-driven (needed by the negative-tuple PATH).
+    engine.advance_time(t + window.size + 1);
+    for check_t in 0..t + window.size + 1 {
+        let snap = SnapshotGraph::at_time(check_t, &windowed);
+        let expect = oracle::evaluate_answer(&program, &snap);
+        prop_assert_eq!(
+            engine.answer_at(check_t),
+            expect,
+            "{} at t={}",
+            program_text,
+            check_t
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn join_engine_is_reducible(edges in raw_edges()) {
+        run_reducibility(
+            "Ans(x, y) <- a(x, z), b(z, y).",
+            edges,
+            WindowSpec::sliding(8),
+            EngineOptions::default(),
+        )?;
+    }
+
+    #[test]
+    fn spath_engine_is_reducible(edges in raw_edges()) {
+        run_reducibility(
+            "Ans(x, y) <- (a b*)(x, y).",
+            edges,
+            WindowSpec::sliding(8),
+            EngineOptions::default(),
+        )?;
+    }
+
+    #[test]
+    fn negpath_engine_is_reducible(edges in raw_edges()) {
+        run_reducibility(
+            "Ans(x, y) <- a+(x, y).",
+            edges,
+            WindowSpec::sliding(8),
+            EngineOptions {
+                path_impl: PathImpl::NegativeTuple,
+                ..Default::default()
+            },
+        )?;
+    }
+
+    #[test]
+    fn composite_engine_is_reducible(edges in raw_edges()) {
+        run_reducibility(
+            "RL(x, y)  <- a+(x, y), b(x, y).
+             Ans(x, y) <- RL+(x, y).",
+            edges,
+            WindowSpec::sliding(6),
+            EngineOptions::default(),
+        )?;
+    }
+
+    #[test]
+    fn wcoj_pattern_engine_is_reducible(edges in raw_edges()) {
+        // Triangle-style pattern through the WCOJ physical operator.
+        run_reducibility(
+            "Ans(x, y) <- a(x, z), b(z, y), a(x, y).",
+            edges,
+            WindowSpec::sliding(8),
+            EngineOptions {
+                pattern_impl: PatternImpl::Wcoj,
+                ..Default::default()
+            },
+        )?;
+    }
+
+    #[test]
+    fn property_filter_engine_is_reducible(edges in raw_edges()) {
+        // Attribute predicates (§8 extension): engine-side ingestion
+        // filtering must equal the oracle evaluating predicates over the
+        // snapshot's property store. Weights are derived deterministically
+        // from the edge so both sides agree.
+        use s_graffito::types::PropMap;
+        let text = "Ans(x, y) <- a(x, z)[w >= 2], b(z, y).";
+        let program = parse_program(text).unwrap();
+        let window = WindowSpec::sliding(8);
+        let query = SgqQuery::new(program.clone(), window);
+        let mut engine = Engine::from_query(&query);
+        let names = ["a", "b"];
+        let mut windowed = Vec::new();
+        let mut t = 0u64;
+        for (s, tr, l, dt) in edges {
+            t += dt;
+            let label = engine.labels().get(names[l as usize]).unwrap();
+            let w = ((s + 2 * tr + l as u64) % 4) as i64; // deterministic weight
+            let props = PropMap::from_pairs([("w", w)]);
+            let sge = Sge::raw(s, tr, label, t);
+            engine.process_with_props(sge, props.clone());
+            windowed.push(
+                Sgt::edge(sge.src, sge.trg, sge.label, window.interval_for(t))
+                    .with_props(std::sync::Arc::new(props)),
+            );
+        }
+        for check_t in 0..t + 9 {
+            let snap = SnapshotGraph::at_time(check_t, &windowed);
+            let expect = oracle::evaluate_answer(&program, &snap);
+            prop_assert_eq!(engine.answer_at(check_t), expect, "t={}", check_t);
+        }
+    }
+
+    #[test]
+    fn per_label_windows_are_reducible(edges in raw_edges()) {
+        // Figure 7's individually-windowed streams: snapshot reducibility
+        // holds with each label windowed by its own W(T, β).
+        let text = "Ans(x, y) <- a(x, z), b(z, y).";
+        let program = parse_program(text).unwrap();
+        let query = SgqQuery::new(program.clone(), WindowSpec::new(12, 2))
+            .with_label_window("a", WindowSpec::new(5, 1));
+        let mut engine = Engine::from_query(&query);
+        let names = ["a", "b"];
+        let mut windowed = Vec::new();
+        let mut t = 0u64;
+        for (s, tr, l, dt) in edges {
+            t += dt;
+            let label = engine.labels().get(names[l as usize]).unwrap();
+            let sge = Sge::raw(s, tr, label, t);
+            engine.process(sge);
+            windowed.push(Sgt::edge(
+                sge.src,
+                sge.trg,
+                sge.label,
+                query.window_for(label).interval_for(t),
+            ));
+        }
+        engine.advance_time(t + 13);
+        for check_t in 0..t + 13 {
+            let snap = SnapshotGraph::at_time(check_t, &windowed);
+            let expect = oracle::evaluate_answer(&program, &snap);
+            prop_assert_eq!(engine.answer_at(check_t), expect, "t={}", check_t);
+        }
+    }
+
+    #[test]
+    fn batched_ingestion_is_reducible(edges in raw_edges()) {
+        // §7.3 batching must preserve snapshot reducibility exactly.
+        let text = "Ans(x, y) <- a(x, z), b(z, y).";
+        let program = parse_program(text).unwrap();
+        let window = WindowSpec::new(8, 2);
+        let query = SgqQuery::new(program.clone(), window);
+        let mut engine = Engine::from_query(&query);
+        let names = ["a", "b"];
+        let mut stream = Vec::new();
+        let mut windowed = Vec::new();
+        let mut t = 0u64;
+        for (s, tr, l, dt) in edges {
+            t += dt;
+            let label = engine.labels().get(names[l as usize]).unwrap();
+            stream.push(Sge::raw(s, tr, label, t));
+            windowed.push(Sgt::edge(
+                VertexId(s),
+                VertexId(tr),
+                label,
+                window.interval_for(t),
+            ));
+        }
+        engine.run_batched(&stream, 3);
+        engine.advance_time(t + 9);
+        for check_t in 0..t + 9 {
+            let snap = SnapshotGraph::at_time(check_t, &windowed);
+            let expect = oracle::evaluate_answer(&program, &snap);
+            prop_assert_eq!(engine.answer_at(check_t), expect, "t={}", check_t);
+        }
+    }
+
+    #[test]
+    fn wcoj_equals_hash_tree(edges in raw_edges()) {
+        // The two PATTERN physical implementations are interchangeable:
+        // identical answers at every time instant on random streams.
+        let text = "Ans(x, y) <- a(x, z), b(z, y), b(x, w), a(w, y).";
+        let program = parse_program(text).unwrap();
+        let window = WindowSpec::sliding(8);
+        let query = SgqQuery::new(program, window);
+        let mut tree = Engine::from_query(&query);
+        let mut wcoj = Engine::from_query_with(
+            &query,
+            EngineOptions { pattern_impl: PatternImpl::Wcoj, ..Default::default() },
+        );
+        let names = ["a", "b"];
+        let mut t = 0u64;
+        for (s, tr, l, dt) in edges {
+            t += dt;
+            let label = tree.labels().get(names[l as usize]).unwrap();
+            tree.process(Sge::raw(s, tr, label, t));
+            wcoj.process(Sge::raw(s, tr, label, t));
+        }
+        for check_t in 0..t + 10 {
+            prop_assert_eq!(tree.answer_at(check_t), wcoj.answer_at(check_t), "t={}", check_t);
+        }
+    }
+}
