@@ -111,6 +111,20 @@ impl Regex {
         }
     }
 
+    /// Rewrites every label atom through `f`, preserving structure. Used
+    /// to re-home a regex into another label namespace (e.g. the
+    /// multi-query host's canonical namespace).
+    pub fn map_labels(&self, f: &mut impl FnMut(Label) -> Label) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Label(l) => Regex::Label(f(*l)),
+            Regex::Concat(ps) => Regex::Concat(ps.iter().map(|p| p.map_labels(f)).collect()),
+            Regex::Alt(ps) => Regex::Alt(ps.iter().map(|p| p.map_labels(f)).collect()),
+            Regex::Star(p) => Regex::Star(Box::new(p.map_labels(f))),
+        }
+    }
+
     /// The set of labels appearing in the expression, in first-occurrence
     /// order.
     pub fn alphabet(&self) -> Vec<Label> {
@@ -137,7 +151,10 @@ impl Regex {
     }
 
     /// Parses the textual syntax; see [`crate::parser`].
-    pub fn parse(input: &str, labels: &mut LabelInterner) -> Result<Regex, crate::parser::ParseError> {
+    pub fn parse(
+        input: &str,
+        labels: &mut LabelInterner,
+    ) -> Result<Regex, crate::parser::ParseError> {
         crate::parser::parse(input, labels)
     }
 

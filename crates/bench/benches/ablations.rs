@@ -15,8 +15,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgq_bench::Scale;
 use sgq_core::engine::{Engine, EngineOptions, PatternImpl};
-use sgq_datagen::workloads::{self, Dataset};
 use sgq_datagen::resolve;
+use sgq_datagen::workloads::{self, Dataset};
 use sgq_query::SgqQuery;
 use std::time::Duration;
 
@@ -114,10 +114,7 @@ fn bench_ablations(c: &mut Criterion) {
         let program = workloads::query(1, Dataset::So);
         let stream = resolve(&raw, program.labels());
         let window = scale.window(30, 1, 8); // T = 30d, β = 3h
-        for (tag, period) in [
-            ("per-slide", Some(window.slide)),
-            ("periodic", None),
-        ] {
+        for (tag, period) in [("per-slide", Some(window.slide)), ("periodic", None)] {
             group.bench_with_input(
                 BenchmarkId::new("purge-cadence/Q1", tag),
                 &period,

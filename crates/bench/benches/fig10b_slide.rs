@@ -17,7 +17,12 @@ fn bench_slide_sweep(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
     for n in [2usize, 6] {
-        for (name, num, den) in [("3h", 1u64, 8u64), ("12h", 1, 2), ("1d", 1, 1), ("4d", 4, 1)] {
+        for (name, num, den) in [
+            ("3h", 1u64, 8u64),
+            ("12h", 1, 2),
+            ("1d", 1, 1),
+            ("4d", 4, 1),
+        ] {
             let window = scale.window(30, num, den);
             group.bench_with_input(
                 BenchmarkId::new(format!("Q{n}"), format!("b={name}")),

@@ -19,10 +19,7 @@ use sgq_query::SgqQuery;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let factor: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let factor: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let scale = Scale::repro().scaled(factor);
     println!(
         "# s-graffito repro — {} edges/stream, {} vertices, 1 day = {} ticks\n",
@@ -65,7 +62,10 @@ fn table2(scale: Scale) {
     for ds in [Dataset::So, Dataset::Snb] {
         let raw = scale.stream(ds);
         println!("{}:", ds.name());
-        println!("{:<6} {:<32} {:<32}", "", "SGA (Tput / p99 TL)", "DD (Tput / p99 TL)");
+        println!(
+            "{:<6} {:<32} {:<32}",
+            "", "SGA (Tput / p99 TL)", "DD (Tput / p99 TL)"
+        );
         for n in 1..=7 {
             let sga = run_query(n, ds, &raw, window, System::Sga);
             let dd = run_query(n, ds, &raw, window, System::Dd);
@@ -158,7 +158,11 @@ fn plan_figure(scale: Scale, qn: usize, title: &str) {
         println!("{} (Q{qn}):", ds.name());
         for (i, plan) in plans.iter().enumerate() {
             let stats = run_plan(plan, &raw);
-            let tag = if i == 0 { "SGA".to_string() } else { format!("P{i}") };
+            let tag = if i == 0 {
+                "SGA".to_string()
+            } else {
+                format!("P{i}")
+            };
             println!(
                 "  {tag:<5} {:<32} ({} ops, {} stateful)",
                 row(&stats),
@@ -189,7 +193,12 @@ fn table3(scale: Scale) {
             } else {
                 0.0
             };
-            println!("Q{n:<5} {:<32} {:<32} {:>+8.1}%", row(&direct), row(&neg), imp);
+            println!(
+                "Q{n:<5} {:<32} {:<32} {:>+8.1}%",
+                row(&direct),
+                row(&neg),
+                imp
+            );
         }
         println!();
     }

@@ -77,16 +77,15 @@ impl Scale {
     /// A window of `days` days with slide `slide_days` days.
     pub fn window(&self, days: u64, slide_days_num: u64, slide_days_den: u64) -> WindowSpec {
         let day = self.ticks_per_day();
-        WindowSpec::new(
-            days * day,
-            ((day * slide_days_num) / slide_days_den).max(1),
-        )
+        WindowSpec::new(days * day, ((day * slide_days_num) / slide_days_den).max(1))
     }
 
     /// Generates the raw stream for a dataset at this scale.
     pub fn stream(&self, ds: Dataset) -> RawStream {
         match ds {
-            Dataset::So => so_stream(&SoConfig::new(self.vertices, self.edges).with_span(self.span())),
+            Dataset::So => {
+                so_stream(&SoConfig::new(self.vertices, self.edges).with_span(self.span()))
+            }
             Dataset::Snb => {
                 snb_stream(&SnbConfig::new(self.vertices, self.edges).with_span(self.span()))
             }

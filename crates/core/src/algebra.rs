@@ -258,10 +258,8 @@ impl SgaExpr {
                 output,
                 label,
             } => {
-                let conds: Vec<String> = conditions
-                    .iter()
-                    .map(|(a, b)| format!("{a}={b}"))
-                    .collect();
+                let conds: Vec<String> =
+                    conditions.iter().map(|(a, b)| format!("{a}={b}")).collect();
                 out.push_str(&format!(
                     "{pad}PATTERN[{},{} → {}; {}]\n",
                     output.0,
@@ -343,7 +341,8 @@ mod tests {
     #[test]
     fn filter_pred_eval() {
         use sgq_types::Interval;
-        let sgt = |s: u64, t: u64| Sgt::edge(VertexId(s), VertexId(t), Label(0), Interval::new(0, 1));
+        let sgt =
+            |s: u64, t: u64| Sgt::edge(VertexId(s), VertexId(t), Label(0), Interval::new(0, 1));
         let a = VertexId(1);
         assert!(FilterPred::SrcEqTrg.eval(&sgt(1, 1)));
         assert!(!FilterPred::SrcEqTrg.eval(&sgt(1, 2)));

@@ -1,0 +1,438 @@
+//! Reusable physical-dataflow machinery: plan lowering with structural
+//! deduplication, delta delivery, and operator retirement.
+//!
+//! [`Engine`](crate::engine::Engine) historically owned this logic
+//! privately; it is factored out so hosts that manage **many** plans over
+//! one operator graph (the `sgq_multiquery` crate) can reuse the same
+//! lowering, memoization, and push-based delivery:
+//!
+//! * [`Dataflow::lower`] turns an [`SgaExpr`] into physical operators,
+//!   memoizing on structural equality so equal subexpressions — whether
+//!   they recur *within* one plan (Figure 8) or *across* separately
+//!   lowered plans — are instantiated once and fanned out.
+//! * [`Dataflow::ingest`] / [`Dataflow::emit_from`] run the data-driven
+//!   delivery loop (§6.1), reporting every operator's emissions to a sink
+//!   callback so callers decide which nodes are observable roots.
+//! * [`Dataflow::retire`] removes operators no longer referenced by any
+//!   plan (the node arena is monotonic: slots are tombstoned, not reused,
+//!   so node ids held by other plans stay valid).
+
+use crate::algebra::SgaExpr;
+use crate::engine::{EngineOptions, PathImpl, PatternImpl};
+use crate::physical::pattern::{CompiledPattern, PatternOp};
+use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
+use crate::physical::wcoj::WcojPatternOp;
+use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, PhysicalOp};
+use sgq_types::{FxHashMap, FxHashSet, Label, Timestamp};
+use std::collections::VecDeque;
+
+/// A node in the physical dataflow: an operator plus its fan-out edges
+/// `(successor node, input port)`.
+pub struct DataflowNode {
+    /// The physical operator.
+    pub op: Box<dyn PhysicalOp>,
+    /// Downstream edges as `(node, port)`.
+    pub succs: Vec<(usize, usize)>,
+}
+
+/// A shared physical operator graph.
+///
+/// Multiple plans can be lowered into one `Dataflow`; structurally equal
+/// subplans resolve to the same node. Node ids are stable for the lifetime
+/// of the dataflow.
+pub struct Dataflow {
+    nodes: Vec<DataflowNode>,
+    /// `true` at `i` iff node `i` was retired (no plan references it).
+    retired: Vec<bool>,
+    /// Input label → WSCAN source nodes fed by that label.
+    sources: FxHashMap<Label, Vec<usize>>,
+    /// Structural-deduplication table: lowered expression → node.
+    memo: FxHashMap<SgaExpr, usize>,
+    opts: EngineOptions,
+}
+
+impl Dataflow {
+    /// An empty dataflow lowering with `opts`.
+    pub fn new(opts: EngineOptions) -> Dataflow {
+        Dataflow {
+            nodes: Vec::new(),
+            retired: Vec::new(),
+            sources: FxHashMap::default(),
+            memo: FxHashMap::default(),
+            opts,
+        }
+    }
+
+    /// The options plans are lowered with.
+    pub fn options(&self) -> EngineOptions {
+        self.opts
+    }
+
+    /// Total node slots, including retired ones.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes were ever created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of live (non-retired) operators.
+    pub fn live_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| !r).count()
+    }
+
+    /// Whether node `n` has been retired.
+    pub fn is_retired(&self, n: usize) -> bool {
+        self.retired[n]
+    }
+
+    /// Names of the live operators, in creation order.
+    pub fn operator_names(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .zip(&self.retired)
+            .filter(|(_, &r)| !r)
+            .map(|(n, _)| n.op.name())
+            .collect()
+    }
+
+    /// Total state entries held by live operators.
+    pub fn state_size(&self) -> usize {
+        self.nodes
+            .iter()
+            .zip(&self.retired)
+            .filter(|(_, &r)| !r)
+            .map(|(n, _)| n.op.state_size())
+            .sum()
+    }
+
+    /// Whether any live WSCAN reads `label`.
+    pub fn has_source(&self, label: Label) -> bool {
+        self.sources.get(&label).is_some_and(|s| !s.is_empty())
+    }
+
+    /// The node already lowered for `expr`, if any.
+    pub fn lookup(&self, expr: &SgaExpr) -> Option<usize> {
+        self.memo.get(expr).copied()
+    }
+
+    /// Lowers `expr` into physical operators, returning its root node.
+    /// Structurally equal (sub)expressions — across *all* `lower` calls on
+    /// this dataflow — share one node.
+    pub fn lower(&mut self, expr: &SgaExpr) -> usize {
+        if let Some(&n) = self.memo.get(expr) {
+            return n;
+        }
+        let n = match expr {
+            SgaExpr::WScan {
+                label,
+                window,
+                slide,
+            } => {
+                let n = self.add(Box::new(WScanOp::new(*window, *slide)));
+                self.sources.entry(*label).or_default().push(n);
+                n
+            }
+            SgaExpr::Filter { input, preds } => {
+                let child = self.lower(input);
+                let n = self.add(Box::new(FilterOp::new(preds.clone())));
+                self.connect(child, n, 0);
+                n
+            }
+            SgaExpr::Union { inputs, label } => {
+                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
+                let n = self.add(Box::new(UnionOp::new(*label)));
+                for c in children {
+                    self.connect(c, n, 0);
+                }
+                n
+            }
+            SgaExpr::Pattern {
+                inputs,
+                conditions,
+                output,
+                label,
+            } => {
+                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
+                let spec = CompiledPattern::compile(inputs.len(), conditions, *output, *label);
+                let op: Box<dyn PhysicalOp> = match self.opts.pattern_impl {
+                    PatternImpl::HashTree => {
+                        Box::new(PatternOp::new(spec, self.opts.suppress_duplicates))
+                    }
+                    PatternImpl::Wcoj => {
+                        Box::new(WcojPatternOp::new(spec, self.opts.suppress_duplicates))
+                    }
+                };
+                let n = self.add(op);
+                for (port, c) in children.into_iter().enumerate() {
+                    self.connect(c, n, port);
+                }
+                n
+            }
+            SgaExpr::Path {
+                inputs,
+                regex,
+                label,
+            } => {
+                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
+                let op: Box<dyn PhysicalOp> = match self.opts.path_impl {
+                    PathImpl::Direct => {
+                        let op = SPathOp::new(regex, *label);
+                        Box::new(if self.opts.materialize_paths {
+                            op
+                        } else {
+                            op.without_path_payloads()
+                        })
+                    }
+                    PathImpl::NegativeTuple => Box::new(NegPathOp::new(regex, *label)),
+                };
+                let n = self.add(op);
+                // PATH reads a merged stream: all inputs feed port 0.
+                for c in children {
+                    self.connect(c, n, 0);
+                }
+                n
+            }
+        };
+        self.memo.insert(expr.clone(), n);
+        n
+    }
+
+    /// The set of nodes implementing `expr` (every subexpression's node).
+    /// `expr` must have been lowered and not retired.
+    pub fn nodes_of(&self, expr: &SgaExpr) -> FxHashSet<usize> {
+        let mut out = FxHashSet::default();
+        expr.visit(&mut |e| {
+            let n = *self
+                .memo
+                .get(e)
+                .expect("nodes_of: expression was not lowered into this dataflow");
+            out.insert(n);
+        });
+        out
+    }
+
+    /// Retires `dead` nodes: drops their memo and source entries, severs
+    /// every edge touching them, and replaces their operators with inert
+    /// tombstones. Node ids of surviving nodes are unchanged.
+    ///
+    /// The caller is responsible for ensuring no live plan references the
+    /// retired nodes (the multi-query host refcounts per registration).
+    pub fn retire(&mut self, dead: &FxHashSet<usize>) {
+        if dead.is_empty() {
+            return;
+        }
+        self.memo.retain(|_, n| !dead.contains(n));
+        for starts in self.sources.values_mut() {
+            starts.retain(|n| !dead.contains(n));
+        }
+        self.sources.retain(|_, starts| !starts.is_empty());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if dead.contains(&i) {
+                node.op = Box::new(Tombstone);
+                node.succs.clear();
+                self.retired[i] = true;
+            } else {
+                node.succs.retain(|(succ, _)| !dead.contains(succ));
+            }
+        }
+    }
+
+    fn add(&mut self, op: Box<dyn PhysicalOp>) -> usize {
+        self.nodes.push(DataflowNode {
+            op,
+            succs: Vec::new(),
+        });
+        self.retired.push(false);
+        self.nodes.len() - 1
+    }
+
+    fn connect(&mut self, from: usize, to: usize, port: usize) {
+        self.nodes[from].succs.push((to, port));
+    }
+
+    /// Pushes an input delta to every WSCAN reading `label` and runs the
+    /// delivery loop. `sink` observes every operator's emissions as
+    /// `(node, delta)` — callers filter for the nodes they treat as roots.
+    /// Returns `false` (without work) when no live WSCAN reads `label`.
+    pub fn ingest(
+        &mut self,
+        label: Label,
+        delta: Delta,
+        now: Timestamp,
+        sink: impl FnMut(usize, Delta),
+    ) -> bool {
+        let Some(starts) = self.sources.get(&label) else {
+            return false; // labels no plan references are discarded
+        };
+        let mut queue: VecDeque<(usize, usize, Delta)> = VecDeque::new();
+        for &n in starts {
+            queue.push_back((n, 0, delta.clone()));
+        }
+        if queue.is_empty() {
+            return false;
+        }
+        self.run(queue, now, sink);
+        true
+    }
+
+    /// Replaces node `n`'s operator, returning the previous one. Used by
+    /// the multi-query host to adopt state warmed in a private replay
+    /// instance (see `sgq_multiquery`); the caller is responsible for the
+    /// replacement being an equivalent operator for the node's expression.
+    pub fn replace_op(&mut self, n: usize, op: Box<dyn PhysicalOp>) -> Box<dyn PhysicalOp> {
+        std::mem::replace(&mut self.nodes[n].op, op)
+    }
+
+    /// Removes and returns node `n`'s operator, leaving a tombstone (used
+    /// to move warmed state out of a throwaway replay dataflow).
+    pub fn take_op(&mut self, n: usize) -> Box<dyn PhysicalOp> {
+        self.retired[n] = true;
+        std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone))
+    }
+
+    /// Reports `delta` as an emission of `origin` (through `sink`) and
+    /// propagates it to `origin`'s successors. Used for operator outputs
+    /// produced outside the delivery loop, e.g. purge continuations.
+    pub fn emit_from(
+        &mut self,
+        origin: usize,
+        delta: Delta,
+        now: Timestamp,
+        mut sink: impl FnMut(usize, Delta),
+    ) {
+        let mut queue: VecDeque<(usize, usize, Delta)> = VecDeque::new();
+        for &(succ, port) in &self.nodes[origin].succs {
+            queue.push_back((succ, port, delta.clone()));
+        }
+        sink(origin, delta);
+        self.run(queue, now, sink);
+    }
+
+    fn run(
+        &mut self,
+        mut queue: VecDeque<(usize, usize, Delta)>,
+        now: Timestamp,
+        mut sink: impl FnMut(usize, Delta),
+    ) {
+        let mut outs = Vec::new();
+        while let Some((n, port, d)) = queue.pop_front() {
+            outs.clear();
+            self.nodes[n].op.on_delta(port, d, now, &mut outs);
+            for out in outs.drain(..) {
+                // Successors are fed clones; the sink gets ownership (so a
+                // root emission moves into the caller's result log).
+                for &(succ, sport) in &self.nodes[n].succs {
+                    queue.push_back((succ, sport, out.clone()));
+                }
+                sink(n, out);
+            }
+        }
+    }
+
+    /// Purges operator state expired at `watermark` and propagates any
+    /// continuation results (the negative-tuple PATH emits during window
+    /// movement). When `reclaim_all` is false, only operators whose
+    /// algorithm *reacts* to window movement are purged
+    /// ([`PhysicalOp::needs_timely_purge`]); direct-approach reclamation is
+    /// amortised by the caller.
+    ///
+    /// `now` is the event-time watermark continuation deltas are delivered
+    /// under — the caller's *current* time, which lags `watermark` when
+    /// several crossed boundaries are purged before time advances.
+    pub fn purge(
+        &mut self,
+        watermark: Timestamp,
+        now: Timestamp,
+        reclaim_all: bool,
+        mut sink: impl FnMut(usize, Delta),
+    ) {
+        let mut outs = Vec::new();
+        for n in 0..self.nodes.len() {
+            if self.retired[n] || (!reclaim_all && !self.nodes[n].op.needs_timely_purge()) {
+                continue;
+            }
+            outs.clear();
+            self.nodes[n].op.purge(watermark, &mut outs);
+            for delta in outs.drain(..) {
+                self.emit_from(n, delta, now, &mut sink);
+            }
+        }
+    }
+}
+
+/// Inert operator occupying a retired node slot.
+struct Tombstone;
+
+impl PhysicalOp for Tombstone {
+    fn name(&self) -> String {
+        "RETIRED".to_string()
+    }
+
+    fn on_delta(&mut self, _port: usize, _delta: Delta, _now: Timestamp, _out: &mut Vec<Delta>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_canonical;
+    use sgq_query::{parse_program, SgqQuery, WindowSpec};
+
+    fn plan(text: &str) -> crate::planner::Plan {
+        let p = parse_program(text).unwrap();
+        plan_canonical(&SgqQuery::new(p, WindowSpec::sliding(10)))
+    }
+
+    #[test]
+    fn lowering_is_memoized_across_plans() {
+        let mut flow = Dataflow::new(EngineOptions::default());
+        let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let r1 = flow.lower(&p.expr);
+        let before = flow.len();
+        let r2 = flow.lower(&p.expr);
+        assert_eq!(r1, r2);
+        assert_eq!(flow.len(), before, "second lowering adds no nodes");
+    }
+
+    #[test]
+    fn nodes_of_collects_the_subgraph() {
+        let mut flow = Dataflow::new(EngineOptions::default());
+        let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let root = flow.lower(&p.expr);
+        let nodes = flow.nodes_of(&p.expr);
+        assert!(nodes.contains(&root));
+        assert_eq!(nodes.len(), 3, "two WSCANs and a PATTERN");
+    }
+
+    #[test]
+    fn retire_tombstones_and_severs_edges() {
+        let mut flow = Dataflow::new(EngineOptions::default());
+        let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let _root = flow.lower(&p.expr);
+        let nodes = flow.nodes_of(&p.expr);
+        assert_eq!(flow.live_count(), 3);
+        flow.retire(&nodes);
+        assert_eq!(flow.live_count(), 0);
+        assert_eq!(flow.lookup(&p.expr), None);
+        // Ingest after retirement delivers nowhere.
+        let a = p.labels.get("a").unwrap();
+        let delivered = flow.ingest(
+            a,
+            Delta::Insert(sgq_types::Sgt::edge(
+                sgq_types::VertexId(1),
+                sgq_types::VertexId(2),
+                a,
+                sgq_types::Interval::new(0, 10),
+            )),
+            0,
+            |_, _| panic!("no emissions from retired graph"),
+        );
+        assert!(!delivered);
+        // Relowering after retirement builds fresh nodes.
+        let root2 = flow.lower(&p.expr);
+        assert!(!flow.is_retired(root2));
+        assert_eq!(flow.live_count(), 3);
+    }
+}

@@ -12,18 +12,15 @@
 //! `W(S_posts)` feeding two PATTERN ports, Figure 8) are evaluated once.
 
 use crate::algebra::SgaExpr;
+use crate::dataflow::Dataflow;
 use crate::metrics::RunStats;
-use crate::physical::pattern::{CompiledPattern, PatternOp};
-use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
-use crate::physical::wcoj::WcojPatternOp;
-use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, PhysicalOp};
+use crate::physical::Delta;
 use crate::planner::{plan_canonical, Plan};
 use sgq_query::SgqQuery;
 use sgq_types::{
-    FxHashMap, Interval, IntervalSet, Label, LabelInterner, Sge, Sgt, SnapshotGraph, Timestamp,
-    VertexId,
+    time::gcd, FxHashMap, Interval, IntervalSet, Label, LabelInterner, Sge, Sgt, SnapshotGraph,
+    Timestamp, VertexId,
 };
-use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Which physical implementation to use for PATH operators.
@@ -84,17 +81,10 @@ impl Default for EngineOptions {
     }
 }
 
-struct Node {
-    op: Box<dyn PhysicalOp>,
-    /// Downstream edges as `(node, port)`.
-    succs: Vec<(usize, usize)>,
-}
-
 /// The streaming graph query engine.
 pub struct Engine {
-    nodes: Vec<Node>,
-    /// Input label → WSCAN source nodes.
-    sources: FxHashMap<Label, Vec<usize>>,
+    /// The physical operator graph (shared lowering machinery).
+    flow: Dataflow,
     root: usize,
     labels: LabelInterner,
     answer: Label,
@@ -131,13 +121,8 @@ impl Engine {
 
     /// Builds the engine for an explicit plan with custom options.
     pub fn from_plan_with(plan: &Plan, opts: EngineOptions) -> Engine {
-        let mut b = Builder {
-            nodes: Vec::new(),
-            memo: FxHashMap::default(),
-            sources: FxHashMap::default(),
-            opts,
-        };
-        let root = b.lower(&plan.expr);
+        let mut flow = Dataflow::new(opts);
+        let root = flow.lower(&plan.expr);
         // Slide boundaries must hit every WSCAN's expiry points: streams
         // may be windowed individually (Figure 7), so the engine ticks at
         // the gcd of all slides.
@@ -151,8 +136,7 @@ impl Engine {
             .purge_period
             .unwrap_or_else(|| slide.max(plan.window.size / 4).max(1));
         Engine {
-            nodes: b.nodes,
-            sources: b.sources,
+            flow,
             root,
             labels: plan.labels.clone(),
             answer: plan.answer,
@@ -185,7 +169,12 @@ impl Engine {
         self.advance_time(sge.t);
         self.push_delta(
             sge.label,
-            Delta::Insert(Sgt::edge(sge.src, sge.trg, sge.label, Interval::instant(sge.t))),
+            Delta::Insert(Sgt::edge(
+                sge.src,
+                sge.trg,
+                sge.label,
+                Interval::instant(sge.t),
+            )),
         );
         self.results[before..].to_vec()
     }
@@ -270,7 +259,12 @@ impl Engine {
         // interval being retracted); the deletion itself happens "now".
         self.push_delta(
             sge.label,
-            Delta::Delete(Sgt::edge(sge.src, sge.trg, sge.label, Interval::instant(sge.t))),
+            Delta::Delete(Sgt::edge(
+                sge.src,
+                sge.trg,
+                sge.label,
+                Interval::instant(sge.t),
+            )),
         );
         self.deleted_results[before..].to_vec()
     }
@@ -322,17 +316,18 @@ impl Engine {
             None => true,
             Some(last) => watermark.saturating_sub(last) >= self.purge_period,
         };
-        let mut outs = Vec::new();
-        for n in 0..self.nodes.len() {
-            if !due && !self.nodes[n].op.needs_timely_purge() {
-                continue;
+        let (root, opts, now) = (self.root, self.opts, self.now);
+        let (flow, sink_dedup, results, deleted) = (
+            &mut self.flow,
+            &mut self.sink_dedup,
+            &mut self.results,
+            &mut self.deleted_results,
+        );
+        flow.purge(watermark, now, due, |n, d| {
+            if n == root {
+                sink_result(&opts, sink_dedup, results, deleted, d);
             }
-            outs.clear();
-            self.nodes[n].op.purge(watermark, &mut outs);
-            for delta in outs.drain(..) {
-                self.propagate_from(n, delta);
-            }
-        }
+        });
         if due {
             self.last_physical_purge = Some(watermark);
             self.sink_dedup.retain(|_, set| {
@@ -350,81 +345,19 @@ impl Engine {
         self.purge(watermark);
     }
 
-    /// Propagates a delta produced by `node` to its successors (or the
-    /// sink when `node` is the plan root).
-    fn propagate_from(&mut self, node: usize, delta: Delta) {
-        if node == self.root {
-            self.sink(delta);
-            return;
-        }
-        let mut queue: VecDeque<(usize, usize, Delta)> = VecDeque::new();
-        for &(succ, port) in &self.nodes[node].succs {
-            queue.push_back((succ, port, delta.clone()));
-        }
-        let mut outs = Vec::new();
-        while let Some((n, port, d)) = queue.pop_front() {
-            outs.clear();
-            self.nodes[n].op.on_delta(port, d, self.now, &mut outs);
-            if n == self.root {
-                for out in outs.drain(..) {
-                    self.sink(out);
-                }
-                continue;
-            }
-            for out in outs.drain(..) {
-                for &(succ, sport) in &self.nodes[n].succs {
-                    queue.push_back((succ, sport, out.clone()));
-                }
-            }
-        }
-    }
-
     fn push_delta(&mut self, label: Label, delta: Delta) {
-        let Some(starts) = self.sources.get(&label) else {
-            return; // labels not referenced by the query are discarded
-        };
-        let mut queue: VecDeque<(usize, usize, Delta)> = VecDeque::new();
-        for &n in starts {
-            queue.push_back((n, 0, delta.clone()));
-        }
-        let mut outs = Vec::new();
-        while let Some((n, port, d)) = queue.pop_front() {
-            outs.clear();
-            self.nodes[n].op.on_delta(port, d, self.now, &mut outs);
-            if n == self.root {
-                for out in outs.drain(..) {
-                    self.sink(out);
-                }
-                continue;
+        let (root, opts, now) = (self.root, self.opts, self.now);
+        let (flow, sink_dedup, results, deleted) = (
+            &mut self.flow,
+            &mut self.sink_dedup,
+            &mut self.results,
+            &mut self.deleted_results,
+        );
+        flow.ingest(label, delta, now, |n, d| {
+            if n == root {
+                sink_result(&opts, sink_dedup, results, deleted, d);
             }
-            for out in outs.drain(..) {
-                for &(succ, sport) in &self.nodes[n].succs {
-                    queue.push_back((succ, sport, out.clone()));
-                }
-            }
-        }
-    }
-
-    fn sink(&mut self, delta: Delta) {
-        match delta {
-            Delta::Insert(s) => {
-                if self.opts.suppress_duplicates {
-                    let set = self.sink_dedup.entry((s.src, s.trg)).or_default();
-                    if set.covers(&s.interval) {
-                        return;
-                    }
-                    let merged = set.insert(s.interval).expect("non-empty");
-                    let mut s = s;
-                    s.interval = merged;
-                    self.results.push(s);
-                } else {
-                    self.results.push(s);
-                }
-            }
-            Delta::Delete(s) => {
-                self.deleted_results.push(s);
-            }
-        }
+        });
     }
 
     /// All result sgts emitted so far (insertions, in order).
@@ -441,22 +374,7 @@ impl Engine {
     /// stream (deletions subtracted). This is the left side of the
     /// snapshot-reducibility equation (Def. 14).
     pub fn answer_at(&self, t: Timestamp) -> sgq_types::FxHashSet<(VertexId, VertexId)> {
-        let mut valid: FxHashMap<(VertexId, VertexId), i64> = FxHashMap::default();
-        for s in &self.results {
-            if s.interval.contains(t) {
-                *valid.entry((s.src, s.trg)).or_insert(0) += 1;
-            }
-        }
-        for s in &self.deleted_results {
-            if s.interval.contains(t) {
-                *valid.entry((s.src, s.trg)).or_insert(0) -= 1;
-            }
-        }
-        valid
-            .into_iter()
-            .filter(|&(_, c)| c > 0)
-            .map(|(k, _)| k)
-            .collect()
+        answer_at(&self.results, &self.deleted_results, t)
     }
 
     /// The snapshot graph of the result stream at `t` (answers as a
@@ -467,12 +385,12 @@ impl Engine {
 
     /// Total operator state entries (for Δ-PATH / join-state metrics).
     pub fn state_size(&self) -> usize {
-        self.nodes.iter().map(|n| n.op.state_size()).sum()
+        self.flow.state_size()
     }
 
     /// Operator names in the dataflow (diagnostics).
     pub fn operator_names(&self) -> Vec<String> {
-        self.nodes.iter().map(|n| n.op.name()).collect()
+        self.flow.operator_names()
     }
 
     /// Drives the engine over an entire ordered stream, collecting the
@@ -546,113 +464,58 @@ impl Engine {
     }
 }
 
-fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 {
-        a.max(1)
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-/// Plan lowering with structural deduplication.
-struct Builder {
-    nodes: Vec<Node>,
-    memo: FxHashMap<SgaExpr, usize>,
-    sources: FxHashMap<Label, Vec<usize>>,
-    opts: EngineOptions,
-}
-
-impl Builder {
-    fn lower(&mut self, expr: &SgaExpr) -> usize {
-        if let Some(&n) = self.memo.get(expr) {
-            return n;
+/// The distinct answer pairs valid at `t` in a result log (insertions
+/// counted, deletions subtracted) — the left side of the
+/// snapshot-reducibility equation (Def. 14). Shared by
+/// [`Engine::answer_at`] and the multi-query host's per-query views.
+pub fn answer_at(
+    results: &[Sgt],
+    deleted_results: &[Sgt],
+    t: Timestamp,
+) -> sgq_types::FxHashSet<(VertexId, VertexId)> {
+    let mut valid: FxHashMap<(VertexId, VertexId), i64> = FxHashMap::default();
+    for s in results {
+        if s.interval.contains(t) {
+            *valid.entry((s.src, s.trg)).or_insert(0) += 1;
         }
-        let n = match expr {
-            SgaExpr::WScan {
-                label,
-                window,
-                slide,
-            } => {
-                let n = self.add(Box::new(WScanOp::new(*window, *slide)));
-                self.sources.entry(*label).or_default().push(n);
-                n
-            }
-            SgaExpr::Filter { input, preds } => {
-                let child = self.lower(input);
-                let n = self.add(Box::new(FilterOp::new(preds.clone())));
-                self.connect(child, n, 0);
-                n
-            }
-            SgaExpr::Union { inputs, label } => {
-                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
-                let n = self.add(Box::new(UnionOp::new(*label)));
-                for c in children {
-                    self.connect(c, n, 0);
-                }
-                n
-            }
-            SgaExpr::Pattern {
-                inputs,
-                conditions,
-                output,
-                label,
-            } => {
-                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
-                let spec =
-                    CompiledPattern::compile(inputs.len(), conditions, *output, *label);
-                let op: Box<dyn PhysicalOp> = match self.opts.pattern_impl {
-                    PatternImpl::HashTree => {
-                        Box::new(PatternOp::new(spec, self.opts.suppress_duplicates))
-                    }
-                    PatternImpl::Wcoj => {
-                        Box::new(WcojPatternOp::new(spec, self.opts.suppress_duplicates))
-                    }
-                };
-                let n = self.add(op);
-                for (port, c) in children.into_iter().enumerate() {
-                    self.connect(c, n, port);
-                }
-                n
-            }
-            SgaExpr::Path {
-                inputs,
-                regex,
-                label,
-            } => {
-                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
-                let op: Box<dyn PhysicalOp> = match self.opts.path_impl {
-                    PathImpl::Direct => {
-                        let op = SPathOp::new(regex, *label);
-                        Box::new(if self.opts.materialize_paths {
-                            op
-                        } else {
-                            op.without_path_payloads()
-                        })
-                    }
-                    PathImpl::NegativeTuple => Box::new(NegPathOp::new(regex, *label)),
-                };
-                let n = self.add(op);
-                // PATH reads a merged stream: all inputs feed port 0.
-                for c in children {
-                    self.connect(c, n, 0);
-                }
-                n
-            }
-        };
-        self.memo.insert(expr.clone(), n);
-        n
     }
-
-    fn add(&mut self, op: Box<dyn PhysicalOp>) -> usize {
-        self.nodes.push(Node {
-            op,
-            succs: Vec::new(),
-        });
-        self.nodes.len() - 1
+    for s in deleted_results {
+        if s.interval.contains(t) {
+            *valid.entry((s.src, s.trg)).or_insert(0) -= 1;
+        }
     }
+    valid
+        .into_iter()
+        .filter(|&(_, c)| c > 0)
+        .map(|(k, _)| k)
+        .collect()
+}
 
-    fn connect(&mut self, from: usize, to: usize, port: usize) {
-        self.nodes[from].succs.push((to, port));
+/// Delivers a root emission to an engine-style sink: per-pair interval
+/// coalescing under duplicate suppression, separate insert/delete logs.
+/// Shared by [`Engine`] and reusable by multi-query hosts (which keep one
+/// such sink per registered query).
+pub fn sink_result(
+    opts: &EngineOptions,
+    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    results: &mut Vec<Sgt>,
+    deleted_results: &mut Vec<Sgt>,
+    delta: Delta,
+) {
+    match delta {
+        Delta::Insert(mut s) => {
+            if opts.suppress_duplicates {
+                let set = sink_dedup.entry((s.src, s.trg)).or_default();
+                if set.covers(&s.interval) {
+                    return;
+                }
+                s.interval = set.insert(s.interval).expect("non-empty");
+            }
+            results.push(s);
+        }
+        Delta::Delete(s) => {
+            deleted_results.push(s);
+        }
     }
 }
 
@@ -769,10 +632,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(e
-            .operator_names()
-            .iter()
-            .any(|n| n.starts_with("PATH-NT")));
+        assert!(e.operator_names().iter().any(|n| n.starts_with("PATH-NT")));
     }
 
     #[test]
@@ -920,7 +780,9 @@ mod tests {
         let q = SgqQuery::new(p, WindowSpec::new(10, 2));
         let mut e = Engine::from_query(&q);
         let a = e.labels().get("a").unwrap();
-        let stream: Vec<Sge> = (0..40u64).map(|i| Sge::raw(i % 7, (i + 1) % 7, a, i)).collect();
+        let stream: Vec<Sge> = (0..40u64)
+            .map(|i| Sge::raw(i % 7, (i + 1) % 7, a, i))
+            .collect();
         let stats = e.run(&stream);
         assert_eq!(stats.edges, 40);
         assert!(stats.results > 0);

@@ -15,6 +15,11 @@
 //! * [`physical`] — non-blocking physical operators (§6.2): symmetric
 //!   hash-join PATTERN, the S-PATH direct-approach Δ-PATH operator, and the
 //!   negative-tuple PATH baseline of \[57\], plus explicit-deletion support.
+//! * [`dataflow`] — reusable lowering/delivery machinery: logical plans to
+//!   physical operator graphs with structural subplan deduplication (across
+//!   plans as well as within one), push-based delta delivery, and operator
+//!   retirement — the substrate shared by [`engine`] and the multi-query
+//!   host crate.
 //! * [`engine`] — the push-based executor (§6.1): plan lowering with shared
 //!   subplan deduplication, event-time watermarks, direct-approach purging
 //!   at slide boundaries, and the snapshot-reducibility query surface used
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod dataflow;
 pub mod engine;
 pub mod metrics;
 pub mod optimizer;
@@ -57,6 +63,7 @@ pub mod planner;
 pub mod rewrite;
 
 pub use algebra::{FilterPred, Pos, SgaExpr, Side};
+pub use dataflow::{Dataflow, DataflowNode};
 pub use engine::{Engine, EngineOptions, PathImpl, PatternImpl};
 pub use metrics::RunStats;
 pub use planner::{plan_canonical, Plan};

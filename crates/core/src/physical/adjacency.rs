@@ -168,7 +168,10 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut a = Adjacency::new();
-        assert_eq!(a.insert(v(1), L, v(2), Interval::new(0, 10)), Some(Interval::new(0, 10)));
+        assert_eq!(
+            a.insert(v(1), L, v(2), Interval::new(0, 10)),
+            Some(Interval::new(0, 10))
+        );
         assert_eq!(a.out(v(1), L).len(), 1);
         assert_eq!(a.inc(v(2), L).len(), 1);
         assert_eq!(a.interval_of(v(1), L, v(2)), Some(Interval::new(0, 10)));

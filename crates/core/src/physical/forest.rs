@@ -359,8 +359,12 @@ mod tests {
         let mut f = Forest::new(0);
         let t = f.ensure_tree(v(1));
         let root = f.tree(t).root_idx();
-        let n2 = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
-        let _n3 = f.tree_mut(t).insert_child(n2, v(3), 1, e(2, 3), Interval::new(0, 10));
+        let n2 = f
+            .tree_mut(t)
+            .insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        let _n3 = f
+            .tree_mut(t)
+            .insert_child(n2, v(3), 1, e(2, 3), Interval::new(0, 10));
         f.index_node(t, v(2), 1);
         f.index_node(t, v(3), 1);
         let removed = f.remove_subtree(t, n2);
@@ -376,10 +380,14 @@ mod tests {
         let mut f = Forest::new(0);
         let t = f.ensure_tree(v(1));
         let root = f.tree(t).root_idx();
-        let n2 = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        let n2 = f
+            .tree_mut(t)
+            .insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
         f.index_node(t, v(2), 1);
         f.remove_subtree(t, n2);
-        let n3 = f.tree_mut(t).insert_child(root, v(3), 1, e(1, 3), Interval::new(0, 10));
+        let n3 = f
+            .tree_mut(t)
+            .insert_child(root, v(3), 1, e(1, 3), Interval::new(0, 10));
         assert_eq!(n2, n3, "freed slot reused");
     }
 
@@ -388,9 +396,15 @@ mod tests {
         let mut f = Forest::new(0);
         let t = f.ensure_tree(v(1));
         let root = f.tree(t).root_idx();
-        let a = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
-        let b = f.tree_mut(t).insert_child(root, v(3), 1, e(1, 3), Interval::new(0, 10));
-        let c = f.tree_mut(t).insert_child(a, v(4), 1, e(2, 4), Interval::new(0, 10));
+        let a = f
+            .tree_mut(t)
+            .insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 10));
+        let b = f
+            .tree_mut(t)
+            .insert_child(root, v(3), 1, e(1, 3), Interval::new(0, 10));
+        let c = f
+            .tree_mut(t)
+            .insert_child(a, v(4), 1, e(2, 4), Interval::new(0, 10));
         f.tree_mut(t).reparent(c, b, e(3, 4));
         assert!(f.tree(t).node(a).children.is_empty());
         assert_eq!(f.tree(t).node(b).children, vec![c]);
@@ -404,9 +418,15 @@ mod tests {
         let mut f = Forest::new(0);
         let t = f.ensure_tree(v(1));
         let root = f.tree(t).root_idx();
-        let a = f.tree_mut(t).insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 5));
-        let _b = f.tree_mut(t).insert_child(a, v(3), 1, e(2, 3), Interval::new(0, 4));
-        let c = f.tree_mut(t).insert_child(root, v(4), 1, e(1, 4), Interval::new(0, 9));
+        let a = f
+            .tree_mut(t)
+            .insert_child(root, v(2), 1, e(1, 2), Interval::new(0, 5));
+        let _b = f
+            .tree_mut(t)
+            .insert_child(a, v(3), 1, e(2, 3), Interval::new(0, 4));
+        let c = f
+            .tree_mut(t)
+            .insert_child(root, v(4), 1, e(1, 4), Interval::new(0, 9));
         f.index_node(t, v(2), 1);
         f.index_node(t, v(3), 1);
         f.index_node(t, v(4), 1);

@@ -62,7 +62,12 @@ impl NegPathOp {
         &self.forest
     }
 
-    fn emit(&self, tree: super::forest::TreeId, node: super::forest::NodeIdx, out: &mut Vec<Delta>) {
+    fn emit(
+        &self,
+        tree: super::forest::TreeId,
+        node: super::forest::NodeIdx,
+        out: &mut Vec<Delta>,
+    ) {
         let t = self.forest.tree(tree);
         let n = t.node(node);
         let payload = if self.emit_paths {
@@ -94,9 +99,10 @@ impl NegPathOp {
                 Some(idx) => {
                     if self.forest.tree(tree).node(idx).interval.expired_at(now) {
                         self.forest.remove_subtree(tree, idx);
-                        let idx = self.forest.tree_mut(tree).insert_child(
-                            ext.parent, ext.v, ext.state, ext.edge, child_iv,
-                        );
+                        let idx = self
+                            .forest
+                            .tree_mut(tree)
+                            .insert_child(ext.parent, ext.v, ext.state, ext.edge, child_iv);
                         self.forest.index_node(tree, ext.v, ext.state);
                         idx
                     } else {
@@ -104,9 +110,10 @@ impl NegPathOp {
                     }
                 }
                 None => {
-                    let idx = self.forest.tree_mut(tree).insert_child(
-                        ext.parent, ext.v, ext.state, ext.edge, child_iv,
-                    );
+                    let idx = self
+                        .forest
+                        .tree_mut(tree)
+                        .insert_child(ext.parent, ext.v, ext.state, ext.edge, child_iv);
                     self.forest.index_node(tree, ext.v, ext.state);
                     idx
                 }
@@ -170,7 +177,13 @@ impl NegPathOp {
     /// Processes one invalidated edge (expiry or explicit deletion) the
     /// \[57\] way: mark affected subtrees and re-derive by graph traversal.
     /// Returns refreshed results for re-derived accepting nodes.
-    fn invalidate_edge(&mut self, edge: Edge, now: Timestamp, out: &mut Vec<Delta>, emit_deletes: bool) {
+    fn invalidate_edge(
+        &mut self,
+        edge: Edge,
+        now: Timestamp,
+        out: &mut Vec<Delta>,
+        emit_deletes: bool,
+    ) {
         let transitions: Vec<(StateId, StateId)> = self.dfa.transitions_on(edge.label).to_vec();
         for (_, to) in transitions {
             let trees = self.forest.trees_with(edge.trg, to);

@@ -76,7 +76,10 @@ impl CompiledPattern {
             let t = class(&mut parent, 2 * i + 1);
             input_vars.push((s, t));
         }
-        let out = (class(&mut parent, idx(output.0)), class(&mut parent, idx(output.1)));
+        let out = (
+            class(&mut parent, idx(output.0)),
+            class(&mut parent, idx(output.1)),
+        );
         CompiledPattern {
             input_vars,
             output: out,
@@ -320,7 +323,10 @@ impl PatternOp {
             let (left, right) = &mut self.state[w.stage];
             if w.delete {
                 left.remove(&key, &w.vals, w.iv);
-            } else if left.insert(key.clone(), &w.vals, w.iv, self.suppress).is_none() {
+            } else if left
+                .insert(key.clone(), &w.vals, w.iv, self.suppress)
+                .is_none()
+            {
                 continue; // fully covered: no new results possible
             }
             right.probe(&key, w.iv, |rvals, meet| {
@@ -386,7 +392,10 @@ impl PhysicalOp for PatternOp {
         let (left, right) = &mut self.state[stage];
         if delete {
             right.remove(&key, &vals, iv);
-        } else if right.insert(key.clone(), &vals, iv, self.suppress).is_none() {
+        } else if right
+            .insert(key.clone(), &vals, iv, self.suppress)
+            .is_none()
+        {
             return;
         }
         let mut queue = Vec::new();
@@ -495,7 +504,10 @@ mod tests {
         let mut out = Vec::new();
         op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 5)), 0, &mut out);
         op.on_delta(1, Delta::Insert(sgt(2, 3, 1, 7, 12)), 7, &mut out);
-        assert!(out.is_empty(), "validity intervals must intersect (Def. 19)");
+        assert!(
+            out.is_empty(),
+            "validity intervals must intersect (Def. 19)"
+        );
     }
 
     #[test]

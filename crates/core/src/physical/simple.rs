@@ -113,12 +113,7 @@ mod tests {
     use sgq_types::{Interval, VertexId};
 
     fn sgt(src: u64, trg: u64, l: u32, t: u64) -> Sgt {
-        Sgt::edge(
-            VertexId(src),
-            VertexId(trg),
-            Label(l),
-            Interval::instant(t),
-        )
+        Sgt::edge(VertexId(src), VertexId(trg), Label(l), Interval::instant(t))
     }
 
     #[test]

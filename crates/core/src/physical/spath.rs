@@ -87,7 +87,13 @@ impl SPathOp {
     }
 
     /// Processes all pending extensions of one tree to fixpoint.
-    fn extend_all(&mut self, tree: TreeId, mut stack: Vec<Ext>, now: Timestamp, out: &mut Vec<Delta>) {
+    fn extend_all(
+        &mut self,
+        tree: TreeId,
+        mut stack: Vec<Ext>,
+        now: Timestamp,
+        out: &mut Vec<Delta>,
+    ) {
         while let Some(ext) = stack.pop() {
             let parent_iv = self.forest.tree(tree).node(ext.parent).interval;
             let child_iv = parent_iv.intersect(&ext.edge_iv);
@@ -102,9 +108,10 @@ impl SPathOp {
                         // Expired nodes are treated as absent (§6.2.4):
                         // reclaim the stale subtree, then expand fresh.
                         self.forest.remove_subtree(tree, idx);
-                        let idx = self.forest.tree_mut(tree).insert_child(
-                            ext.parent, ext.v, ext.state, ext.edge, child_iv,
-                        );
+                        let idx = self
+                            .forest
+                            .tree_mut(tree)
+                            .insert_child(ext.parent, ext.v, ext.state, ext.edge, child_iv);
                         self.forest.index_node(tree, ext.v, ext.state);
                         idx
                     } else if child_iv.exp <= cur.exp {
@@ -130,9 +137,10 @@ impl SPathOp {
                 }
                 None => {
                     // Expand: create the node as a child of the parent.
-                    let idx = self.forest.tree_mut(tree).insert_child(
-                        ext.parent, ext.v, ext.state, ext.edge, child_iv,
-                    );
+                    let idx = self
+                        .forest
+                        .tree_mut(tree)
+                        .insert_child(ext.parent, ext.v, ext.state, ext.edge, child_iv);
                     self.forest.index_node(tree, ext.v, ext.state);
                     idx
                 }
@@ -294,12 +302,7 @@ mod tests {
     const RLP: Label = Label(0);
 
     fn sgt(src: u64, trg: u64, ts: u64, exp: u64) -> Sgt {
-        Sgt::edge(
-            VertexId(src),
-            VertexId(trg),
-            RLP,
-            Interval::new(ts, exp),
-        )
+        Sgt::edge(VertexId(src), VertexId(trg), RLP, Interval::new(ts, exp))
     }
 
     fn plus_op() -> SPathOp {
@@ -469,7 +472,9 @@ mod tests {
         let tree = op.forest().tree(t1);
         let n4 = tree.get(VertexId(4), 1).unwrap();
         assert_eq!(tree.node(n4).interval.exp, 25);
-        assert!(out.iter().any(|d| d.is_delete() && d.sgt().trg == VertexId(4)));
+        assert!(out
+            .iter()
+            .any(|d| d.is_delete() && d.sgt().trg == VertexId(4)));
         assert!(out
             .iter()
             .any(|d| !d.is_delete() && d.sgt().trg == VertexId(4) && d.sgt().interval.exp == 25));
@@ -515,10 +520,7 @@ mod tests {
         // a b? : both `a` and `a·b` words; a bare `b` is not a result.
         let a = Label(0);
         let b = Label(1);
-        let re = Regex::concat(vec![
-            Regex::label(a),
-            Regex::optional(Regex::label(b)),
-        ]);
+        let re = Regex::concat(vec![Regex::label(a), Regex::optional(Regex::label(b))]);
         let mut op = SPathOp::new(&re, Label(9));
         let mut out = Vec::new();
         let e = |s: u64, t: u64, l: Label, ts: u64| {

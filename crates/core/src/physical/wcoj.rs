@@ -194,7 +194,11 @@ impl WcojPatternOp {
             .flat_map(|&(s, t)| [s, t])
             .max()
             .map_or(0, |m| m as usize + 1);
-        let state = spec.input_vars.iter().map(|_| PortIndex::default()).collect();
+        let state = spec
+            .input_vars
+            .iter()
+            .map(|_| PortIndex::default())
+            .collect();
         WcojPatternOp {
             spec,
             n_vars,
@@ -547,12 +551,8 @@ mod tests {
 
     #[test]
     fn single_input_projection() {
-        let spec = CompiledPattern::compile(
-            1,
-            &[],
-            (Pos::trg(0), Pos::src(0)),
-            sgq_types::Label(9),
-        );
+        let spec =
+            CompiledPattern::compile(1, &[], (Pos::trg(0), Pos::src(0)), sgq_types::Label(9));
         let mut op = WcojPatternOp::new(spec, true);
         let mut out = Vec::new();
         op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);
@@ -577,12 +577,8 @@ mod tests {
 
     #[test]
     fn cross_product_when_no_shared_vars() {
-        let spec = CompiledPattern::compile(
-            2,
-            &[],
-            (Pos::src(0), Pos::trg(1)),
-            sgq_types::Label(9),
-        );
+        let spec =
+            CompiledPattern::compile(2, &[], (Pos::src(0), Pos::trg(1)), sgq_types::Label(9));
         let mut op = WcojPatternOp::new(spec, true);
         let mut out = Vec::new();
         op.on_delta(0, Delta::Insert(sgt(1, 2, 0, 0, 10)), 0, &mut out);

@@ -106,10 +106,7 @@ pub fn plan_canonical(query: &SgqQuery) -> Plan {
     }
 }
 
-fn find_alias(
-    program: &sgq_query::RqProgram,
-    alias: Label,
-) -> Option<(sgq_automata::Regex, ())> {
+fn find_alias(program: &sgq_query::RqProgram, alias: Label) -> Option<(sgq_automata::Regex, ())> {
     for r in program.rules() {
         for a in &r.body {
             if let BodyAtom::Path {
@@ -201,10 +198,7 @@ fn rule_to_expr(
     let output = (first_pos(&rule.head.src), first_pos(&rule.head.trg));
 
     // Shortcut: a single-atom rule with identity output needs no PATTERN.
-    if rule.body.len() == 1
-        && conditions.is_empty()
-        && output == (Pos::src(0), Pos::trg(0))
-    {
+    if rule.body.len() == 1 && conditions.is_empty() && output == (Pos::src(0), Pos::trg(0)) {
         let inner = inputs.into_iter().next().unwrap();
         return match inner {
             // Label the PATH directly with the head predicate.
@@ -324,9 +318,7 @@ mod tests {
             SgaExpr::Union { inputs, label } => {
                 assert_eq!(*label, plan.answer);
                 assert_eq!(inputs.len(), 1);
-                assert!(
-                    matches!(&inputs[0], SgaExpr::Union { inputs, .. } if inputs.len() == 2)
-                );
+                assert!(matches!(&inputs[0], SgaExpr::Union { inputs, .. } if inputs.len() == 2));
             }
             other => panic!("expected UNION, got {other:?}"),
         }

@@ -370,10 +370,7 @@ pub fn push_filter_through_union(e: &SgaExpr) -> Option<SgaExpr> {
 
 /// Applies `rule` at every position of `e`, returning one rewritten tree
 /// per applicable position.
-fn rewrite_everywhere(
-    e: &SgaExpr,
-    rule: &mut dyn FnMut(&SgaExpr) -> Vec<SgaExpr>,
-) -> Vec<SgaExpr> {
+fn rewrite_everywhere(e: &SgaExpr, rule: &mut dyn FnMut(&SgaExpr) -> Vec<SgaExpr>) -> Vec<SgaExpr> {
     let mut out: Vec<SgaExpr> = rule(e);
     let rebuild = |e: &SgaExpr, idx: usize, new_child: SgaExpr| -> SgaExpr {
         let mut clone = e.clone();

@@ -109,10 +109,22 @@ pub fn read_stream_unordered<R: BufRead>(reader: R) -> Result<RawStream, StreamI
             line: i + 1,
             msg: msg.to_string(),
         };
-        let src: u64 = parts.next().ok_or_else(|| bad("missing src"))?.parse().map_err(|_| bad("src must be an integer"))?;
-        let dst: u64 = parts.next().ok_or_else(|| bad("missing dst"))?.parse().map_err(|_| bad("dst must be an integer"))?;
+        let src: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing src"))?
+            .parse()
+            .map_err(|_| bad("src must be an integer"))?;
+        let dst: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing dst"))?
+            .parse()
+            .map_err(|_| bad("dst must be an integer"))?;
         let label = parts.next().ok_or_else(|| bad("missing label"))?;
-        let ts: u64 = parts.next().ok_or_else(|| bad("missing timestamp"))?.parse().map_err(|_| bad("timestamp must be an integer"))?;
+        let ts: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing timestamp"))?
+            .parse()
+            .map_err(|_| bad("timestamp must be an integer"))?;
         events.push((src, dst, intern_label(&mut labels, label), ts));
     }
     events.sort_by_key(|e| e.3);
@@ -178,11 +190,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_report_position() {
-        for (text, line) in [
-            ("1 2 a x\n", 1),
-            ("1\n", 1),
-            ("1 2 a 0\nfoo 2 a 1\n", 2),
-        ] {
+        for (text, line) in [("1 2 a x\n", 1), ("1\n", 1), ("1 2 a 0\nfoo 2 a 1\n", 2)] {
             match read_stream(std::io::Cursor::new(text)) {
                 Err(StreamIoError::Parse { line: l, .. }) => assert_eq!(l, line, "{text}"),
                 other => panic!("expected parse error for {text}, got {other:?}"),

@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn knows_is_community_clustered() {
         let s = snb_stream(&SnbConfig::new(400, 20_000));
-        let communities = (400u64 / 50).max(1);
+        let communities = 400u64 / 50;
         let size = 400 / communities;
         let mut intra = 0usize;
         let mut total = 0usize;

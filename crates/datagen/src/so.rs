@@ -166,11 +166,8 @@ mod tests {
         // a back edge exists). Cheap proxy: some pair (u,v) has edges in
         // both directions.
         let s = so_stream(&SoConfig::new(50, 5_000));
-        let pairs: sgq_types::FxHashSet<(u64, u64)> = s
-            .events
-            .iter()
-            .map(|&(a, b, _, _)| (a, b))
-            .collect();
+        let pairs: sgq_types::FxHashSet<(u64, u64)> =
+            s.events.iter().map(|&(a, b, _, _)| (a, b)).collect();
         assert!(pairs.iter().any(|&(a, b)| pairs.contains(&(b, a))));
     }
 }

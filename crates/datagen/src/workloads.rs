@@ -75,9 +75,7 @@ pub fn query_text(n: usize, dataset: Dataset) -> &'static str {
         (Dataset::So, 2) => "Ans(x, y) <- (a2q c2q*)(x, y).",
         (Dataset::So, 3) => "Ans(x, y) <- (a2q c2q* c2a*)(x, y).",
         (Dataset::So, 4) => "Ans(x, y) <- (a2q c2q c2a)+(x, y).",
-        (Dataset::So, 5) => {
-            "Ans(m1, m2) <- a2q(x, y), c2q(m1, x), c2q(m2, y), c2a(m2, m1)."
-        }
+        (Dataset::So, 5) => "Ans(m1, m2) <- a2q(x, y), c2q(m1, x), c2q(m2, y), c2a(m2, m1).",
         (Dataset::So, 6) => "Ans(x, y) <- a2q+(x, y), c2q(x, m), c2a(m, y).",
         (Dataset::So, 7) => {
             "RL(x, y)  <- a2q+(x, y), c2q(x, m), c2a(m, y).

@@ -63,7 +63,11 @@ enum CompiledAtom {
         pred_gated: bool,
     },
     /// A path atom evaluated by TC state `idx`.
-    Tc { idx: usize, src: String, trg: String },
+    Tc {
+        idx: usize,
+        src: String,
+        trg: String,
+    },
 }
 
 struct CompiledRule {
@@ -146,12 +150,10 @@ impl DdEngine {
             for (ai, atom) in rule.body.iter().enumerate() {
                 if let BodyAtom::Path { regex, alias, .. } = atom {
                     let idx = match alias {
-                        Some(al) => *alias_tcs
-                            .entry(*al)
-                            .or_insert_with(|| {
-                                tcs.push(TcState::new(regex));
-                                tcs.len() - 1
-                            }),
+                        Some(al) => *alias_tcs.entry(*al).or_insert_with(|| {
+                            tcs.push(TcState::new(regex));
+                            tcs.len() - 1
+                        }),
                         None => {
                             tcs.push(TcState::new(regex));
                             tcs.len() - 1
@@ -172,7 +174,12 @@ impl DdEngine {
                     .iter()
                     .enumerate()
                     .map(|(ai, atom)| match atom {
-                        BodyAtom::Rel { label, src, trg, preds } => CompiledAtom::Rel {
+                        BodyAtom::Rel {
+                            label,
+                            src,
+                            trg,
+                            preds,
+                        } => CompiledAtom::Rel {
                             label: *label,
                             src: src.clone(),
                             trg: trg.clone(),
@@ -280,8 +287,7 @@ impl DdEngine {
     /// deltas through the dataflow.
     fn close_epoch(&mut self, b: Timestamp) {
         // Multiplicity deltas per EDB label.
-        let mut mult: FxHashMap<Label, FxHashMap<(VertexId, VertexId), i64>> =
-            FxHashMap::default();
+        let mut mult: FxHashMap<Label, FxHashMap<(VertexId, VertexId), i64>> = FxHashMap::default();
         let mut still_pending = Vec::new();
         for sge in std::mem::take(&mut self.pending) {
             if sge.t > b {
@@ -334,10 +340,8 @@ impl DdEngine {
             let mut head_deltas: Vec<(VertexId, VertexId, SetDelta)> = Vec::new();
             if rules.is_empty() {
                 if let Some(&tc_idx) = self.alias_tcs.get(head) {
-                    let edge_deltas = collect_edge_deltas(
-                        &self.tcs[tc_idx].alphabet(),
-                        &label_deltas,
-                    );
+                    let edge_deltas =
+                        collect_edge_deltas(&self.tcs[tc_idx].alphabet(), &label_deltas);
                     if !edge_deltas.is_empty() {
                         let mut raw = Vec::new();
                         self.tcs[tc_idx].apply_epoch(&edge_deltas, &self.rels, &mut raw);
@@ -402,8 +406,7 @@ impl DdEngine {
                 if self.alias_tcs.values().any(|&i| i == *idx) {
                     continue; // aliased: evaluated as its own stratum
                 }
-                let edge_deltas =
-                    collect_edge_deltas(&self.tcs[*idx].alphabet(), label_deltas);
+                let edge_deltas = collect_edge_deltas(&self.tcs[*idx].alphabet(), label_deltas);
                 if !edge_deltas.is_empty() {
                     let mut out = Vec::new();
                     self.tcs[*idx].apply_epoch(&edge_deltas, &self.rels, &mut out);
@@ -415,19 +418,18 @@ impl DdEngine {
         // For each atom, its set-level delta this epoch.
         let atom_delta = |atom: &CompiledAtom| -> Vec<(VertexId, VertexId, SetDelta)> {
             match atom {
-                CompiledAtom::Rel { pred_gated: true, .. } => Vec::new(),
-                CompiledAtom::Rel { label, .. } => label_deltas
-                    .get(label)
-                    .cloned()
-                    .unwrap_or_default(),
-                CompiledAtom::Tc { idx, .. } => match self
-                    .alias_tcs
-                    .iter()
-                    .find(|(_, &i)| i == *idx)
-                {
-                    Some((al, _)) => label_deltas.get(al).cloned().unwrap_or_default(),
-                    None => tc_deltas.get(idx).cloned().unwrap_or_default(),
-                },
+                CompiledAtom::Rel {
+                    pred_gated: true, ..
+                } => Vec::new(),
+                CompiledAtom::Rel { label, .. } => {
+                    label_deltas.get(label).cloned().unwrap_or_default()
+                }
+                CompiledAtom::Tc { idx, .. } => {
+                    match self.alias_tcs.iter().find(|(_, &i)| i == *idx) {
+                        Some((al, _)) => label_deltas.get(al).cloned().unwrap_or_default(),
+                        None => tc_deltas.get(idx).cloned().unwrap_or_default(),
+                    }
+                }
             }
         };
 
@@ -565,7 +567,9 @@ impl DdEngine {
         mut f: impl FnMut(VertexId, VertexId),
     ) {
         match atom {
-            CompiledAtom::Rel { pred_gated: true, .. } => {}
+            CompiledAtom::Rel {
+                pred_gated: true, ..
+            } => {}
             CompiledAtom::Rel { label, .. } => {
                 let Some(rel) = self.rels.get(label) else {
                     return;
@@ -697,9 +701,7 @@ fn delta_membership(
 /// Nets set-level deltas per pair: a Removed followed by an Added for the
 /// same pair within one epoch cancels out (the pair is in both the old and
 /// the new state), so downstream delta-joins must not see either.
-fn net_deltas(
-    deltas: Vec<(VertexId, VertexId, SetDelta)>,
-) -> Vec<(VertexId, VertexId, SetDelta)> {
+fn net_deltas(deltas: Vec<(VertexId, VertexId, SetDelta)>) -> Vec<(VertexId, VertexId, SetDelta)> {
     let mut net: FxHashMap<(VertexId, VertexId), i64> = FxHashMap::default();
     for (s, t, d) in deltas {
         *net.entry((s, t)).or_insert(0) += match d {
@@ -712,7 +714,15 @@ fn net_deltas(
         .filter(|&(_, c)| c != 0)
         .map(|((s, t), c)| {
             debug_assert!(c.abs() == 1, "set-level deltas net to ±1");
-            (s, t, if c > 0 { SetDelta::Added } else { SetDelta::Removed })
+            (
+                s,
+                t,
+                if c > 0 {
+                    SetDelta::Added
+                } else {
+                    SetDelta::Removed
+                },
+            )
         })
         .collect();
     out.sort_by_key(|&(s, t, _)| (s, t));
@@ -815,7 +825,12 @@ mod tests {
              D(x, y) <- b(x, y).
              Ans(x, y) <- D(x, y).",
             WindowSpec::new(4, 2),
-            vec![(1, 2, "a", 0), (1, 2, "b", 1), (3, 4, "b", 3), (1, 2, "a", 5)],
+            vec![
+                (1, 2, "a", 0),
+                (1, 2, "b", 1),
+                (3, 4, "b", 3),
+                (1, 2, "a", 5),
+            ],
         );
     }
 
@@ -873,7 +888,9 @@ mod tests {
         let labels = program.labels().clone();
         let a = labels.get("a").unwrap();
         let mut dd = DdEngine::new(&SgqQuery::new(program, WindowSpec::new(10, 2)));
-        let stream: Vec<Sge> = (0..50u64).map(|i| Sge::raw(i % 9, (i + 3) % 9, a, i)).collect();
+        let stream: Vec<Sge> = (0..50u64)
+            .map(|i| Sge::raw(i % 9, (i + 3) % 9, a, i))
+            .collect();
         let stats = dd.run(&stream);
         assert_eq!(stats.edges, 50);
         assert!(stats.results > 0);

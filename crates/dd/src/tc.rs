@@ -75,14 +75,8 @@ impl TcState {
         rels: &FxHashMap<Label, Rel>,
         out: &mut Vec<(VertexId, VertexId, SetDelta)>,
     ) {
-        let dels: Vec<&EdgeDelta> = deltas
-            .iter()
-            .filter(|d| d.3 == SetDelta::Removed)
-            .collect();
-        let adds: Vec<&EdgeDelta> = deltas
-            .iter()
-            .filter(|d| d.3 == SetDelta::Added)
-            .collect();
+        let dels: Vec<&EdgeDelta> = deltas.iter().filter(|d| d.3 == SetDelta::Removed).collect();
+        let adds: Vec<&EdgeDelta> = deltas.iter().filter(|d| d.3 == SetDelta::Added).collect();
         if !dels.is_empty() {
             self.dred_delete(&dels, rels, out);
         }
@@ -351,7 +345,9 @@ mod tests {
         let out = h.step(&[(2, A, 3, -1)]);
         assert_eq!(h.pairs(), vec![(1, 2), (3, 4)]);
         assert_eq!(
-            out.iter().filter(|(_, _, d)| *d == SetDelta::Removed).count(),
+            out.iter()
+                .filter(|(_, _, d)| *d == SetDelta::Removed)
+                .count(),
             4
         );
     }

@@ -1,0 +1,538 @@
+//! The multi-query host: N persistent queries, one shared dataflow.
+
+use crate::canon::Canonicalizer;
+pub use crate::registry::QueryId;
+use crate::registry::{input_delta, purge_dedup, Registration, Registry};
+use sgq_core::algebra::SgaExpr;
+use sgq_core::dataflow::Dataflow;
+use sgq_core::engine::answer_at;
+use sgq_core::engine::EngineOptions;
+use sgq_core::physical::Delta;
+use sgq_core::planner::plan_canonical;
+use sgq_query::SgqQuery;
+use sgq_types::{
+    time::gcd, FxHashMap, FxHashSet, Label, LabelInterner, Sge, Sgt, SharedProps, Timestamp,
+    VertexId,
+};
+use std::collections::VecDeque;
+
+/// A host executing many persistent [`SgqQuery`]s over one shared input
+/// stream, instantiating structurally-equal subplans once across query
+/// boundaries (see the crate docs).
+///
+/// The host mirrors the single-query [`Engine`](sgq_core::engine::Engine)
+/// surface — `process` / `process_batch` / `delete` / `advance_time` — but
+/// results are routed per query: ingestion returns `(QueryId, Sgt)` pairs,
+/// and each registered query additionally has a cursor-based
+/// [`drain`](MultiQueryEngine::drain) subscription plus the full
+/// [`results`](MultiQueryEngine::results) /
+/// [`answer_at`](MultiQueryEngine::answer_at) views.
+pub struct MultiQueryEngine {
+    flow: Dataflow,
+    canon: Canonicalizer,
+    registry: Registry,
+    opts: EngineOptions,
+    now: Timestamp,
+    /// Host tick granularity: gcd of every registered query's tick.
+    slide: u64,
+    next_boundary: Option<Timestamp>,
+    /// Direct-approach reclamation cadence (most demanding query wins).
+    purge_period: u64,
+    last_physical_purge: Option<Timestamp>,
+    /// Input history inside the retention horizon, for register-time
+    /// catch-up (newly created operators replay it so a late-registered
+    /// query answers from the full current window).
+    retained: VecDeque<(Sge, Option<SharedProps>)>,
+    /// How far back input history is retained: the high-water mark of
+    /// every window size ever registered (never shrinks — a deregistered
+    /// large-window query may come back), raised further by
+    /// [`MultiQueryEngine::set_retention_horizon`].
+    retention_horizon: u64,
+}
+
+impl Default for MultiQueryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiQueryEngine {
+    /// An empty host with default engine options.
+    pub fn new() -> MultiQueryEngine {
+        Self::with_options(EngineOptions::default())
+    }
+
+    /// An empty host lowering every registered plan with `opts`.
+    ///
+    /// Options are host-wide: shared operators must be built identically
+    /// for every query subscribing to them.
+    pub fn with_options(opts: EngineOptions) -> MultiQueryEngine {
+        MultiQueryEngine {
+            flow: Dataflow::new(opts),
+            canon: Canonicalizer::new(),
+            registry: Registry::default(),
+            opts,
+            now: 0,
+            slide: 1,
+            next_boundary: None,
+            purge_period: 1,
+            last_physical_purge: None,
+            retained: VecDeque::new(),
+            retention_horizon: 0,
+        }
+    }
+
+    /// The shared label namespace. Input sges must carry labels from this
+    /// interner (EDB names are interned when a query referencing them is
+    /// registered; see [`MultiQueryEngine::labels`] + `LabelInterner::get`).
+    pub fn labels(&self) -> &LabelInterner {
+        self.canon.labels()
+    }
+
+    /// Provisions the input-retention horizon: history is kept for at
+    /// least `horizon` ticks even before any query that large registers.
+    ///
+    /// Catch-up on [`MultiQueryEngine::register`] can only re-derive from
+    /// retained history, which normally spans the largest window ever
+    /// registered. A query whose window exceeds everything seen so far
+    /// would find older (still-valid-for-it) edges already pruned — call
+    /// this up front with the largest window the host should expect to
+    /// make late registrations of that size exact too.
+    pub fn set_retention_horizon(&mut self, horizon: u64) {
+        self.retention_horizon = self.retention_horizon.max(horizon);
+    }
+
+    /// The current input-retention horizon in ticks.
+    pub fn retention_horizon(&self) -> u64 {
+        self.retention_horizon
+    }
+
+    /// Registers a persistent query; it participates in every subsequent
+    /// `process` call until deregistered.
+    ///
+    /// The plan is lowered through the shared canonical namespace, so any
+    /// subplan structurally equal to one an already-registered query uses
+    /// — window scans, PATH automata, PATTERN join subtrees — is **not**
+    /// re-instantiated; the existing operator fans out to both queries.
+    ///
+    /// When the host runs with duplicate suppression (the default), a
+    /// late registration catches up with history: if the whole plan is
+    /// already running for another query, the newcomer's sink is seeded
+    /// from that twin's emission log; otherwise the retained input window
+    /// is replayed through a private cold instance of the plan, whose
+    /// warmed state is then adopted by the plan's newly created operators
+    /// — either way the query answers from the full current window like a
+    /// dedicated engine that had seen the whole stream, **provided its
+    /// window fits the retention horizon** (the high-water mark of all
+    /// windows registered so far; raise it up front with
+    /// [`MultiQueryEngine::set_retention_horizon`] when larger windows
+    /// will register late — history older than the horizon is pruned and
+    /// cannot be re-derived). With `suppress_duplicates = false`
+    /// (explicit-deletion pipelines) catch-up is skipped and the query
+    /// starts cold.
+    pub fn register(&mut self, query: &SgqQuery) -> QueryId {
+        let plan = plan_canonical(query);
+        let expr = self.canon.canonicalize(&plan);
+        let answer = self.canon.answer_label(plan.labels.name(plan.answer));
+        let root = self.flow.lower(&expr);
+        let nodes = self.flow.nodes_of(&expr);
+        // Per-query schedule parameters, identical to a dedicated Engine's.
+        let mut slide = plan.window.slide;
+        let mut max_window = plan.window.size;
+        expr.visit(&mut |e| {
+            if let SgaExpr::WScan {
+                window, slide: s, ..
+            } = e
+            {
+                slide = gcd(slide, *s);
+                max_window = max_window.max(*window);
+            }
+        });
+        let purge_period = self
+            .opts
+            .purge_period
+            .unwrap_or_else(|| slide.max(plan.window.size / 4).max(1));
+        let id = self.registry.insert(Registration {
+            root,
+            nodes,
+            expr,
+            answer,
+            slide,
+            purge_period,
+            max_window,
+            results: Vec::new(),
+            deleted: Vec::new(),
+            dedup: FxHashMap::default(),
+            drained: 0,
+        });
+        self.recompute_schedule();
+        if self.opts.suppress_duplicates {
+            self.catch_up(id);
+        }
+        id
+    }
+
+    /// Deregisters a query. Operators no other registered query references
+    /// are retired from the shared dataflow (their state is dropped);
+    /// shared operators live on for the remaining subscribers. Returns
+    /// `false` if `id` is unknown (already deregistered).
+    pub fn deregister(&mut self, id: QueryId) -> bool {
+        let Some((_, dead)) = self.registry.remove(id) else {
+            return false;
+        };
+        self.flow.retire(&dead);
+        self.recompute_schedule();
+        true
+    }
+
+    /// Registered query ids, in registration order.
+    pub fn registered(&self) -> Vec<QueryId> {
+        self.registry.ids()
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Names of the live physical operators in the shared dataflow.
+    pub fn operator_names(&self) -> Vec<String> {
+        self.flow.operator_names()
+    }
+
+    /// Number of live physical operators (the sharing metric: compare
+    /// against the sum of dedicated engines' operator counts).
+    pub fn operator_count(&self) -> usize {
+        self.flow.live_count()
+    }
+
+    /// Total state entries across live operators.
+    pub fn state_size(&self) -> usize {
+        self.flow.state_size()
+    }
+
+    /// Current event time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The result tag carried by `id`'s emitted sgts.
+    pub fn answer_label(&self, id: QueryId) -> Option<Label> {
+        self.registry.get(id).map(|r| r.answer)
+    }
+
+    /// Pretty-prints the canonicalized plan `id` runs, with shared-
+    /// namespace label names (diagnostics).
+    pub fn plan_display(&self, id: QueryId) -> Option<String> {
+        self.registry
+            .get(id)
+            .map(|r| r.expr.display(self.canon.labels()))
+    }
+
+    /// Processes one arriving sge, returning the newly emitted results of
+    /// every affected query as `(QueryId, Sgt)` pairs (in emission order;
+    /// a shared subplan emission fans out to one pair per subscriber).
+    pub fn process(&mut self, sge: Sge) -> Vec<(QueryId, Sgt)> {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+        self.retain_input(sge, None);
+        self.ingest(sge.label, input_delta(sge), &mut inserts, &mut deletes);
+        inserts
+    }
+
+    /// Processes one sge carrying edge properties (attribute predicates in
+    /// registered queries evaluate against them).
+    pub fn process_with_props(
+        &mut self,
+        sge: Sge,
+        props: sgq_types::PropMap,
+    ) -> Vec<(QueryId, Sgt)> {
+        let props = std::sync::Arc::new(props);
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+        self.retain_input(sge, Some(props.clone()));
+        let delta = match input_delta(sge) {
+            Delta::Insert(s) => Delta::Insert(s.with_props(props)),
+            d => d,
+        };
+        self.ingest(sge.label, delta, &mut inserts, &mut deletes);
+        inserts
+    }
+
+    /// Processes a timestamp-ordered batch at once, pre-coalescing
+    /// value-equivalent sges that fall in the same host tick period
+    /// (mirrors `Engine::process_batch`; requires append-only pipelines).
+    pub fn process_batch(&mut self, batch: &[Sge]) -> Vec<(QueryId, Sgt)> {
+        let Some(&last) = batch.last() else {
+            return Vec::new();
+        };
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].t <= w[1].t),
+            "batches are stream segments (ordered by timestamp)"
+        );
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        let mut seen: FxHashMap<(VertexId, VertexId, Label), Timestamp> = FxHashMap::default();
+        for &sge in batch {
+            // Retain even coalesced duplicates: retention is raw input
+            // history, independent of the current tick granularity.
+            self.retain_input(sge, None);
+            let period = sge.t / self.slide;
+            match seen.get(&(sge.src, sge.trg, sge.label)) {
+                Some(&p) if p == period => continue, // covered duplicate
+                _ => {
+                    seen.insert((sge.src, sge.trg, sge.label), period);
+                }
+            }
+            self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+            self.ingest(sge.label, input_delta(sge), &mut inserts, &mut deletes);
+        }
+        self.advance_time_into(last.t, &mut inserts, &mut deletes);
+        inserts
+    }
+
+    /// Explicitly deletes a previously inserted sge for every registered
+    /// query (§6.2.5). The host must run with `suppress_duplicates =
+    /// false`; returns the emitted negative result tuples.
+    pub fn delete(&mut self, sge: Sge) -> Vec<(QueryId, Sgt)> {
+        debug_assert!(
+            !self.opts.suppress_duplicates,
+            "explicit deletions require suppress_duplicates = false"
+        );
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        let delta = match input_delta(sge) {
+            Delta::Insert(s) => Delta::Delete(s),
+            d => d,
+        };
+        self.ingest(sge.label, delta, &mut inserts, &mut deletes);
+        deletes
+    }
+
+    /// Moves event time forward, purging state at every crossed host tick
+    /// boundary (the gcd of all registered queries' ticks, so every
+    /// query's window-expiry points are hit).
+    pub fn advance_time(&mut self, t: Timestamp) {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        self.advance_time_into(t, &mut inserts, &mut deletes);
+    }
+
+    /// Purges expired operator and sink state at `watermark`, with the
+    /// same timely/amortised split as the single-query engine.
+    pub fn purge(&mut self, watermark: Timestamp) {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        self.purge_into(watermark, &mut inserts, &mut deletes);
+    }
+
+    /// Forces physical reclamation of all expired operator state.
+    pub fn purge_all(&mut self, watermark: Timestamp) {
+        self.last_physical_purge = None;
+        self.purge(watermark);
+    }
+
+    /// All result sgts `id` has emitted so far (inserts, in order).
+    pub fn results(&self, id: QueryId) -> &[Sgt] {
+        self.registry.get(id).map_or(&[], |r| &r.results)
+    }
+
+    /// All negative result tuples `id` has emitted so far.
+    pub fn deleted_results(&self, id: QueryId) -> &[Sgt] {
+        self.registry.get(id).map_or(&[], |r| &r.deleted)
+    }
+
+    /// Returns the results emitted for `id` since the previous `drain`
+    /// call (the per-query subscription surface). Catch-up results from a
+    /// mid-stream registration appear in the first drain.
+    pub fn drain(&mut self, id: QueryId) -> Vec<Sgt> {
+        let Some(reg) = self.registry.get_mut(id) else {
+            return Vec::new();
+        };
+        let out = reg.results[reg.drained..].to_vec();
+        reg.drained = reg.results.len();
+        out
+    }
+
+    /// The distinct answer pairs of `id` valid at `t`, per its emitted
+    /// result stream (deletions subtracted) — `Engine::answer_at`.
+    pub fn answer_at(&self, id: QueryId, t: Timestamp) -> FxHashSet<(VertexId, VertexId)> {
+        self.registry
+            .get(id)
+            .map(|r| answer_at(&r.results, &r.deleted, t))
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn ingest(
+        &mut self,
+        label: Label,
+        delta: Delta,
+        inserts: &mut Vec<(QueryId, Sgt)>,
+        deletes: &mut Vec<(QueryId, Sgt)>,
+    ) {
+        let (opts, now) = (self.opts, self.now);
+        let MultiQueryEngine { flow, registry, .. } = self;
+        flow.ingest(label, delta, now, |n, d| {
+            registry.route(n, d, &opts, inserts, deletes);
+        });
+    }
+
+    fn advance_time_into(
+        &mut self,
+        t: Timestamp,
+        inserts: &mut Vec<(QueryId, Sgt)>,
+        deletes: &mut Vec<(QueryId, Sgt)>,
+    ) {
+        debug_assert!(t >= self.now, "streams are ordered by timestamp");
+        match self.next_boundary {
+            None => {
+                self.next_boundary = Some((t / self.slide + 1) * self.slide);
+            }
+            Some(mut b) => {
+                while t >= b {
+                    self.purge_into(b, inserts, deletes);
+                    b += self.slide;
+                }
+                self.next_boundary = Some(b);
+            }
+        }
+        self.now = t;
+        self.prune_retained();
+    }
+
+    fn purge_into(
+        &mut self,
+        watermark: Timestamp,
+        inserts: &mut Vec<(QueryId, Sgt)>,
+        deletes: &mut Vec<(QueryId, Sgt)>,
+    ) {
+        let due = match self.last_physical_purge {
+            None => true,
+            Some(last) => watermark.saturating_sub(last) >= self.purge_period,
+        };
+        let (opts, now) = (self.opts, self.now);
+        let MultiQueryEngine { flow, registry, .. } = self;
+        flow.purge(watermark, now, due, |n, d| {
+            registry.route(n, d, &opts, inserts, deletes);
+        });
+        if due {
+            self.last_physical_purge = Some(watermark);
+            for (_, reg) in self.registry.iter_mut() {
+                purge_dedup(&mut reg.dedup, watermark);
+            }
+        }
+    }
+
+    fn retain_input(&mut self, sge: Sge, props: Option<SharedProps>) {
+        if self.retention_horizon > 0 {
+            self.retained.push_back((sge, props));
+        }
+        self.prune_retained();
+    }
+
+    fn prune_retained(&mut self) {
+        while let Some((front, _)) = self.retained.front() {
+            if front.t.saturating_add(self.retention_horizon) <= self.now {
+                self.retained.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Recomputes host-wide schedule parameters after a registry change:
+    /// tick = gcd of per-query ticks, reclamation cadence = the most
+    /// demanding query's. The retention horizon only ever grows (it is a
+    /// high-water mark): shrinking it on deregister would prune history a
+    /// re-registration of the same query still needs for catch-up.
+    fn recompute_schedule(&mut self) {
+        let mut slide = 0u64;
+        let mut period = u64::MAX;
+        for (_, reg) in self.registry.iter() {
+            slide = gcd(slide, reg.slide);
+            period = period.min(reg.purge_period);
+            self.retention_horizon = self.retention_horizon.max(reg.max_window);
+        }
+        self.slide = slide.max(1);
+        self.purge_period = if period == u64::MAX { 1 } else { period };
+        if self.next_boundary.is_some() {
+            // Re-align the boundary grid to the new tick granularity.
+            self.next_boundary = Some((self.now / self.slide + 1) * self.slide);
+        }
+        self.prune_retained();
+    }
+
+    /// Brings a freshly registered query up to date with the retained
+    /// input window, so it answers like a dedicated engine that saw the
+    /// whole stream. Two disjoint cases:
+    ///
+    /// * **Root shared** — another query subscribes to the same root, so
+    ///   the entire plan is warm (sharing requires identical subtrees all
+    ///   the way down) and the twin's emission log *is* this root's full
+    ///   history: copy it. Replay would be wrong here — warm stateful
+    ///   operators (S-PATH, the join tree) prune covered re-insertions by
+    ///   design and would re-derive nothing.
+    /// * **Root new** — replay the retained window through a **private
+    ///   cold instance** of the plan (dedicated-engine semantics for the
+    ///   window, which bounds everything still derivable), route its root
+    ///   emissions to the newcomer's sink, then move the warmed operator
+    ///   state into the shared graph's newly created nodes. Nodes shared
+    ///   with live queries already hold that history and keep their own
+    ///   state; the replay copies of those are discarded.
+    fn catch_up(&mut self, id: QueryId) {
+        let Some(reg) = self.registry.get(id) else {
+            return;
+        };
+        let root = reg.root;
+        if let Some(twin) = self.registry.subscriber_other_than(root, id) {
+            self.registry.copy_sink(twin, id);
+            return;
+        }
+        if self.retained.is_empty() {
+            return;
+        }
+        let expr = reg.expr.clone();
+        let (opts, now) = (self.opts, self.now);
+        let mut replay = Dataflow::new(opts);
+        let replay_root = replay.lower(&expr);
+        {
+            let MultiQueryEngine {
+                registry, retained, ..
+            } = self;
+            for (sge, props) in retained.iter() {
+                let delta = match input_delta(*sge) {
+                    Delta::Insert(s) => match props {
+                        Some(p) => Delta::Insert(s.with_props(p.clone())),
+                        None => Delta::Insert(s),
+                    },
+                    d => d,
+                };
+                replay.ingest(sge.label, delta, now, |n, d| {
+                    if n == replay_root {
+                        registry.sink_to(id, d, &opts);
+                    }
+                });
+            }
+        }
+        // Adopt the warmed state for every node this registration newly
+        // created (sole-reference ⇒ created cold by this register call).
+        let mut adopted: FxHashSet<usize> = FxHashSet::default();
+        let mut moves: Vec<(usize, usize)> = Vec::new();
+        expr.visit(&mut |e| {
+            if let (Some(live), Some(warm)) = (self.flow.lookup(e), replay.lookup(e)) {
+                if self.registry.refcount(live) == 1 && adopted.insert(live) {
+                    moves.push((live, warm));
+                }
+            }
+        });
+        for (live, warm) in moves {
+            self.flow.replace_op(live, replay.take_op(warm));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Query registration bookkeeping: identities, per-query sinks, node
+//! refcounts, and root subscriptions.
+
+use sgq_core::algebra::SgaExpr;
+use sgq_core::engine::{sink_result, EngineOptions};
+use sgq_core::physical::Delta;
+use sgq_types::{FxHashMap, FxHashSet, Interval, IntervalSet, Label, Sgt, Timestamp, VertexId};
+
+/// Identity of a registered persistent query (stable for the lifetime of
+/// the host, never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One registered query: its slice of the shared dataflow plus its private
+/// result sink.
+pub(crate) struct Registration {
+    /// Root node in the shared dataflow.
+    pub root: usize,
+    /// Every node implementing this query (shared nodes included).
+    pub nodes: FxHashSet<usize>,
+    /// The canonicalized plan expression (kept for diagnostics and
+    /// deregistration bookkeeping).
+    pub expr: SgaExpr,
+    /// Result tag: emitted sgts are re-labelled to this query's answer
+    /// predicate in the shared namespace.
+    pub answer: Label,
+    /// This query's tick granularity (gcd of its window slides — what a
+    /// dedicated [`sgq_core::engine::Engine`] would tick at).
+    pub slide: u64,
+    /// This query's direct-approach reclamation cadence.
+    pub purge_period: u64,
+    /// Largest window size among this query's WSCANs (drives the host's
+    /// input-retention horizon for register-time catch-up).
+    pub max_window: u64,
+    /// Emitted result inserts, in emission order.
+    pub results: Vec<Sgt>,
+    /// Emitted negative result tuples.
+    pub deleted: Vec<Sgt>,
+    /// Sink coalescing state for duplicate suppression.
+    pub dedup: FxHashMap<(VertexId, VertexId), IntervalSet>,
+    /// Drain cursor into `results` (see `MultiQueryEngine::drain`).
+    pub drained: usize,
+}
+
+/// Runtime registry of persistent queries sharing one dataflow.
+#[derive(Default)]
+pub(crate) struct Registry {
+    entries: FxHashMap<u64, Registration>,
+    /// Root node → queries whose results it produces.
+    subs: FxHashMap<usize, Vec<u64>>,
+    /// Node → number of registrations whose plan uses it.
+    refcount: FxHashMap<usize, u32>,
+    next: u64,
+}
+
+impl Registry {
+    pub fn insert(&mut self, reg: Registration) -> QueryId {
+        let id = self.next;
+        self.next += 1;
+        self.subs.entry(reg.root).or_default().push(id);
+        for &n in &reg.nodes {
+            *self.refcount.entry(n).or_insert(0) += 1;
+        }
+        self.entries.insert(id, reg);
+        QueryId(id)
+    }
+
+    /// Removes a registration; returns it together with the nodes no
+    /// remaining registration references (to be retired by the host).
+    pub fn remove(&mut self, id: QueryId) -> Option<(Registration, FxHashSet<usize>)> {
+        let reg = self.entries.remove(&id.0)?;
+        if let Some(subs) = self.subs.get_mut(&reg.root) {
+            subs.retain(|&q| q != id.0);
+            if subs.is_empty() {
+                self.subs.remove(&reg.root);
+            }
+        }
+        let mut dead = FxHashSet::default();
+        for &n in &reg.nodes {
+            let rc = self.refcount.get_mut(&n).expect("refcounted node");
+            *rc -= 1;
+            if *rc == 0 {
+                self.refcount.remove(&n);
+                dead.insert(n);
+            }
+        }
+        Some((reg, dead))
+    }
+
+    pub fn get(&self, id: QueryId) -> Option<&Registration> {
+        self.entries.get(&id.0)
+    }
+
+    pub fn get_mut(&mut self, id: QueryId) -> Option<&mut Registration> {
+        self.entries.get_mut(&id.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Registered ids, ascending (registration order).
+    pub fn ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<u64> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(QueryId).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Registration)> {
+        self.entries.iter().map(|(&id, r)| (QueryId(id), r))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (QueryId, &mut Registration)> {
+        self.entries.iter_mut().map(|(&id, r)| (QueryId(id), r))
+    }
+
+    /// Routes an emission of `node` to every subscribed query's sink,
+    /// re-labelling to each query's answer tag. Newly accepted inserts and
+    /// deletes are appended to `inserts` / `deletes` (for `process`-style
+    /// return values).
+    pub fn route(
+        &mut self,
+        node: usize,
+        delta: Delta,
+        opts: &EngineOptions,
+        inserts: &mut Vec<(QueryId, Sgt)>,
+        deletes: &mut Vec<(QueryId, Sgt)>,
+    ) {
+        let Some(subscribers) = self.subs.get(&node) else {
+            return;
+        };
+        // The sole (or last) subscriber takes ownership; extra fan-out
+        // pays one clone each.
+        let last = subscribers.len() - 1;
+        let mut delta = Some(delta);
+        for (i, &q) in subscribers.iter().enumerate() {
+            let d = if i == last {
+                delta.take().expect("delta consumed only once")
+            } else {
+                delta.as_ref().expect("delta present until last").clone()
+            };
+            let reg = self.entries.get_mut(&q).expect("subscribed query exists");
+            sink_one(reg, d, opts, Some((QueryId(q), inserts, deletes)));
+        }
+    }
+
+    /// Sinks an emission into one specific query only (register-time
+    /// catch-up: other subscribers of the node already saw this history).
+    pub fn sink_to(&mut self, id: QueryId, delta: Delta, opts: &EngineOptions) {
+        if let Some(reg) = self.entries.get_mut(&id.0) {
+            sink_one(reg, delta, opts, None);
+        }
+    }
+
+    /// How many registrations use node `n`.
+    pub fn refcount(&self, n: usize) -> u32 {
+        self.refcount.get(&n).copied().unwrap_or(0)
+    }
+
+    /// A query other than `id` subscribed to `node`, if any (a "twin":
+    /// its plan shares this exact root).
+    pub fn subscriber_other_than(&self, node: usize, id: QueryId) -> Option<QueryId> {
+        self.subs
+            .get(&node)?
+            .iter()
+            .find(|&&q| q != id.0)
+            .map(|&q| QueryId(q))
+    }
+
+    /// Seeds `to`'s sink with a relabelled copy of `from`'s emission
+    /// history (register-time catch-up when the whole plan is shared:
+    /// the twin's log *is* the root's full history).
+    pub fn copy_sink(&mut self, from: QueryId, to: QueryId) {
+        let Some(src) = self.entries.get(&from.0) else {
+            return;
+        };
+        let (results, deleted, dedup) =
+            (src.results.clone(), src.deleted.clone(), src.dedup.clone());
+        let Some(dst) = self.entries.get_mut(&to.0) else {
+            return;
+        };
+        let relabel = |mut s: Sgt| {
+            s.label = dst.answer;
+            s
+        };
+        dst.results = results.into_iter().map(relabel).collect();
+        dst.deleted = deleted.into_iter().map(relabel).collect();
+        dst.dedup = dedup;
+        dst.drained = 0;
+    }
+}
+
+/// Per-query emission buffer: `(query, result)` pairs, as returned by
+/// `MultiQueryEngine::process`-family methods.
+pub(crate) type Emissions = Vec<(QueryId, Sgt)>;
+
+fn sink_one(
+    reg: &mut Registration,
+    delta: Delta,
+    opts: &EngineOptions,
+    collect: Option<(QueryId, &mut Emissions, &mut Emissions)>,
+) {
+    let tagged = match delta {
+        Delta::Insert(mut s) => {
+            s.label = reg.answer;
+            Delta::Insert(s)
+        }
+        Delta::Delete(mut s) => {
+            s.label = reg.answer;
+            Delta::Delete(s)
+        }
+    };
+    let (before_ins, before_del) = (reg.results.len(), reg.deleted.len());
+    sink_result(
+        opts,
+        &mut reg.dedup,
+        &mut reg.results,
+        &mut reg.deleted,
+        tagged,
+    );
+    if let Some((id, inserts, deletes)) = collect {
+        if reg.results.len() > before_ins {
+            inserts.push((id, reg.results.last().expect("just pushed").clone()));
+        }
+        if reg.deleted.len() > before_del {
+            deletes.push((id, reg.deleted.last().expect("just pushed").clone()));
+        }
+    }
+}
+
+/// Purges expired sink-dedup intervals (mirrors the single-query engine's
+/// sink maintenance at physical-purge boundaries).
+pub(crate) fn purge_dedup(
+    dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    watermark: Timestamp,
+) {
+    dedup.retain(|_, set| {
+        set.purge_expired(watermark);
+        !set.is_empty()
+    });
+}
+
+/// The instant-interval insert delta for a raw input sge (what the
+/// single-query engine feeds its WSCANs).
+pub(crate) fn input_delta(sge: sgq_types::Sge) -> Delta {
+    Delta::Insert(Sgt::edge(
+        sge.src,
+        sge.trg,
+        sge.label,
+        Interval::instant(sge.t),
+    ))
+}

@@ -38,8 +38,8 @@
 //! access in CONSTRUCT.
 
 use crate::rq::{RqProgram, RqProgramBuilder, RuleBuilder};
-use sgq_types::PropPred;
 use crate::window::{SgqQuery, WindowSpec};
+use sgq_types::PropPred;
 use std::fmt;
 
 /// A G-CORE parse/translation error.
@@ -97,8 +97,8 @@ pub fn parse_gcore(input: &str) -> Result<SgqQuery, GcoreError> {
     let mut match_alts: Vec<Vec<PatAtom>> = Vec::new();
     let mut unifications: Vec<(String, String)> = Vec::new();
     let mut window: Option<(u64, u64)> = None; // (size, slide) in hours
-    // Streams may be windowed individually (Figure 7): an ON clause scopes
-    // its window to the labels of the immediately preceding MATCH clause.
+                                               // Streams may be windowed individually (Figure 7): an ON clause scopes
+                                               // its window to the labels of the immediately preceding MATCH clause.
     let mut last_match_labels: Vec<String> = Vec::new();
     let mut scoped_windows: Vec<(Vec<String>, (u64, u64))> = Vec::new();
 
@@ -117,7 +117,9 @@ pub fn parse_gcore(input: &str) -> Result<SgqQuery, GcoreError> {
             "CONSTRUCT" => {
                 let atoms = parse_linear_pattern(rest.trim())?;
                 match atoms.as_slice() {
-                    [PatAtom::Edge { label, src, trg, .. }] => {
+                    [PatAtom::Edge {
+                        label, src, trg, ..
+                    }] => {
                         construct = Some((label.clone(), src.clone(), trg.clone()));
                     }
                     _ => return err("CONSTRUCT must be a single (x)-[:l]->(y) edge"),
@@ -159,8 +161,7 @@ pub fn parse_gcore(input: &str) -> Result<SgqQuery, GcoreError> {
             "ON" => {
                 let (size, slide) = parse_on_clause(&rest)?;
                 if !last_match_labels.is_empty() {
-                    scoped_windows
-                        .push((std::mem::take(&mut last_match_labels), (size, slide)));
+                    scoped_windows.push((std::mem::take(&mut last_match_labels), (size, slide)));
                 }
                 window = Some(match window {
                     None => (size, slide),
@@ -344,9 +345,7 @@ fn parse_pattern_alternatives_ends(
 /// Parses `pattern, pattern, …` (top-level commas). Also returns the
 /// written endpoints of the *first* chain — the head of a PATH clause
 /// (Figure 6: `PATH RL = (u1) -/…/-> (u2), …` defines `RL(u1, u2)`).
-fn parse_comma_patterns_ends(
-    text: &str,
-) -> Result<(Vec<PatAtom>, PatternEnds), GcoreError> {
+fn parse_comma_patterns_ends(text: &str) -> Result<(Vec<PatAtom>, PatternEnds), GcoreError> {
     let mut out = Vec::new();
     let mut ends = None;
     for part in split_top_level_commas(text) {
@@ -393,9 +392,7 @@ fn split_top_level_commas(text: &str) -> Vec<String> {
 /// the atoms plus the chain's *written* endpoints (first and last vertex
 /// variables in text order — the direction of a PATH clause). A bare
 /// `(u1)` contributes no atoms (Figure 7's `MATCH (u1)`).
-fn parse_linear_pattern_ends(
-    text: &str,
-) -> Result<(Vec<PatAtom>, PatternEnds), GcoreError> {
+fn parse_linear_pattern_ends(text: &str) -> Result<(Vec<PatAtom>, PatternEnds), GcoreError> {
     let s = text.trim();
     let mut atoms = Vec::new();
     let mut pos = 0usize;
@@ -458,19 +455,14 @@ fn parse_connector(conn: &str, left: &str, right: &str) -> Result<PatAtom, Gcore
             inner = &inner[lt..];
         }
         let inner = inner.trim_start_matches('<').trim_end_matches('>').trim();
-        let (name, plus) = if let Some(n) = inner
-            .strip_suffix("^+")
-            .or_else(|| inner.strip_suffix('+'))
-        {
-            (n, true)
-        } else if let Some(n) = inner
-            .strip_suffix("^*")
-            .or_else(|| inner.strip_suffix('*'))
-        {
-            (n, false)
-        } else {
-            (inner, true)
-        };
+        let (name, plus) =
+            if let Some(n) = inner.strip_suffix("^+").or_else(|| inner.strip_suffix('+')) {
+                (n, true)
+            } else if let Some(n) = inner.strip_suffix("^*").or_else(|| inner.strip_suffix('*')) {
+                (n, false)
+            } else {
+                (inner, true)
+            };
         let base = name
             .trim_start_matches(':')
             .trim_start_matches('~')
@@ -536,7 +528,12 @@ fn resolve_var(v: &str, unif: &[(String, String)]) -> String {
 fn add_atoms(mut rb: RuleBuilder<'_>, atoms: &[PatAtom], unif: &[(String, String)]) {
     for atom in atoms {
         match atom {
-            PatAtom::Edge { label, src, trg, preds } => {
+            PatAtom::Edge {
+                label,
+                src,
+                trg,
+                preds,
+            } => {
                 rb = rb.rel_where(
                     label,
                     &resolve_var(src, unif),
@@ -708,7 +705,11 @@ mod tests {
         // REC joining purchases — here the head is `recommendation`.
         let rec = q.program.answer();
         assert_eq!(q.program.labels().name(rec), "recommendation");
-        assert_eq!(q.program.rules_for(rec).count(), 2, "two OPTIONAL alternatives");
+        assert_eq!(
+            q.program.rules_for(rec).count(),
+            2,
+            "two OPTIONAL alternatives"
+        );
         let follows = q.program.labels().get("follows").unwrap();
         let purchase = q.program.labels().get("purchase").unwrap();
         assert_eq!(q.window_for(follows), WindowSpec::new(24, 1));
@@ -719,7 +720,9 @@ mod tests {
     fn malformed_view_wrappers_error() {
         assert!(parse_gcore("GRAPH VIEW AS (MATCH (x)-[:e]->(y))").is_err());
         assert!(parse_gcore("GRAPH VIEW v AS MATCH (x)-[:e]->(y)").is_err());
-        assert!(parse_gcore("GRAPH VIEW v AS (CONSTRUCT (x)-[:d]->(y) MATCH (x)-[:e]->(y)").is_err());
+        assert!(
+            parse_gcore("GRAPH VIEW v AS (CONSTRUCT (x)-[:d]->(y) MATCH (x)-[:e]->(y)").is_err()
+        );
     }
 
     #[test]
@@ -750,7 +753,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.window, WindowSpec::new(48, 1));
-        assert!(q.label_windows().is_empty(), "no per-label overrides needed");
+        assert!(
+            q.label_windows().is_empty(),
+            "no per-label overrides needed"
+        );
     }
 
     #[test]
@@ -787,18 +793,17 @@ mod tests {
              ON s WINDOW (24h)",
         )
         .unwrap_err();
-        assert!(e.msg.contains("property") || e.msg.contains("predicate"), "{e}");
+        assert!(
+            e.msg.contains("property") || e.msg.contains("predicate"),
+            "{e}"
+        );
     }
 
     #[test]
     fn bad_connector_reports_error() {
-        assert!(parse_gcore(
-            "CONSTRUCT (x)-[:d]->(y)\nMATCH (x)==(y)\nON s WINDOW (1h)"
-        )
-        .is_err());
-        assert!(parse_gcore(
-            "CONSTRUCT (x)-[:d]->(y)\nMATCH (x)-[:e]->\nON s WINDOW (1h)"
-        )
-        .is_err());
+        assert!(parse_gcore("CONSTRUCT (x)-[:d]->(y)\nMATCH (x)==(y)\nON s WINDOW (1h)").is_err());
+        assert!(
+            parse_gcore("CONSTRUCT (x)-[:d]->(y)\nMATCH (x)-[:e]->\nON s WINDOW (1h)").is_err()
+        );
     }
 }

@@ -232,12 +232,7 @@ fn eval_rule(
 
     bindings
         .into_iter()
-        .map(|b| {
-            (
-                b[rule.head.src.as_str()],
-                b[rule.head.trg.as_str()],
-            )
-        })
+        .map(|b| (b[rule.head.src.as_str()], b[rule.head.trg.as_str()]))
         .collect()
 }
 
@@ -352,17 +347,17 @@ mod tests {
         let ans = evaluate_answer(&p, &g);
         assert_eq!(
             ans,
-            [(v(1), v(2)), (v(1), v(3)), (v(1), v(4))].into_iter().collect()
+            [(v(1), v(2)), (v(1), v(3)), (v(1), v(4))]
+                .into_iter()
+                .collect()
         );
     }
 
     #[test]
     fn triangle_pattern_example6() {
         // recentLiker triangle: likes(u1,m), posts(u2,m), followsPath(u1,u2).
-        let p = parse_program(
-            "RL(u1, u2) <- likes(u1, m1), follows+(u1, u2), posts(u2, m1).",
-        )
-        .unwrap();
+        let p =
+            parse_program("RL(u1, u2) <- likes(u1, m1), follows+(u1, u2), posts(u2, m1).").unwrap();
         // Figure 3's snapshot at t=30: u=0, v=1, b=2, y=3, c=4, a=5.
         let g = snapshot(
             &p,
@@ -422,10 +417,7 @@ mod tests {
 
     #[test]
     fn alias_relation_is_shared_and_exposed() {
-        let p = parse_program(
-            "Ans(x, y) <- a+(x, y) as AP.",
-        )
-        .unwrap();
+        let p = parse_program("Ans(x, y) <- a+(x, y) as AP.").unwrap();
         let g = snapshot(&p, &[(1, 2, "a"), (2, 3, "a")]);
         let store = evaluate(&p, &g);
         let ap = p.labels().get("AP").unwrap();

@@ -107,11 +107,7 @@ fn split_statements(input: &str) -> Vec<(usize, String)> {
     out
 }
 
-fn parse_rule(
-    stmt: &str,
-    line: usize,
-    b: &mut RqProgramBuilder,
-) -> Result<(), ProgramParseError> {
+fn parse_rule(stmt: &str, line: usize, b: &mut RqProgramBuilder) -> Result<(), ProgramParseError> {
     let err = |msg: &str| ProgramParseError {
         line,
         msg: msg.to_string(),
@@ -149,9 +145,7 @@ fn parse_rule(
         if args.len() != 2 {
             return Err(err(&format!("atom `{pred}` must be binary")));
         }
-        let is_plain_ident = pred
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        let is_plain_ident = pred.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
         if is_plain_ident && alias.is_none() {
             let preds = match preds_text {
                 Some(text) => parse_prop_preds(&text).map_err(|m| err(&m))?,
@@ -364,10 +358,7 @@ mod tests {
     #[test]
     fn parses_q5_pattern() {
         // Q5: RR(m1,m2) <- a(x,y), b(m1,x), b(m2,y), c(m2,m1)
-        let p = parse_program(
-            "RR(m1, m2) <- a(x, y), b(m1, x), b(m2, y), c(m2, m1).",
-        )
-        .unwrap();
+        let p = parse_program("RR(m1, m2) <- a(x, y), b(m1, x), b(m2, y), c(m2, m1).").unwrap();
         assert_eq!(p.rules()[0].body.len(), 4);
         assert_eq!(p.edb_labels().len(), 3);
     }
@@ -422,10 +413,8 @@ mod tests {
 
     #[test]
     fn parses_attribute_predicates() {
-        let p = parse_program(
-            "Ans(x, y) <- likes(x, m)[weight >= 5, lang = \"en\"], posts(y, m).",
-        )
-        .unwrap();
+        let p = parse_program("Ans(x, y) <- likes(x, m)[weight >= 5, lang = \"en\"], posts(y, m).")
+            .unwrap();
         match &p.rules()[0].body[0] {
             BodyAtom::Rel { preds, .. } => {
                 assert_eq!(preds.len(), 2);
@@ -444,10 +433,7 @@ mod tests {
 
     #[test]
     fn attribute_predicate_value_forms() {
-        let p = parse_program(
-            "Ans(x, y) <- a(x, y)[n = -3, flag = true, s != \"x, y\"].",
-        )
-        .unwrap();
+        let p = parse_program("Ans(x, y) <- a(x, y)[n = -3, flag = true, s != \"x, y\"].").unwrap();
         match &p.rules()[0].body[0] {
             BodyAtom::Rel { preds, .. } => {
                 assert_eq!(preds[0].value, PropValue::Int(-3));
@@ -485,10 +471,7 @@ mod tests {
 
     #[test]
     fn string_values_may_contain_dots_and_hashes() {
-        let p = parse_program(
-            "Ans(x, y) <- a(x, y)[site = \"v1.2#beta\"].",
-        )
-        .unwrap();
+        let p = parse_program("Ans(x, y) <- a(x, y)[site = \"v1.2#beta\"].").unwrap();
         match &p.rules()[0].body[0] {
             BodyAtom::Rel { preds, .. } => {
                 assert_eq!(preds[0].value, PropValue::text("v1.2#beta"));

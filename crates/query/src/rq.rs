@@ -152,7 +152,12 @@ impl RqProgram {
                     s.push_str(", ");
                 }
                 match a {
-                    BodyAtom::Rel { label, src, trg, preds } => {
+                    BodyAtom::Rel {
+                        label,
+                        src,
+                        trg,
+                        preds,
+                    } => {
                         s.push_str(&format!("{}({src}, {trg})", self.labels.name(*label)));
                         if !preds.is_empty() {
                             let ps: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
@@ -627,10 +632,7 @@ mod tests {
     fn unsafe_rule_rejected() {
         let mut b = RqProgramBuilder::new();
         b.rule("A", "x", "z").rel("e", "x", "y").done();
-        assert!(matches!(
-            b.build(),
-            Err(RqError::UnsafeRule { .. })
-        ));
+        assert!(matches!(b.build(), Err(RqError::UnsafeRule { .. })));
     }
 
     #[test]
@@ -663,10 +665,7 @@ mod tests {
         let text = p.display();
         let p2 = crate::parser::parse_program(&text).unwrap();
         assert_eq!(p2.rules().len(), p.rules().len());
-        assert_eq!(
-            p2.labels().name(p2.answer()),
-            p.labels().name(p.answer())
-        );
+        assert_eq!(p2.labels().name(p2.answer()), p.labels().name(p.answer()));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A strategy producing `Vec`s of `element` values with a length drawn
+/// uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "vec strategy: empty size range");
+    VecStrategy { element, size }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + rng.below(span.max(1));
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::for_test("vec_lengths");
+        let s = vec(0u64..5, 2..6);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

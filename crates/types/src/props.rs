@@ -273,7 +273,14 @@ mod tests {
     #[test]
     fn absent_key_is_false_for_every_op() {
         let m = PropMap::new();
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!PropPred::new("w", op, 1i64).eval(&m), "{op:?}");
         }
     }
@@ -282,7 +289,10 @@ mod tests {
     fn cross_type_comparison_is_false() {
         let m = PropMap::from_pairs([("w", 10i64)]);
         assert!(!PropPred::new("w", CmpOp::Eq, "10").eval(&m));
-        assert!(!PropPred::new("w", CmpOp::Ne, "10").eval(&m), "Ne across types is still false");
+        assert!(
+            !PropPred::new("w", CmpOp::Ne, "10").eval(&m),
+            "Ne across types is still false"
+        );
     }
 
     #[test]

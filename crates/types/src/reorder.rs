@@ -18,14 +18,13 @@ struct ByTs(Sge);
 
 impl Ord for ByTs {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .t
-            .cmp(&other.0.t)
-            .then_with(|| (self.0.src, self.0.trg, self.0.label.0).cmp(&(
+        self.0.t.cmp(&other.0.t).then_with(|| {
+            (self.0.src, self.0.trg, self.0.label.0).cmp(&(
                 other.0.src,
                 other.0.trg,
                 other.0.label.0,
-            )))
+            ))
+        })
     }
 }
 
@@ -175,7 +174,10 @@ mod tests {
             b.push(sge(t, t));
         }
         let out = b.flush();
-        assert_eq!(out.iter().map(|e| e.t).collect::<Vec<_>>(), vec![1, 3, 5, 9]);
+        assert_eq!(
+            out.iter().map(|e| e.t).collect::<Vec<_>>(),
+            vec![1, 3, 5, 9]
+        );
         assert_eq!(b.pending(), 0);
     }
 

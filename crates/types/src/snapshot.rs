@@ -81,11 +81,7 @@ impl SnapshotGraph {
     /// Adds a materialized path between `src` and `trg` with label `label`
     /// (idempotent on the distinguished attributes).
     pub fn add_path(&mut self, src: VertexId, trg: VertexId, label: Label, p: PathSeq) {
-        if self
-            .paths
-            .insert((src, trg, label), p)
-            .is_some()
-        {
+        if self.paths.insert((src, trg, label), p).is_some() {
             return;
         }
         self.index(src, trg, label);
@@ -180,14 +176,14 @@ mod tests {
         // Figure 3/4 of the paper: the 24h-window stream snapshot at t=25
         // contains the first five tuples only.
         let tuples = vec![
-            sgt(0, 1, 0, 7, 31),   // u -follows-> v
-            sgt(1, 2, 1, 10, 34),  // v -posts-> b
-            sgt(3, 0, 0, 13, 37),  // y -follows-> u
-            sgt(1, 4, 1, 17, 41),  // v -posts-> c
-            sgt(0, 5, 1, 22, 46),  // u -posts-> a
-            sgt(3, 5, 2, 28, 52),  // y -likes-> a (not yet valid at 25)
-            sgt(0, 2, 2, 29, 53),  // u -likes-> b
-            sgt(0, 4, 2, 30, 54),  // u -likes-> c
+            sgt(0, 1, 0, 7, 31),  // u -follows-> v
+            sgt(1, 2, 1, 10, 34), // v -posts-> b
+            sgt(3, 0, 0, 13, 37), // y -follows-> u
+            sgt(1, 4, 1, 17, 41), // v -posts-> c
+            sgt(0, 5, 1, 22, 46), // u -posts-> a
+            sgt(3, 5, 2, 28, 52), // y -likes-> a (not yet valid at 25)
+            sgt(0, 2, 2, 29, 53), // u -likes-> b
+            sgt(0, 4, 2, 30, 54), // u -likes-> c
         ];
         let g = SnapshotGraph::at_time(25, &tuples);
         assert_eq!(g.edge_count(), 5);
@@ -208,7 +204,11 @@ mod tests {
 
     #[test]
     fn adjacency_indexes() {
-        let tuples = vec![sgt(1, 2, 0, 0, 10), sgt(1, 3, 0, 0, 10), sgt(4, 2, 1, 0, 10)];
+        let tuples = vec![
+            sgt(1, 2, 0, 0, 10),
+            sgt(1, 3, 0, 0, 10),
+            sgt(4, 2, 1, 0, 10),
+        ];
         let g = SnapshotGraph::at_time(1, &tuples);
         let mut outs = g.out(VertexId(1), Label(0)).to_vec();
         outs.sort();

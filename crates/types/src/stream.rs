@@ -137,7 +137,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_order_rejected() {
-        InputStream::from_ordered(vec![Sge::raw(1, 2, Label(0), 5), Sge::raw(2, 3, Label(0), 4)]);
+        InputStream::from_ordered(vec![
+            Sge::raw(1, 2, Label(0), 5),
+            Sge::raw(2, 3, Label(0), 4),
+        ]);
     }
 
     #[test]

@@ -143,6 +143,18 @@ pub fn window_interval(t: Timestamp, window: u64, slide: u64) -> Interval {
     }
 }
 
+/// Greatest common divisor over slide intervals, with `gcd(x, 0) = max(x, 1)`
+/// so degenerate inputs still yield a usable tick granularity. Engines tick
+/// at the gcd of every governed window's slide so boundaries hit each
+/// window's expiry points (see `sgq_core::engine`).
+pub fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,14 +40,14 @@ fn main() {
     // both feed the same engine, distinguished by label).
     // Users 0–9, posts 100+, products 1000+.
     let events = [
-        (0u64, 100u64, likes, 1u64),   // user0 likes post100
-        (1, 100, posts, 2),            // user1 authored post100 → ACQ(0,1)
-        (2, 1, follows, 3),            // user2 follows user1   → ACQ(2,1)
-        (1, 1000, purchase, 5),        // user1 buys product1000
+        (0u64, 100u64, likes, 1u64), // user0 likes post100
+        (1, 100, posts, 2),          // user1 authored post100 → ACQ(0,1)
+        (2, 1, follows, 3),          // user2 follows user1   → ACQ(2,1)
+        (1, 1000, purchase, 5),      // user1 buys product1000
         (3, 101, likes, 6),
-        (4, 101, posts, 7),            // ACQ(3,4)
-        (4, 1001, purchase, 9),        // user4 buys product1001
-        (1, 1002, purchase, 400),      // much later purchase
+        (4, 101, posts, 7),       // ACQ(3,4)
+        (4, 1001, purchase, 9),   // user4 buys product1001
+        (1, 1002, purchase, 400), // much later purchase
     ];
 
     println!("cross-stream recommendations:\n");
@@ -66,10 +66,7 @@ fn main() {
     // streaming graph — feed it into a second persistent query that finds
     // users recommended the same product ("co-shoppers").
     println!("\ncomposing: co-recommendation pairs over the result stream");
-    let second = parse_program(
-        "CoRec(u1, u2) <- rec(u1, p), rec(u2, p).",
-    )
-    .unwrap();
+    let second = parse_program("CoRec(u1, u2) <- rec(u1, p), rec(u2, p).").unwrap();
     let mut second_engine = Engine::from_query(&SgqQuery::new(second, WindowSpec::sliding(720)));
     let rec = second_engine.labels().get("rec").unwrap();
     // Re-ingest the first engine's results, ordered by their start time.

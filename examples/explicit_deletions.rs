@@ -26,7 +26,10 @@ fn main() {
     let show = |engine: &Engine, t: u64| {
         let mut pairs: Vec<_> = engine.answer_at(t).into_iter().collect();
         pairs.sort();
-        let s: Vec<String> = pairs.iter().map(|(a, b)| format!("{}→{}", a.0, b.0)).collect();
+        let s: Vec<String> = pairs
+            .iter()
+            .map(|(a, b)| format!("{}→{}", a.0, b.0))
+            .collect();
         println!("    connections now: [{}]", s.join(", "));
     };
 
@@ -40,7 +43,10 @@ fn main() {
     // The FRA–LYS flight is cancelled: a negative tuple retracts it and
     // the derived YYZ–LYS connection disappears.
     let cancelled = engine.delete(Sge::raw(2, 3, flight, 11));
-    println!("\nt=13: FRA–LYS cancelled ({} retraction(s) emitted)", cancelled.len());
+    println!(
+        "\nt=13: FRA–LYS cancelled ({} retraction(s) emitted)",
+        cancelled.len()
+    );
     show(&engine, 13);
 
     // A replacement flight restores the connection.

@@ -25,7 +25,10 @@ fn main() {
         query.window.size, query.window.slide
     );
     let plan = plan_canonical(&query);
-    println!("canonical SGA plan (Example 8 / Figure 8):\n{}", plan.display());
+    println!(
+        "canonical SGA plan (Example 8 / Figure 8):\n{}",
+        plan.display()
+    );
 
     let mut engine = Engine::from_query(&query);
     let labels = engine.labels().clone();
@@ -44,7 +47,10 @@ fn main() {
     println!("executing over the Figure 2 stream:");
     for (s, t, lab, ts) in stream {
         for r in engine.process(Sge::raw(s, t, l(lab), ts)) {
-            println!("  t={ts}: notify({}, {}) valid {}", r.src, r.trg, r.interval);
+            println!(
+                "  t={ts}: notify({}, {}) valid {}",
+                r.src, r.trg, r.interval
+            );
         }
     }
 }

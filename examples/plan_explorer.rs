@@ -17,7 +17,10 @@ fn main() {
     let query = SgqQuery::new(program, window);
 
     let canonical = plan_canonical(&query);
-    println!("canonical plan (Algorithm SGQParser):\n{}", canonical.display());
+    println!(
+        "canonical plan (Algorithm SGQParser):\n{}",
+        canonical.display()
+    );
 
     // Enumerate the plan space through the transformation rules.
     let plans = rewrite::enumerate_plans(&canonical, 8);

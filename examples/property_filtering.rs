@@ -27,7 +27,10 @@ fn main() {
     let query = SgqQuery::new(program, WindowSpec::sliding(48));
 
     let plan = plan_canonical(&query);
-    println!("plan (note the FILTER directly above WSCAN(S_rates)):\n{}", plan.display());
+    println!(
+        "plan (note the FILTER directly above WSCAN(S_rates)):\n{}",
+        plan.display()
+    );
 
     let mut engine = Engine::from_query(&query);
     let rates = engine.labels().get("rates").unwrap();
@@ -57,7 +60,10 @@ fn main() {
             out.len()
         );
         for r in out {
-            println!("    FLAG: author {} should review item {}", r.src.0, r.trg.0);
+            println!(
+                "    FLAG: author {} should review item {}",
+                r.src.0, r.trg.0
+            );
         }
     }
 

@@ -30,7 +30,10 @@ fn main() {
     ];
     for (src, trg, t) in stream {
         let results = engine.process(Sge::raw(src, trg, follows, t));
-        println!("t={t}: +follows({src}, {trg}) produced {} result(s)", results.len());
+        println!(
+            "t={t}: +follows({src}, {trg}) produced {} result(s)",
+            results.len()
+        );
         for r in results {
             println!("    {:?} reaches {:?} during {}", r.src, r.trg, r.interval);
         }

@@ -393,10 +393,9 @@ fn execute(a: RunArgs) -> Result<(), String> {
         (Some(n), _) => {
             let canonical = plan_canonical(&query);
             let plans = rewrite::enumerate_plans(&canonical, n.max(1) + 1);
-            plans
-                .into_iter()
-                .nth(n)
-                .ok_or(format!("plan index {n} out of range (see `sgq explain --plans`)"))?
+            plans.into_iter().nth(n).ok_or(format!(
+                "plan index {n} out of range (see `sgq explain --plans`)"
+            ))?
         }
         (None, true) => {
             let canonical = plan_canonical(&query);
@@ -496,10 +495,8 @@ mod tests {
 
     #[test]
     fn parses_impl_choices() {
-        let cmd = parse(
-            "run --gcore q.gc --stream s.tsv --path-impl negative --pattern-impl wcoj",
-        )
-        .unwrap();
+        let cmd = parse("run --gcore q.gc --stream s.tsv --path-impl negative --pattern-impl wcoj")
+            .unwrap();
         match cmd {
             Command::Run(a) => {
                 assert_eq!(a.path_impl, PathImpl::NegativeTuple);

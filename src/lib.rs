@@ -19,6 +19,8 @@
 //!   operators, and the execution engine.
 //! * [`dd`] — the Differential-Dataflow-style incremental baseline.
 //! * [`datagen`] — StackOverflow/SNB-like stream generators and Q1–Q7.
+//! * [`multiquery`] — the multi-query host: N persistent queries over one
+//!   stream with cross-query shared-subplan execution.
 //!
 //! ## Quick start
 //!
@@ -39,6 +41,7 @@ pub use sgq_automata as automata;
 pub use sgq_core as core;
 pub use sgq_datagen as datagen;
 pub use sgq_dd as dd;
+pub use sgq_multiquery as multiquery;
 pub use sgq_query as query;
 pub use sgq_types as types;
 
@@ -47,6 +50,7 @@ pub mod prelude {
     pub use sgq_core::engine::{Engine, EngineOptions, PathImpl, PatternImpl};
     pub use sgq_core::planner::{plan_canonical, Plan};
     pub use sgq_core::rewrite;
+    pub use sgq_multiquery::{MultiQueryEngine, QueryId};
     pub use sgq_query::{parse_program, SgqQuery, WindowSpec};
     pub use sgq_types::{Interval, Label, Payload, Sge, Sgt, VertexId};
 }

@@ -78,10 +78,8 @@ fn per_stream_windows_agree_across_engines() {
     // Figure 7's individually-windowed streams: SGA and DD must agree
     // when one label's window is much shorter than the other's.
     let raw = snb_stream(&SnbConfig::new(30, 800).with_span(400));
-    let program = s_graffito::query::parse_program(
-        "Ans(x, y) <- knows(x, m), likes(m, y).",
-    )
-    .unwrap();
+    let program =
+        s_graffito::query::parse_program("Ans(x, y) <- knows(x, m), likes(m, y).").unwrap();
     let stream = resolve(&raw, program.labels());
     let mk_query = || {
         SgqQuery::new(program.clone(), WindowSpec::new(200, 40))

@@ -20,10 +20,7 @@ fn deletion_engine(text: &str, window: u64) -> Engine {
 
 #[test]
 fn deleting_a_tuple_that_was_never_inserted_is_harmless() {
-    for text in [
-        "Ans(x, y) <- a(x, z), b(z, y).",
-        "Ans(x, y) <- a+(x, y).",
-    ] {
+    for text in ["Ans(x, y) <- a(x, z), b(z, y).", "Ans(x, y) <- a+(x, y)."] {
         let mut e = deletion_engine(text, 50);
         let a = e.labels().get("a").unwrap();
         e.process(Sge::raw(1, 2, a, 0));

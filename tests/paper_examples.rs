@@ -73,18 +73,18 @@ fn figure4_snapshot_at_25() {
 fn example6_pattern_output() {
     // The recentLiker PATTERN produces exactly (y,RL,u)@[28,37) and
     // (u,RL,v)@[29,31) (after coalescing the two (u,v) derivations).
-    let program = parse_program(
-        "RL(u1, u2) <- likes(u1, m1), follows+(u1, u2), posts(u2, m1).",
-    )
-    .unwrap();
+    let program =
+        parse_program("RL(u1, u2) <- likes(u1, m1), follows+(u1, u2), posts(u2, m1).").unwrap();
     let query = SgqQuery::new(program, WindowSpec::sliding(24));
     let mut engine = Engine::from_query(&query);
     let mut results = Vec::new();
     for sge in figure2_stream(&engine.labels().clone()) {
         results.extend(engine.process(sge));
     }
-    let simple: Vec<(u64, u64, Interval)> =
-        results.iter().map(|r| (r.src.0, r.trg.0, r.interval)).collect();
+    let simple: Vec<(u64, u64, Interval)> = results
+        .iter()
+        .map(|r| (r.src.0, r.trg.0, r.interval))
+        .collect();
     assert_eq!(simple.len(), 2, "{simple:?}");
     assert!(simple.contains(&(Y, U, Interval::new(28, 37))));
     assert!(simple.contains(&(U, V, Interval::new(29, 31))));
@@ -147,7 +147,12 @@ fn example8_canonical_plan_shape_and_execution() {
     let mut windowed = Vec::new();
     for sge in stream {
         engine.process(sge);
-        windowed.push(Sgt::edge(sge.src, sge.trg, sge.label, w.interval_for(sge.t)));
+        windowed.push(Sgt::edge(
+            sge.src,
+            sge.trg,
+            sge.label,
+            w.interval_for(sge.t),
+        ));
     }
     for t in [24, 28, 29, 30, 31, 36, 40, 52] {
         let snap = SnapshotGraph::at_time(t, &windowed);
@@ -172,11 +177,7 @@ fn example2_rq_is_the_example1_gcore_query() {
     // The Datalog text of Example 2 validates with the right EDB/IDB split
     // and the Answer predicate.
     let p = example_program();
-    let names: Vec<&str> = p
-        .edb_labels()
-        .iter()
-        .map(|&l| p.labels().name(l))
-        .collect();
+    let names: Vec<&str> = p.edb_labels().iter().map(|&l| p.labels().name(l)).collect();
     assert_eq!(names, vec!["likes", "follows", "posts"]);
     assert_eq!(p.labels().name(p.answer()), "Answer");
     assert_eq!(p.rules().len(), 3);

@@ -59,7 +59,10 @@ fn q4_plan_space_is_equivalent() {
         &["a", "b", "c"],
         13,
     );
-    assert!(n >= 4, "Q4 exposes at least the 4 plans of Figure 12, got {n}");
+    assert!(
+        n >= 4,
+        "Q4 exposes at least the 4 plans of Figure 12, got {n}"
+    );
 }
 
 #[test]
@@ -108,7 +111,12 @@ fn rewritten_plans_also_satisfy_reducibility() {
     let mut windowed = Vec::new();
     for sge in &stream {
         engine.process(*sge);
-        windowed.push(Sgt::edge(sge.src, sge.trg, sge.label, window.interval_for(sge.t)));
+        windowed.push(Sgt::edge(
+            sge.src,
+            sge.trg,
+            sge.label,
+            window.interval_for(sge.t),
+        ));
     }
     for t in 0..40 {
         let snap = SnapshotGraph::at_time(t, &windowed);

@@ -179,7 +179,12 @@ fn run_reducibility(
         };
         let sge = Sge::raw(s, tr, label, t);
         engine.process(sge);
-        windowed.push(Sgt::edge(sge.src, sge.trg, sge.label, window.interval_for(t)));
+        windowed.push(Sgt::edge(
+            sge.src,
+            sge.trg,
+            sge.label,
+            window.interval_for(t),
+        ));
     }
     // Window movement is time-driven (needed by the negative-tuple PATH).
     engine.advance_time(t + window.size + 1);
