@@ -17,6 +17,10 @@ pub type StateId = u32;
 pub struct Dfa {
     /// `trans[s]` maps labels to successor states.
     trans: Vec<FxHashMap<Label, StateId>>,
+    /// `outgoing[s]`: the same transitions as `(label, target)` pairs
+    /// sorted by label — the iteration surface, so traversal order depends
+    /// on label *order*, not label-id hashes (see `transitions_from`).
+    outgoing: Vec<Vec<(Label, StateId)>>,
     /// `accepting[s]` iff `s ∈ F`.
     accepting: Vec<bool>,
     /// Reverse index: label → `(from, to)` transition pairs.
@@ -50,8 +54,17 @@ impl Dfa {
         for v in by_label.values_mut() {
             v.sort_unstable();
         }
+        let outgoing: Vec<Vec<(Label, StateId)>> = trans
+            .iter()
+            .map(|m| {
+                let mut v: Vec<(Label, StateId)> = m.iter().map(|(&l, &t)| (l, t)).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
         Dfa {
             trans,
+            outgoing,
             accepting,
             by_label,
             start_labels,
@@ -119,9 +132,13 @@ impl Dfa {
         self.run(word).is_some_and(|s| self.is_accepting(s))
     }
 
-    /// Outgoing transitions of `s` as `(label, target)` pairs.
+    /// Outgoing transitions of `s` as `(label, target)` pairs, in label
+    /// order. Sorted (not hash) iteration keeps traversal order — and so
+    /// S-PATH's emission order — invariant under order-preserving label
+    /// renamings, which is what lets a multi-query host's shared namespace
+    /// reproduce a dedicated engine's emission log exactly.
     pub fn transitions_from(&self, s: StateId) -> impl Iterator<Item = (Label, StateId)> + '_ {
-        self.trans[s as usize].iter().map(|(&l, &t)| (l, t))
+        self.outgoing[s as usize].iter().copied()
     }
 
     /// Returns an equivalent DFA whose start state has **no incoming
@@ -219,7 +236,18 @@ fn hopcroft_minimize(
     if n <= 1 {
         return (trans, accepting);
     }
-    let alphabet: FxHashSet<Label> = trans.iter().flat_map(|m| m.keys().copied()).collect();
+    // Sorted, deduplicated alphabet: refinement order (and with it the
+    // final block numbering) must depend only on the *relative* order of
+    // label ids, never on their hash values — engines hosting the same
+    // query in different label namespaces (the multi-query canonicalizer)
+    // must number states identically to emit identically.
+    let mut alphabet: Vec<Label> = trans
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .collect::<FxHashSet<Label>>()
+        .into_iter()
+        .collect();
+    alphabet.sort_unstable();
 
     // Reverse transitions: label → target → sources.
     let mut rev: FxHashMap<(Label, StateId), Vec<StateId>> = FxHashMap::default();
@@ -263,11 +291,13 @@ fn hopcroft_minimize(
         if x.is_empty() {
             continue;
         }
-        // Split every block Y into Y∩X and Y∖X.
-        let mut affected: FxHashSet<usize> = FxHashSet::default();
-        for &s in &x {
-            affected.insert(block_of[s as usize]);
-        }
+        // Split every block Y into Y∩X and Y∖X (ascending block index, so
+        // new-block numbering is reproducible).
+        let mut affected: Vec<usize> = {
+            let set: FxHashSet<usize> = x.iter().map(|&s| block_of[s as usize]).collect();
+            set.into_iter().collect()
+        };
+        affected.sort_unstable();
         for y in affected {
             let (inside, outside): (Vec<StateId>, Vec<StateId>) =
                 blocks[y].iter().partition(|s| x.contains(s));

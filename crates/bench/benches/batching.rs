@@ -1,0 +1,225 @@
+//! Batched-vs-tuple execution ablation: the same SO stream driven through
+//! `Engine::process_batch` at batch sizes 1 / 16 / 256 / 4096 (batch size
+//! 1 *is* per-tuple execution through the same epoch scheduler).
+//!
+//! Alongside the criterion timings, a machine-readable
+//! `BENCH_batching.json` summary is written to the workspace root with
+//! per-size throughput and the executor's dispatch-amortisation counters
+//! (`ExecStats`), so the perf trajectory records *why* batching wins
+//! (deltas per operator invocation, effective epoch size), not just wall
+//! clock.
+//!
+//! Set `SGQ_BENCH_QUICK=1` to run a truncated-stream smoke pass (CI): the
+//! equivalence assertions still run, no JSON is written.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use sgq_bench::Scale;
+use sgq_core::engine::{DispatchMode, Engine, EngineOptions};
+use sgq_core::metrics::ExecStats;
+use sgq_datagen::workloads::{self, Dataset};
+use sgq_query::{SgqQuery, WindowSpec};
+use std::time::{Duration, Instant};
+
+/// The ablation axis. Batch size **1** runs the tuple-at-a-time reference
+/// executor ([`DispatchMode::Tuple`]: `on_delta` per tuple, singleton
+/// deliveries, one deep copy per successor — the pre-batching delivery
+/// loop's cost model; its per-delivery bookkeeping is a small constant
+/// dearer than the historical `VecDeque` loop, which the operator-bound
+/// headline queries are insensitive to). Larger sizes run the
+/// epoch-batched executor at that ingestion batch size.
+const BATCH_SIZES: [usize; 4] = [1, 16, 256, 4096];
+/// The measured queries: Q1 (pure path), Q5 (pure join), Q6 (path ⋈ join).
+const QUERIES: [usize; 3] = [1, 5, 6];
+/// Timed passes per configuration in the JSON summary; the best pass is
+/// reported (the bench boxes are small shared VMs — single passes are
+/// noise-dominated, best-of-N converges to the machine's real rate).
+const PASSES: usize = 5;
+
+// Default engine options (R3 materialized paths — the paper-faithful
+// configuration, where tuple-at-a-time dispatch pays a deep path-payload
+// clone per successor delivery and its bursty alloc/free cycle thrashes
+// the allocator); only the dispatch mode varies along the ablation axis.
+fn opts(batch: usize) -> EngineOptions {
+    EngineOptions {
+        dispatch: if batch <= 1 {
+            DispatchMode::Tuple
+        } else {
+            DispatchMode::Epoch
+        },
+        ..Default::default()
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("SGQ_BENCH_QUICK").is_some()
+}
+
+fn scale() -> Scale {
+    if quick() {
+        Scale::bench().scaled(0.1)
+    } else {
+        Scale::bench()
+    }
+}
+
+struct Row {
+    query: usize,
+    batch: usize,
+    edges_per_s: f64,
+    results: u64,
+    stats: ExecStats,
+}
+
+fn run_one(
+    n: usize,
+    raw: &sgq_datagen::RawStream,
+    window: WindowSpec,
+    batch: usize,
+) -> (f64, u64, ExecStats, Vec<(u64, u64)>) {
+    let q = SgqQuery::new(workloads::query(n, Dataset::So), window);
+    let mut engine = Engine::from_query_with(&q, opts(batch));
+    let stream = sgq_datagen::resolve(raw, engine.labels());
+    let started = Instant::now();
+    let stats = engine.run_batched_count(stream.sges(), batch);
+    let secs = started.elapsed().as_secs_f64();
+    // The answer set at end-of-stream, for cross-batch-size equivalence.
+    let span = raw.events.last().map(|e| e.3).unwrap_or(0);
+    let mut answers: Vec<(u64, u64)> = engine
+        .answer_at(span)
+        .into_iter()
+        .map(|(a, b)| (a.0, b.0))
+        .collect();
+    answers.sort_unstable();
+    (
+        stats.edges as f64 / secs,
+        stats.results,
+        engine.exec_stats(),
+        answers,
+    )
+}
+
+fn bench_batching(c: &mut Criterion) {
+    // `SGQ_BENCH_SUMMARY_ONLY=1` skips the criterion timing loops and goes
+    // straight to the JSON summary passes.
+    if quick() || std::env::var_os("SGQ_BENCH_SUMMARY_ONLY").is_some() {
+        return;
+    }
+    let scale = scale();
+    let raw = scale.stream(Dataset::So);
+    let window = scale.default_window();
+    let mut group = c.benchmark_group("batching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for n in QUERIES {
+        for batch in BATCH_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{n}"), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| run_one(n, &raw, window, batch));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// One timed full-stream pass per configuration, summarized as JSON, with
+/// batched-vs-tuple equivalence asserted on the final answer set.
+fn emit_json_summary() {
+    let scale = scale();
+    let raw = scale.stream(Dataset::So);
+    let window = scale.default_window();
+    let mut rows: Vec<Row> = Vec::new();
+    for n in QUERIES {
+        let mut tuple_answers: Option<Vec<(u64, u64)>> = None;
+        for batch in BATCH_SIZES {
+            let mut best: Option<(f64, u64, ExecStats)> = None;
+            for _ in 0..PASSES {
+                let (edges_per_s, results, stats, answers) = run_one(n, &raw, window, batch);
+                match &tuple_answers {
+                    None => tuple_answers = Some(answers),
+                    Some(expect) => assert_eq!(
+                        expect, &answers,
+                        "Q{n}: batch size {batch} diverged from per-tuple answers"
+                    ),
+                }
+                if best.as_ref().is_none_or(|(b, _, _)| edges_per_s > *b) {
+                    best = Some((edges_per_s, results, stats));
+                }
+            }
+            let (edges_per_s, results, stats) = best.expect("at least one pass");
+            rows.push(Row {
+                query: n,
+                batch,
+                edges_per_s,
+                results,
+                stats,
+            });
+        }
+    }
+
+    // Recorded (not asserted — wall-clock ratios flake on noisy shared
+    // VMs): batch ≥256 beats tuple-at-a-time by ≥1.5× on the path-heavy
+    // queries; the JSON rows carry the evidence for the perf trajectory.
+    for n in QUERIES {
+        let tput = |b: usize| {
+            rows.iter()
+                .find(|r| r.query == n && r.batch == b)
+                .map(|r| r.edges_per_s)
+                .unwrap()
+        };
+        let speedup = tput(256) / tput(1);
+        println!("Q{n}: batch-256 speedup over per-tuple = {speedup:.2}x");
+    }
+
+    if quick() {
+        println!("quick mode: skipping BENCH_batching.json");
+        return;
+    }
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"query\": \"Q{}\", \"batch_size\": {}, \"edges_per_s\": {:.0}, ",
+                    "\"results\": {}, \"deltas_per_invocation\": {:.2}, ",
+                    "\"mean_epoch_input\": {:.2}, \"operator_invocations\": {}, ",
+                    "\"fanout_deliveries\": {}}}"
+                ),
+                r.query,
+                r.batch,
+                r.edges_per_s,
+                r.results,
+                r.stats.deltas_per_invocation(),
+                r.stats.mean_epoch_input(),
+                r.stats.operator_invocations,
+                r.stats.fanout_deliveries,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"batching\",\n  \"dataset\": \"SO\",\n",
+            "  \"stream_edges\": {},\n  \"window\": {{\"size\": {}, \"slide\": {}}},\n",
+            "  \"rows\": [\n{}\n  ]\n}}\n"
+        ),
+        raw.len(),
+        window.size,
+        window.slide,
+        body
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batching.json");
+    std::fs::write(path, &json).expect("write BENCH_batching.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_batching);
+
+fn main() {
+    benches();
+    emit_json_summary();
+}

@@ -14,6 +14,20 @@ use std::time::{Duration, Instant};
 
 const FLEET: [usize; 4] = [1, 4, 16, 64];
 
+/// `SGQ_BENCH_QUICK=1`: truncated-stream smoke pass (CI) — the per-query
+/// count-equality assertions still run, no JSON is written.
+fn quick() -> bool {
+    std::env::var_os("SGQ_BENCH_QUICK").is_some()
+}
+
+fn scale() -> Scale {
+    if quick() {
+        Scale::bench().scaled(0.1)
+    } else {
+        Scale::bench().scaled(0.4)
+    }
+}
+
 fn opts() -> EngineOptions {
     EngineOptions {
         materialize_paths: false,
@@ -27,7 +41,7 @@ fn fleet_queries(n: usize, window: WindowSpec) -> Vec<SgqQuery> {
         .collect()
 }
 
-fn run_shared(queries: &[SgqQuery], raw: &sgq_datagen::RawStream) -> (usize, usize) {
+fn run_shared(queries: &[SgqQuery], raw: &sgq_datagen::RawStream) -> (usize, Vec<usize>) {
     let mut host = MultiQueryEngine::with_options(opts());
     let ids: Vec<_> = queries.iter().map(|q| host.register(q)).collect();
     let stream = sgq_datagen::resolve(raw, host.labels());
@@ -36,13 +50,13 @@ fn run_shared(queries: &[SgqQuery], raw: &sgq_datagen::RawStream) -> (usize, usi
         host.process(*sge);
         edges += 1;
     }
-    let results = ids.iter().map(|id| host.results(*id).len()).sum();
+    let results = ids.iter().map(|id| host.results(*id).len()).collect();
     (edges, results)
 }
 
-fn run_unshared(queries: &[SgqQuery], raw: &sgq_datagen::RawStream) -> (usize, usize) {
+fn run_unshared(queries: &[SgqQuery], raw: &sgq_datagen::RawStream) -> (usize, Vec<usize>) {
     let mut edges = 0usize;
-    let mut results = 0usize;
+    let mut results = Vec::with_capacity(queries.len());
     for q in queries {
         let mut engine = Engine::from_query_with(q, opts());
         let stream = sgq_datagen::resolve(raw, engine.labels());
@@ -50,13 +64,16 @@ fn run_unshared(queries: &[SgqQuery], raw: &sgq_datagen::RawStream) -> (usize, u
             engine.process(*sge);
             edges += 1;
         }
-        results += engine.results().len();
+        results.push(engine.results().len());
     }
     (edges, results)
 }
 
 fn bench_multiquery(c: &mut Criterion) {
-    let scale = Scale::bench().scaled(0.4);
+    if quick() {
+        return;
+    }
+    let scale = scale();
     let raw = scale.stream(Dataset::So);
     let window = scale.default_window();
     let mut group = c.benchmark_group("multiquery");
@@ -78,7 +95,7 @@ fn bench_multiquery(c: &mut Criterion) {
 
 /// One timed full-stream pass per configuration, summarized as JSON.
 fn emit_json_summary() {
-    let scale = Scale::bench().scaled(0.4);
+    let scale = scale();
     let raw = scale.stream(Dataset::So);
     let window = scale.default_window();
     let mut rows = Vec::new();
@@ -95,16 +112,34 @@ fn emit_json_summary() {
             .map(|q| Engine::from_query_with(q, opts()).operator_names().len())
             .sum();
 
-        let started = Instant::now();
-        let (shared_edges, shared_results) = run_shared(&queries, &raw);
-        let shared_secs = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let (unshared_edges, unshared_results) = run_unshared(&queries, &raw);
-        let unshared_secs = started.elapsed().as_secs_f64();
+        // Best of three timed passes per side: the bench boxes are small
+        // shared VMs and single passes are noise-dominated.
+        let mut shared_secs = f64::INFINITY;
+        let mut unshared_secs = f64::INFINITY;
+        let (mut shared_edges, mut unshared_edges) = (0, 0);
+        let (mut shared_results, mut unshared_results) = (Vec::new(), Vec::new());
+        for _ in 0..3 {
+            let started = Instant::now();
+            let (edges, results) = run_shared(&queries, &raw);
+            shared_secs = shared_secs.min(started.elapsed().as_secs_f64());
+            (shared_edges, shared_results) = (edges, results);
+            let started = Instant::now();
+            let (edges, results) = run_unshared(&queries, &raw);
+            unshared_secs = unshared_secs.min(started.elapsed().as_secs_f64());
+            (unshared_edges, unshared_results) = (edges, results);
+        }
 
-        // Raw emission counts may differ slightly between namespaces
-        // (coalescing is emission-order dependent; the equivalence tests
-        // compare coalesced coverage) — sanity-check both sides derived.
+        // Result counts must match the dedicated engines **exactly**, per
+        // query: the executor's traversal order is invariant under the
+        // order-preserving label renaming the shared namespace applies
+        // (sorted DFA transition enumeration), so any count drift is a
+        // result-routing or catch-up regression.
+        assert_eq!(
+            shared_results, unshared_results,
+            "shared vs unshared per-query result counts diverged at N={n}"
+        );
+        let shared_results: usize = shared_results.iter().sum();
+        let unshared_results: usize = unshared_results.iter().sum();
         assert!(
             shared_results > 0 && unshared_results > 0,
             "no results at N={n}"
@@ -127,6 +162,10 @@ fn emit_json_summary() {
             unshared_results
         ));
     }
+    if quick() {
+        println!("quick mode: skipping BENCH_multiquery.json");
+        return;
+    }
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"multiquery\",\n  \"dataset\": \"SO\",\n",
@@ -146,6 +185,8 @@ fn emit_json_summary() {
 criterion_group!(benches, bench_multiquery);
 
 fn main() {
-    benches();
+    if std::env::var_os("SGQ_BENCH_SUMMARY_ONLY").is_none() {
+        benches();
+    }
     emit_json_summary();
 }

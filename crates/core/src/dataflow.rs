@@ -1,5 +1,5 @@
 //! Reusable physical-dataflow machinery: plan lowering with structural
-//! deduplication, delta delivery, and operator retirement.
+//! deduplication, epoch-batched delta delivery, and operator retirement.
 //!
 //! [`Engine`](crate::engine::Engine) historically owned this logic
 //! privately; it is factored out so hosts that manage **many** plans over
@@ -10,21 +10,32 @@
 //!   memoizing on structural equality so equal subexpressions — whether
 //!   they recur *within* one plan (Figure 8) or *across* separately
 //!   lowered plans — are instantiated once and fanned out.
-//! * [`Dataflow::ingest`] / [`Dataflow::emit_from`] run the data-driven
-//!   delivery loop (§6.1), reporting every operator's emissions to a sink
-//!   callback so callers decide which nodes are observable roots.
+//! * [`Dataflow::ingest_epoch`] / [`Dataflow::ingest`] /
+//!   [`Dataflow::emit_from`] run the data-driven delivery loop (§6.1) in
+//!   **epochs**: input deltas are seeded into source inboxes and the node
+//!   arena is swept once in topological (creation-id) order, each operator
+//!   consuming its accumulated per-port [`DeltaBatch`]es and publishing
+//!   one output batch that successors receive by `Arc` reference — no
+//!   per-successor deep clone, no per-tuple queue traffic. A sink
+//!   callback observes every operator's emission batches so callers
+//!   decide which nodes are observable roots.
 //! * [`Dataflow::retire`] removes operators no longer referenced by any
 //!   plan (the node arena is monotonic: slots are tombstoned, not reused,
 //!   so node ids held by other plans stay valid).
+//!
+//! The topological sweep relies on a lowering invariant: children are
+//! created before parents, so every dataflow edge points from a lower node
+//! id to a higher one and a single ascending pass delivers every batch
+//! after all of its producers ran.
 
 use crate::algebra::SgaExpr;
-use crate::engine::{EngineOptions, PathImpl, PatternImpl};
+use crate::engine::{DispatchMode, EngineOptions, PathImpl, PatternImpl};
+use crate::metrics::ExecStats;
 use crate::physical::pattern::{CompiledPattern, PatternOp};
 use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
 use crate::physical::wcoj::WcojPatternOp;
-use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, PhysicalOp};
-use sgq_types::{FxHashMap, FxHashSet, Label, Timestamp};
-use std::collections::VecDeque;
+use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, DeltaBatch, PhysicalOp};
+use sgq_types::{FxHashMap, FxHashSet, Label, SharedDeltaBatch, Timestamp};
 
 /// A node in the physical dataflow: an operator plus its fan-out edges
 /// `(successor node, input port)`.
@@ -49,6 +60,21 @@ pub struct Dataflow {
     /// Structural-deduplication table: lowered expression → node.
     memo: FxHashMap<SgaExpr, usize>,
     opts: EngineOptions,
+    /// Per-node epoch inboxes (parallel to `nodes`): batches delivered but
+    /// not yet consumed, as `(port, batch)` segments in arrival order.
+    /// Empty between epochs; kept allocated across epochs.
+    inboxes: Vec<Vec<(usize, SharedDeltaBatch)>>,
+    /// Recycled output batches (consumed epoch segments whose `Arc` became
+    /// unique), so steady-state epochs allocate nothing.
+    spare: Vec<DeltaBatch>,
+    /// Scratch: per-source seed batches for the epoch being assembled.
+    seeds: FxHashMap<usize, DeltaBatch>,
+    /// Highest node id holding an unconsumed delivery (the epoch sweep
+    /// stops here instead of scanning the whole arena, so a singleton
+    /// ingest touching one small subplan stays proportional to that
+    /// subplan even in a large multi-plan host).
+    sweep_end: usize,
+    stats: ExecStats,
 }
 
 impl Dataflow {
@@ -60,7 +86,17 @@ impl Dataflow {
             sources: FxHashMap::default(),
             memo: FxHashMap::default(),
             opts,
+            inboxes: Vec::new(),
+            spare: Vec::new(),
+            seeds: FxHashMap::default(),
+            sweep_end: 0,
+            stats: ExecStats::default(),
         }
+    }
+
+    /// Executor dispatch counters accumulated since construction.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.stats
     }
 
     /// The options plans are lowered with.
@@ -233,6 +269,7 @@ impl Dataflow {
             if dead.contains(&i) {
                 node.op = Box::new(Tombstone);
                 node.succs.clear();
+                self.inboxes[i].clear();
                 self.retired[i] = true;
             } else {
                 node.succs.retain(|(succ, _)| !dead.contains(succ));
@@ -246,6 +283,7 @@ impl Dataflow {
             succs: Vec::new(),
         });
         self.retired.push(false);
+        self.inboxes.push(Vec::new());
         self.nodes.len() - 1
     }
 
@@ -253,29 +291,69 @@ impl Dataflow {
         self.nodes[from].succs.push((to, port));
     }
 
-    /// Pushes an input delta to every WSCAN reading `label` and runs the
-    /// delivery loop. `sink` observes every operator's emissions as
-    /// `(node, delta)` — callers filter for the nodes they treat as roots.
+    /// Pushes one input delta to every WSCAN reading `label` and runs a
+    /// singleton epoch. `sink` observes every operator's emissions as
+    /// `(node, batch)` — callers filter for the nodes they treat as roots.
     /// Returns `false` (without work) when no live WSCAN reads `label`.
     pub fn ingest(
         &mut self,
         label: Label,
         delta: Delta,
         now: Timestamp,
-        sink: impl FnMut(usize, Delta),
+        sink: impl FnMut(usize, &DeltaBatch),
     ) -> bool {
-        let Some(starts) = self.sources.get(&label) else {
-            return false; // labels no plan references are discarded
-        };
-        let mut queue: VecDeque<(usize, usize, Delta)> = VecDeque::new();
-        for &n in starts {
-            queue.push_back((n, 0, delta.clone()));
+        self.ingest_epoch(std::iter::once((label, delta)), now, sink) > 0
+    }
+
+    /// Seeds a whole **epoch** of input deltas — a timestamp-ordered chunk
+    /// that crosses no slide boundary — into the source inboxes and sweeps
+    /// the dataflow once. Deltas whose label no live WSCAN reads are
+    /// discarded. Returns the number of deltas delivered to sources.
+    ///
+    /// `now` is the event-time watermark the epoch opened at (the
+    /// timestamp of its first delta): callers advance time *before*
+    /// ingesting, so within the epoch no grid-aligned interval changes its
+    /// expired-ness and per-tuple/batched watermark checks agree.
+    pub fn ingest_epoch(
+        &mut self,
+        epoch: impl IntoIterator<Item = (Label, Delta)>,
+        now: Timestamp,
+        sink: impl FnMut(usize, &DeltaBatch),
+    ) -> usize {
+        debug_assert!(self.seeds.is_empty());
+        let mut delivered = 0usize;
+        for (label, delta) in epoch {
+            let Some(starts) = self.sources.get(&label) else {
+                continue; // labels no plan references are discarded
+            };
+            match starts[..] {
+                [] => continue,
+                [n] => {
+                    Self::seed(&mut self.seeds, &mut self.spare, n).push(delta);
+                }
+                [first, ref rest @ ..] => {
+                    for &n in rest {
+                        Self::seed(&mut self.seeds, &mut self.spare, n).push(delta.clone());
+                    }
+                    Self::seed(&mut self.seeds, &mut self.spare, first).push(delta);
+                }
+            }
+            delivered += 1;
         }
-        if queue.is_empty() {
-            return false;
+        if delivered == 0 {
+            return 0;
         }
-        self.run(queue, now, sink);
-        true
+        let mut start = usize::MAX;
+        for (n, batch) in self.seeds.drain() {
+            start = start.min(n);
+            self.sweep_end = self.sweep_end.max(n);
+            self.inboxes[n].push((0, batch.into_shared()));
+        }
+        self.stats.epochs += 1;
+        self.stats.input_deltas += delivered as u64;
+        self.stats.max_epoch_input = self.stats.max_epoch_input.max(delivered);
+        self.run_epoch(start, now, sink);
+        delivered
     }
 
     /// Replaces node `n`'s operator, returning the previous one. Used by
@@ -293,42 +371,146 @@ impl Dataflow {
         std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone))
     }
 
-    /// Reports `delta` as an emission of `origin` (through `sink`) and
+    /// Reports `batch` as an emission of `origin` (through `sink`) and
     /// propagates it to `origin`'s successors. Used for operator outputs
     /// produced outside the delivery loop, e.g. purge continuations.
     pub fn emit_from(
         &mut self,
         origin: usize,
-        delta: Delta,
+        batch: DeltaBatch,
         now: Timestamp,
-        mut sink: impl FnMut(usize, Delta),
+        mut sink: impl FnMut(usize, &DeltaBatch),
     ) {
-        let mut queue: VecDeque<(usize, usize, Delta)> = VecDeque::new();
-        for &(succ, port) in &self.nodes[origin].succs {
-            queue.push_back((succ, port, delta.clone()));
+        if batch.is_empty() {
+            return;
         }
-        sink(origin, delta);
-        self.run(queue, now, sink);
+        self.stats.epochs += 1;
+        let start = self.publish(origin, batch, &mut sink);
+        self.run_epoch(start, now, sink);
     }
 
-    fn run(
+    /// Shares `batch` into every successor inbox of `n` and reports it to
+    /// `sink`. Returns the lowest successor id (`usize::MAX` if none).
+    fn publish(
         &mut self,
-        mut queue: VecDeque<(usize, usize, Delta)>,
-        now: Timestamp,
-        mut sink: impl FnMut(usize, Delta),
-    ) {
-        let mut outs = Vec::new();
-        while let Some((n, port, d)) = queue.pop_front() {
-            outs.clear();
-            self.nodes[n].op.on_delta(port, d, now, &mut outs);
-            for out in outs.drain(..) {
-                // Successors are fed clones; the sink gets ownership (so a
-                // root emission moves into the caller's result log).
-                for &(succ, sport) in &self.nodes[n].succs {
-                    queue.push_back((succ, sport, out.clone()));
+        n: usize,
+        batch: DeltaBatch,
+        sink: &mut impl FnMut(usize, &DeltaBatch),
+    ) -> usize {
+        self.stats.deltas_emitted += batch.len() as u64;
+        if self.nodes[n].succs.is_empty() {
+            sink(n, &batch);
+            self.recycle(batch);
+            return usize::MAX;
+        }
+        let mut start = usize::MAX;
+        if self.opts.dispatch == DispatchMode::Tuple {
+            // Tuple-at-a-time reference (ablation baseline): one singleton
+            // delivery per (delta, successor), each a deep copy — the
+            // pre-batching executor's cost model.
+            for i in 0..self.nodes[n].succs.len() {
+                let (succ, port) = self.nodes[n].succs[i];
+                start = start.min(succ);
+                self.sweep_end = self.sweep_end.max(succ);
+                for d in batch.iter() {
+                    self.inboxes[succ].push((port, DeltaBatch::single(d.clone()).into_shared()));
+                    self.stats.fanout_deliveries += 1;
                 }
-                sink(n, out);
             }
+            sink(n, &batch);
+            self.recycle(batch);
+            return start;
+        }
+        let shared = batch.into_shared();
+        for i in 0..self.nodes[n].succs.len() {
+            let (succ, port) = self.nodes[n].succs[i];
+            start = start.min(succ);
+            self.sweep_end = self.sweep_end.max(succ);
+            self.inboxes[succ].push((port, shared.clone()));
+            self.stats.fanout_deliveries += 1;
+        }
+        sink(n, &shared);
+        start
+    }
+
+    /// The epoch sweep: one ascending pass over the node arena. Every edge
+    /// points to a higher node id (children are lowered before parents), so
+    /// when a node is visited all of its inputs for this epoch are present;
+    /// the node consumes its inbox segments in arrival order, one
+    /// [`PhysicalOp::on_batch`] call each, and publishes a single combined
+    /// output batch that each successor receives by reference.
+    fn run_epoch(
+        &mut self,
+        start: usize,
+        now: Timestamp,
+        mut sink: impl FnMut(usize, &DeltaBatch),
+    ) {
+        let mut n = start;
+        let mut segs = Vec::new();
+        // `sweep_end` tracks the highest id with an unconsumed delivery
+        // (publishes during the sweep only raise it), so the pass covers
+        // exactly the touched range of the arena.
+        while n <= self.sweep_end && n < self.nodes.len() {
+            if self.inboxes[n].is_empty() {
+                n += 1;
+                continue;
+            }
+            std::mem::swap(&mut segs, &mut self.inboxes[n]);
+            let mut out = self.spare.pop().unwrap_or_default();
+            for (port, batch) in segs.drain(..) {
+                self.stats.deltas_dispatched += batch.len() as u64;
+                if self.opts.dispatch == DispatchMode::Tuple {
+                    // Reference executor: one `on_delta` call per tuple
+                    // (inline emissions, no batch-aware inner loops).
+                    self.stats.operator_invocations += batch.len() as u64;
+                    for d in batch.iter() {
+                        self.nodes[n]
+                            .op
+                            .on_delta(port, d.clone(), now, out.as_mut_vec());
+                    }
+                } else {
+                    self.stats.operator_invocations += 1;
+                    self.nodes[n].op.on_batch(port, &batch, now, &mut out);
+                }
+                self.recycle_shared(batch);
+            }
+            if out.is_empty() {
+                self.spare.push(out);
+            } else {
+                self.publish(n, out, &mut sink);
+            }
+            n += 1;
+        }
+        // Every delivery at or below `sweep_end` was consumed and inter-
+        // epoch inboxes are empty, so the next epoch starts a fresh range.
+        self.sweep_end = 0;
+    }
+
+    /// The seed batch under assembly for source `n`, drawing recycled
+    /// allocations from the pool.
+    fn seed<'a>(
+        seeds: &'a mut FxHashMap<usize, DeltaBatch>,
+        spare: &mut Vec<DeltaBatch>,
+        n: usize,
+    ) -> &'a mut DeltaBatch {
+        seeds
+            .entry(n)
+            .or_insert_with(|| spare.pop().unwrap_or_default())
+    }
+
+    /// Returns a consumed batch to the allocation pool.
+    fn recycle(&mut self, mut batch: DeltaBatch) {
+        if self.spare.len() < 32 {
+            batch.clear();
+            self.spare.push(batch);
+        }
+    }
+
+    /// Returns a consumed shared batch to the pool if this was the last
+    /// reference (fan-out peers may still hold it).
+    fn recycle_shared(&mut self, batch: SharedDeltaBatch) {
+        if let Some(batch) = std::sync::Arc::into_inner(batch) {
+            self.recycle(batch);
         }
     }
 
@@ -347,17 +529,20 @@ impl Dataflow {
         watermark: Timestamp,
         now: Timestamp,
         reclaim_all: bool,
-        mut sink: impl FnMut(usize, Delta),
+        mut sink: impl FnMut(usize, &DeltaBatch),
     ) {
-        let mut outs = Vec::new();
         for n in 0..self.nodes.len() {
             if self.retired[n] || (!reclaim_all && !self.nodes[n].op.needs_timely_purge()) {
                 continue;
             }
-            outs.clear();
-            self.nodes[n].op.purge(watermark, &mut outs);
-            for delta in outs.drain(..) {
-                self.emit_from(n, delta, now, &mut sink);
+            let mut outs = self.spare.pop().unwrap_or_default();
+            self.nodes[n].op.purge(watermark, outs.as_mut_vec());
+            if outs.is_empty() {
+                self.spare.push(outs);
+            } else {
+                // Continuation results (negative-tuple PATH window
+                // movement) propagate as one epoch from their origin.
+                self.emit_from(n, outs, now, &mut sink);
             }
         }
     }
@@ -372,6 +557,15 @@ impl PhysicalOp for Tombstone {
     }
 
     fn on_delta(&mut self, _port: usize, _delta: Delta, _now: Timestamp, _out: &mut Vec<Delta>) {}
+
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        _batch: &DeltaBatch,
+        _now: Timestamp,
+        _out: &mut DeltaBatch,
+    ) {
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,14 @@
 //! The streaming graph query processor (§6.1).
 //!
 //! Lowers a logical [`SgaExpr`] into a push-based dataflow of physical
-//! operators and executes it in a data-driven fashion: every arriving sge
-//! is propagated through the dataflow (tuple-at-a-time, matching the
-//! prototype's eager operators — §7.3's discussion of why SGA throughput
-//! is insensitive to the slide interval), and state is purged with the
-//! direct approach at slide boundaries.
+//! operators and executes it in a data-driven fashion: arriving sges are
+//! propagated through the dataflow eagerly (matching the prototype's
+//! non-blocking operators — §7.3's discussion of why SGA throughput is
+//! insensitive to the slide interval), either one at a time
+//! ([`Engine::process`]) or as slide-bounded **epochs**
+//! ([`Engine::process_batch`]) that amortise dispatch over whole delta
+//! batches, and state is purged with the direct approach at slide
+//! boundaries.
 //!
 //! Structurally equal subexpressions are deduplicated into a single
 //! physical operator with fan-out edges, so shared subplans (e.g. one
@@ -31,6 +34,21 @@ pub enum PathImpl {
     Direct,
     /// The negative-tuple Δ-tree of \[57\] (§6.2.3), for Table 3 comparisons.
     NegativeTuple,
+}
+
+/// Delivery-loop granularity of the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Epoch-batched delivery (default): operators consume accumulated
+    /// per-port batches once per epoch; fan-out shares batches by
+    /// reference.
+    #[default]
+    Epoch,
+    /// Tuple-at-a-time reference: every delta is delivered as its own
+    /// singleton batch and every successor receives a fresh deep copy —
+    /// the pre-batching executor's cost model, kept for the
+    /// `BENCH_batching` ablation baseline.
+    Tuple,
 }
 
 /// Which physical implementation to use for PATTERN operators.
@@ -67,6 +85,8 @@ pub struct EngineOptions {
     /// *react* to expirations (the negative-tuple PATH) always purge at
     /// every slide boundary regardless.
     pub purge_period: Option<u64>,
+    /// Executor delivery granularity (see [`DispatchMode`]).
+    pub dispatch: DispatchMode,
 }
 
 impl Default for EngineOptions {
@@ -77,6 +97,7 @@ impl Default for EngineOptions {
             suppress_duplicates: true,
             materialize_paths: true,
             purge_period: None,
+            dispatch: DispatchMode::Epoch,
         }
     }
 }
@@ -179,18 +200,21 @@ impl Engine {
         self.results[before..].to_vec()
     }
 
-    /// Processes a batch of arriving sges at once (the §7.3 future-work
-    /// "batching within SGA operators"). Value-equivalent sges that fall in
-    /// the same window period are pre-coalesced — each distinct edge enters
-    /// the dataflow once per batch instead of once per arrival — trading
-    /// per-tuple latency for throughput on duplicate-heavy streams, like
-    /// DD's epoch batching (§7.3/Figure 11) but at the ingestion boundary
-    /// so operator semantics are untouched.
+    /// Processes a batch of arriving sges as true **epochs** (the §7.3
+    /// future-work "batching within SGA operators"): the batch is chunked
+    /// at slide boundaries, and each chunk is delivered through the
+    /// dataflow in one level-ordered sweep — every operator is invoked per
+    /// accumulated input batch instead of per tuple, and fan-out shares
+    /// batches by reference. Under duplicate suppression, value-equivalent
+    /// sges falling in the same window period are additionally
+    /// pre-coalesced at the ingestion boundary (later duplicates get
+    /// identical WSCAN validity, Def. 16, so they can derive nothing new);
+    /// with suppression off (explicit-deletion pipelines) every arrival is
+    /// delivered so insert/delete emissions still cancel exactly.
     ///
-    /// The batch must be timestamp-ordered (a stream segment, Def. 4) and
-    /// the pipeline append-only (batching composes with duplicate
-    /// suppression, not with explicit deletions); results are returned
-    /// exactly as the per-tuple path would emit them.
+    /// The batch must be timestamp-ordered (a stream segment, Def. 4).
+    /// Results are equivalent to the per-tuple path: identical coalesced
+    /// coverage, with within-epoch emission order the only difference.
     pub fn process_batch(&mut self, batch: &[Sge]) -> Vec<Sgt> {
         let Some(last) = batch.last() else {
             return Vec::new();
@@ -201,19 +225,31 @@ impl Engine {
         );
         let before = self.results.len();
         // Keep the *first* arrival of each (src, trg, label) per window
-        // period: later duplicates in the same period get identical
-        // validity from WSCAN (Def. 16), so they can derive nothing new.
+        // period (suppressed pipelines only — see above).
         let mut seen: FxHashMap<(VertexId, VertexId, Label), Timestamp> = FxHashMap::default();
+        let mut epoch: Vec<(Label, Delta)> = Vec::new();
         for &sge in batch {
-            let period = sge.t / self.slide;
-            match seen.get(&(sge.src, sge.trg, sge.label)) {
-                Some(&p) if p == period => continue, // covered duplicate
-                _ => {
-                    seen.insert((sge.src, sge.trg, sge.label), period);
+            if self.opts.suppress_duplicates {
+                let period = sge.t / self.slide;
+                match seen.get(&(sge.src, sge.trg, sge.label)) {
+                    Some(&p) if p == period => continue, // covered duplicate
+                    _ => {
+                        seen.insert((sge.src, sge.trg, sge.label), period);
+                    }
                 }
             }
-            self.advance_time(sge.t);
-            self.push_delta(
+            // A slide-boundary crossing (or the very first tuple) closes
+            // the running epoch: flush it, then purge at the boundary so
+            // the next epoch opens on the advanced watermark.
+            let crosses = match self.next_boundary {
+                None => true,
+                Some(b) => sge.t >= b,
+            };
+            if crosses {
+                self.flush_epoch(&mut epoch);
+                self.advance_time(sge.t);
+            }
+            epoch.push((
                 sge.label,
                 Delta::Insert(Sgt::edge(
                     sge.src,
@@ -221,10 +257,35 @@ impl Engine {
                     sge.label,
                     Interval::instant(sge.t),
                 )),
-            );
+            ));
         }
+        self.flush_epoch(&mut epoch);
         self.advance_time(last.t);
         self.results[before..].to_vec()
+    }
+
+    /// Delivers the accumulated epoch through the dataflow in one sweep.
+    /// `self.now` is the epoch's opening watermark: time only advances at
+    /// flush points, so every delta in the epoch was checked against the
+    /// same slide grid.
+    fn flush_epoch(&mut self, epoch: &mut Vec<(Label, Delta)>) {
+        if epoch.is_empty() {
+            return;
+        }
+        let (root, opts, now) = (self.root, self.opts, self.now);
+        let (flow, sink_dedup, results, deleted) = (
+            &mut self.flow,
+            &mut self.sink_dedup,
+            &mut self.results,
+            &mut self.deleted_results,
+        );
+        flow.ingest_epoch(epoch.drain(..), now, |n, batch| {
+            if n == root {
+                for d in batch.iter() {
+                    sink_result(&opts, sink_dedup, results, deleted, d.clone());
+                }
+            }
+        });
     }
 
     /// Processes one arriving sge carrying edge properties (the §8
@@ -323,9 +384,11 @@ impl Engine {
             &mut self.results,
             &mut self.deleted_results,
         );
-        flow.purge(watermark, now, due, |n, d| {
+        flow.purge(watermark, now, due, |n, batch| {
             if n == root {
-                sink_result(&opts, sink_dedup, results, deleted, d);
+                for d in batch.iter() {
+                    sink_result(&opts, sink_dedup, results, deleted, d.clone());
+                }
             }
         });
         if due {
@@ -353,11 +416,19 @@ impl Engine {
             &mut self.results,
             &mut self.deleted_results,
         );
-        flow.ingest(label, delta, now, |n, d| {
+        flow.ingest(label, delta, now, |n, batch| {
             if n == root {
-                sink_result(&opts, sink_dedup, results, deleted, d);
+                for d in batch.iter() {
+                    sink_result(&opts, sink_dedup, results, deleted, d.clone());
+                }
             }
         });
+    }
+
+    /// Executor dispatch counters (epoch sizes, operator invocations,
+    /// fan-out deliveries) accumulated over this engine's lifetime.
+    pub fn exec_stats(&self) -> crate::metrics::ExecStats {
+        self.flow.exec_stats()
     }
 
     /// All result sgts emitted so far (insertions, in order).
@@ -454,6 +525,44 @@ impl Engine {
             }
             epoch = Some(e);
             batch.push(sge);
+        }
+        flush(self, &mut batch, &mut stats);
+        stats.elapsed = started.elapsed();
+        stats.results = self.results.len() as u64;
+        stats.deletions = self.deleted_results.len() as u64;
+        stats.peak_state = stats.peak_state.max(self.state_size());
+        stats
+    }
+
+    /// Drives the engine over an ordered stream in fixed-**count** batches
+    /// of `batch_size` sges, each fed through [`Engine::process_batch`]
+    /// (the batching-ablation axis: batch size 1 is per-tuple execution
+    /// through the same code path). Latencies are recorded per batch.
+    pub fn run_batched_count<'a, I: IntoIterator<Item = &'a Sge>>(
+        &mut self,
+        stream: I,
+        batch_size: usize,
+    ) -> RunStats {
+        let batch_size = batch_size.max(1);
+        let mut stats = RunStats::default();
+        let started = Instant::now();
+        let mut batch: Vec<Sge> = Vec::with_capacity(batch_size);
+        let flush = |engine: &mut Self, batch: &mut Vec<Sge>, stats: &mut RunStats| {
+            if batch.is_empty() {
+                return;
+            }
+            let batch_started = Instant::now();
+            engine.process_batch(batch);
+            stats.slide_latencies.push(batch_started.elapsed());
+            stats.edges += batch.len() as u64;
+            stats.peak_state = stats.peak_state.max(engine.state_size());
+            batch.clear();
+        };
+        for &sge in stream {
+            batch.push(sge);
+            if batch.len() >= batch_size {
+                flush(self, &mut batch, &mut stats);
+            }
         }
         flush(self, &mut batch, &mut stats);
         stats.elapsed = started.elapsed();

@@ -1,7 +1,53 @@
 //! Run metrics matching the paper's measurements (§7.1.1): aggregate
-//! throughput (edges/s) and the tail latency of each window slide.
+//! throughput (edges/s) and the tail latency of each window slide — plus
+//! executor dispatch counters for the epoch-batched delivery loop.
 
 use std::time::Duration;
+
+/// Dispatch-amortisation counters collected by the epoch-batched executor
+/// (`sgq_core::dataflow::Dataflow`). Wall clock tells you batching is
+/// faster; these tell you *why*: how many operator invocations and edge
+/// deliveries a given number of input deltas cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Delivery-loop runs (one per ingested epoch, purge continuation, or
+    /// singleton `process` call).
+    pub epochs: u64,
+    /// Input deltas seeded into source (WSCAN) inboxes.
+    pub input_deltas: u64,
+    /// `PhysicalOp::on_batch` calls (one per delivered batch segment —
+    /// per-tuple execution pays one per delta instead).
+    pub operator_invocations: u64,
+    /// Total deltas handed to operators across all invocations.
+    pub deltas_dispatched: u64,
+    /// Total deltas emitted by operators.
+    pub deltas_emitted: u64,
+    /// Batch deliveries to successor inboxes (each is one `Arc` clone; the
+    /// per-tuple executor paid one deep sgt clone per delta instead).
+    pub fanout_deliveries: u64,
+    /// Largest single epoch seeded, in input deltas.
+    pub max_epoch_input: usize,
+}
+
+impl ExecStats {
+    /// Mean deltas handled per operator invocation — the dispatch
+    /// amortisation factor (1.0 ≡ tuple-at-a-time).
+    pub fn deltas_per_invocation(&self) -> f64 {
+        if self.operator_invocations == 0 {
+            return 0.0;
+        }
+        self.deltas_dispatched as f64 / self.operator_invocations as f64
+    }
+
+    /// Mean input deltas per epoch (the effective batch size after
+    /// ingestion dedup and boundary chunking).
+    pub fn mean_epoch_input(&self) -> f64 {
+        if self.epochs == 0 {
+            return 0.0;
+        }
+        self.input_deltas as f64 / self.epochs as f64
+    }
+}
 
 /// Statistics collected by one engine run.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +105,22 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_stats_ratios() {
+        let s = ExecStats {
+            epochs: 4,
+            input_deltas: 100,
+            operator_invocations: 10,
+            deltas_dispatched: 250,
+            ..Default::default()
+        };
+        assert!((s.deltas_per_invocation() - 25.0).abs() < 1e-9);
+        assert!((s.mean_epoch_input() - 25.0).abs() < 1e-9);
+        let zero = ExecStats::default();
+        assert_eq!(zero.deltas_per_invocation(), 0.0);
+        assert_eq!(zero.mean_epoch_input(), 0.0);
+    }
 
     #[test]
     fn throughput_is_edges_over_time() {

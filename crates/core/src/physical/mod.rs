@@ -18,44 +18,44 @@ pub mod simple;
 pub mod spath;
 pub mod wcoj;
 
-use sgq_types::{Sgt, Timestamp};
+use sgq_types::Timestamp;
 
-/// A change to a streaming graph flowing between operators.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Delta {
-    /// A new (or extended-validity) sgt.
-    Insert(Sgt),
-    /// A negative tuple: an explicit deletion of a previously inserted sgt
-    /// (§6.2.5). Window expirations never appear as deltas.
-    Delete(Sgt),
-}
-
-impl Delta {
-    /// The payload sgt.
-    pub fn sgt(&self) -> &Sgt {
-        match self {
-            Delta::Insert(s) | Delta::Delete(s) => s,
-        }
-    }
-
-    /// Whether this is a deletion.
-    pub fn is_delete(&self) -> bool {
-        matches!(self, Delta::Delete(_))
-    }
-}
+pub use sgq_types::{Delta, DeltaBatch, SharedDeltaBatch};
 
 /// A push-based physical operator.
 ///
-/// `on_delta` must be non-blocking: it processes one input delta and
-/// appends any output deltas to `out`. `now` is the current event-time
-/// watermark (the timestamp of the driving input sge); operators may use
-/// it to skip expired state.
+/// The executor is **epoch-batched**: the scheduler accumulates each
+/// node's input deltas into per-port [`DeltaBatch`]es and invokes
+/// [`PhysicalOp::on_batch`] once per delivered batch, so dispatch is
+/// amortised over the epoch instead of paid per tuple. `on_batch` must be
+/// non-blocking: it processes the input batch and appends any output
+/// deltas to `out`. `now` is the event-time watermark the epoch opened at
+/// (the timestamp of its first driving sge); operators may use it to skip
+/// expired state. Engines chunk epochs at slide boundaries, so within one
+/// batch no grid-aligned validity interval changes its expired-ness — the
+/// per-tuple and batched watermark checks agree.
+///
+/// [`PhysicalOp::on_delta`] remains the per-tuple entry point; the default
+/// `on_batch` adapts it, so a tuple-at-a-time operator participates in
+/// batched epochs unchanged (and batch-aware operators stay reviewable
+/// against their per-tuple form).
 pub trait PhysicalOp {
     /// Operator name for plan display and metrics.
     fn name(&self) -> String;
 
     /// Processes one delta arriving on `port`.
     fn on_delta(&mut self, port: usize, delta: Delta, now: Timestamp, out: &mut Vec<Delta>);
+
+    /// Processes a batch of deltas arriving on `port`, in arrival order.
+    ///
+    /// The default adapter replays the batch through [`PhysicalOp::on_delta`];
+    /// operators override it where a batch-aware inner loop pays (grouped
+    /// hash-join probes, merged window inserts, buffer reuse).
+    fn on_batch(&mut self, port: usize, batch: &DeltaBatch, now: Timestamp, out: &mut DeltaBatch) {
+        for d in batch.iter() {
+            self.on_delta(port, d.clone(), now, out.as_mut_vec());
+        }
+    }
 
     /// Physically reclaims state expired at `watermark` (direct approach).
     ///

@@ -265,6 +265,29 @@ impl PhysicalOp for NegPathOp {
         }
     }
 
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        batch: &super::DeltaBatch,
+        now: Timestamp,
+        out: &mut super::DeltaBatch,
+    ) {
+        // Arrival-order loop over the borrowed batch. Unlike S-PATH, runs
+        // of value-equivalent inserts must NOT be pre-merged: the [57]
+        // algorithm skips present nodes instead of propagating
+        // improvements, so a merged interval would overstate coverage.
+        let out = out.as_mut_vec();
+        for d in batch.iter() {
+            match d {
+                Delta::Insert(s) => self.on_insert(s, now, out),
+                Delta::Delete(s) => {
+                    self.adj.remove(s.src, s.label, s.trg, s.interval);
+                    self.invalidate_edge(Edge::new(s.src, s.trg, s.label), now, out, true);
+                }
+            }
+        }
+    }
+
     /// Window movement: every expired derivation is processed like a
     /// negative tuple — the affected subtrees are marked and re-derived by
     /// traversing the snapshot graph (the extra work S-PATH avoids).

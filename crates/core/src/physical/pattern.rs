@@ -14,7 +14,7 @@
 //! Def. 11). Negative tuples (§6.2.5) remove intervals and probe the
 //! opposite table symmetrically, which cancels prior emissions exactly.
 
-use super::{Delta, PhysicalOp};
+use super::{Delta, DeltaBatch, PhysicalOp};
 use crate::algebra::{Pos, Side};
 use sgq_types::{Edge, FxHashMap, Interval, IntervalSet, Label, Payload, Sgt, Timestamp, VertexId};
 
@@ -110,16 +110,17 @@ struct Table {
 }
 
 impl Table {
-    /// Inserts (or extends) an entry; returns `None` if the interval was
-    /// fully covered (duplicate suppressed) when `suppress` is on.
-    fn insert(
-        &mut self,
-        key: Box<[VertexId]>,
+    /// Inserts (or extends) an entry in a pre-located bucket; returns
+    /// `None` if the interval was fully covered (duplicate suppressed)
+    /// when `suppress` is on. `entries` is the owning table's size counter
+    /// (split out so batch loops can hold the bucket across deltas).
+    fn bucket_insert(
+        bucket: &mut Vec<TableEntry>,
+        entries: &mut usize,
         vals: &[VertexId],
         iv: Interval,
         suppress: bool,
     ) -> Option<Interval> {
-        let bucket = self.map.entry(key).or_default();
         if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
             if suppress && set.covers(&iv) {
                 return None;
@@ -129,29 +130,26 @@ impl Table {
         let mut set = IntervalSet::new();
         set.insert(iv);
         bucket.push((vals.into(), set));
-        self.entries += 1;
+        *entries += 1;
         Some(iv)
     }
 
-    /// Removes an interval from an entry (negative tuple).
-    fn remove(&mut self, key: &[VertexId], vals: &[VertexId], iv: Interval) {
-        if let Some(bucket) = self.map.get_mut(key) {
-            if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
-                set.remove(iv);
-            }
+    /// Removes an interval from a pre-located bucket's entry (negative
+    /// tuple).
+    fn bucket_remove(bucket: &mut [TableEntry], vals: &[VertexId], iv: Interval) {
+        if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
+            set.remove(iv);
         }
     }
 
-    /// Probes entries matching `key` whose validity overlaps `iv`, calling
-    /// `f(vals, overlap-interval)` per live interval.
-    fn probe(&self, key: &[VertexId], iv: Interval, mut f: impl FnMut(&[VertexId], Interval)) {
-        if let Some(bucket) = self.map.get(key) {
-            for (vals, set) in bucket {
-                for stored in set.overlapping(&iv) {
-                    let meet = stored.intersect(&iv);
-                    if !meet.is_empty() {
-                        f(vals, meet);
-                    }
+    /// Probes a pre-located bucket's entries whose validity overlaps `iv`,
+    /// calling `f(vals, overlap-interval)` per live interval.
+    fn bucket_probe(bucket: &[TableEntry], iv: Interval, mut f: impl FnMut(&[VertexId], Interval)) {
+        for (vals, set) in bucket {
+            for stored in set.overlapping(&iv) {
+                let meet = stored.intersect(&iv);
+                if !meet.is_empty() {
+                    f(vals, meet);
                 }
             }
         }
@@ -173,9 +171,9 @@ impl Table {
     }
 }
 
-/// A pending unit of work inside the join tree.
+/// A pending binding tuple inside the join tree (its stage is tracked by
+/// the level loop).
 struct Work {
-    stage: usize,
     vals: Box<[VertexId]>,
     iv: Interval,
     delete: bool,
@@ -312,37 +310,104 @@ impl PatternOp {
         key_idx.iter().map(|&i| vals[i]).collect()
     }
 
-    fn run(&mut self, mut queue: Vec<Work>, out: &mut Vec<Delta>) {
-        while let Some(w) = queue.pop() {
-            if w.stage == self.stages.len() {
-                self.emit(&w.vals, w.iv, w.delete, out);
-                continue;
+    /// Runs a level of binding tuples entering stage `stage`'s **left**
+    /// side (and every stage above) to completion. Within each level the
+    /// tuples are grouped by join key, so the hash tables are touched once
+    /// per distinct key instead of once per tuple — the batched form of
+    /// the symmetric-hash-join probe.
+    fn run_levels(&mut self, mut stage: usize, mut works: Vec<Work>, out: &mut Vec<Delta>) {
+        while !works.is_empty() {
+            if stage == self.stages.len() {
+                for w in &works {
+                    self.emit(&w.vals, w.iv, w.delete, out);
+                }
+                return;
             }
-            let plan = &self.stages[w.stage];
-            let key = Self::key_of(&w.vals, &plan.left_key);
-            let (left, right) = &mut self.state[w.stage];
-            if w.delete {
-                left.remove(&key, &w.vals, w.iv);
-            } else if left
-                .insert(key.clone(), &w.vals, w.iv, self.suppress)
-                .is_none()
-            {
-                continue; // fully covered: no new results possible
-            }
-            right.probe(&key, w.iv, |rvals, meet| {
-                let joined: Box<[VertexId]> = plan
-                    .out_from
-                    .iter()
-                    .map(|&(from_left, i)| if from_left { w.vals[i] } else { rvals[i] })
-                    .collect();
-                queue.push(Work {
-                    stage: w.stage + 1,
-                    vals: joined,
-                    iv: meet,
-                    delete: w.delete,
-                });
-            });
+            works = self.level(stage, true, works);
+            stage += 1;
         }
+    }
+
+    /// Processes one level of arrivals into stage `stage` — the left side
+    /// when `from_left`, the right side otherwise (a right-port input
+    /// batch) — and returns the joined tuples for the next stage.
+    ///
+    /// Tuples are grouped by join key with a stable sort (same-key
+    /// arrivals keep their relative order, so insert/delete runs on one
+    /// binding stay meaningful); each group locates its own-side bucket
+    /// and the opposite bucket once.
+    fn level(&mut self, stage: usize, from_left: bool, works: Vec<Work>) -> Vec<Work> {
+        let plan = &self.stages[stage];
+        let key_idx = if from_left {
+            &plan.left_key
+        } else {
+            &plan.right_key
+        };
+        let mut keys: Vec<Box<[VertexId]>> = works
+            .iter()
+            .map(|w| Self::key_of(&w.vals, key_idx))
+            .collect();
+        let mut order: Vec<usize> = (0..works.len()).collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+
+        let mut next = Vec::new();
+        let (left, right) = &mut self.state[stage];
+        let (own, other) = if from_left {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        let mut i = 0;
+        while i < order.len() {
+            let mut j = i + 1;
+            while j < order.len() && keys[order[j]] == keys[order[i]] {
+                j += 1;
+            }
+            let other_bucket = other.map.get(&keys[order[i]]).map(Vec::as_slice);
+            let own_bucket = own
+                .map
+                .entry(std::mem::take(&mut keys[order[i]]))
+                .or_default();
+            for &w_idx in &order[i..j] {
+                let w = &works[w_idx];
+                if w.delete {
+                    Table::bucket_remove(own_bucket, &w.vals, w.iv);
+                } else if Table::bucket_insert(
+                    own_bucket,
+                    &mut own.entries,
+                    &w.vals,
+                    w.iv,
+                    self.suppress,
+                )
+                .is_none()
+                {
+                    continue; // fully covered: no new results possible
+                }
+                if let Some(other_bucket) = other_bucket {
+                    Table::bucket_probe(other_bucket, w.iv, |ovals, meet| {
+                        let (lvals, rvals) = if from_left {
+                            (w.vals.as_ref(), ovals)
+                        } else {
+                            (ovals, w.vals.as_ref())
+                        };
+                        let joined: Box<[VertexId]> = plan
+                            .out_from
+                            .iter()
+                            .map(
+                                |&(left_side, pos)| if left_side { lvals[pos] } else { rvals[pos] },
+                            )
+                            .collect();
+                        next.push(Work {
+                            vals: joined,
+                            iv: meet,
+                            delete: w.delete,
+                        });
+                    });
+                }
+            }
+            i = j;
+        }
+        next
     }
 }
 
@@ -355,64 +420,51 @@ impl PhysicalOp for PatternOp {
         )
     }
 
-    fn on_delta(&mut self, port: usize, delta: Delta, _now: Timestamp, out: &mut Vec<Delta>) {
-        let delete = delta.is_delete();
-        let s = delta.sgt();
-        let Some(vals) = self.leaf_vals(port, s) else {
-            return;
-        };
-        let iv = s.interval;
-        if iv.is_empty() {
+    fn on_delta(&mut self, port: usize, delta: Delta, now: Timestamp, out: &mut Vec<Delta>) {
+        let mut batch_out = DeltaBatch::new();
+        self.on_batch(port, &DeltaBatch::single(delta), now, &mut batch_out);
+        out.extend(batch_out);
+    }
+
+    fn on_batch(&mut self, port: usize, batch: &DeltaBatch, _now: Timestamp, out: &mut DeltaBatch) {
+        // Convert the port's deltas to leaf binding tuples in arrival order.
+        let mut works: Vec<Work> = Vec::with_capacity(batch.len());
+        for d in batch.iter() {
+            let s = d.sgt();
+            if s.interval.is_empty() {
+                continue;
+            }
+            let Some(vals) = self.leaf_vals(port, s) else {
+                continue;
+            };
+            works.push(Work {
+                vals,
+                iv: s.interval,
+                delete: d.is_delete(),
+            });
+        }
+        if works.is_empty() {
             return;
         }
+        let out = out.as_mut_vec();
 
         if self.stages.is_empty() {
             // Single-input pattern: pure projection.
-            self.emit(&vals, iv, delete, out);
+            for w in &works {
+                self.emit(&w.vals, w.iv, w.delete, out);
+            }
             return;
         }
 
         if port == 0 {
-            self.run(
-                vec![Work {
-                    stage: 0,
-                    vals,
-                    iv,
-                    delete,
-                }],
-                out,
-            );
-            return;
+            self.run_levels(0, works, out);
+        } else {
+            // Right arrivals at stage `port - 1`: insert and probe the left
+            // side (key-grouped), then run the joined tuples upward.
+            let stage = port - 1;
+            let joined = self.level(stage, false, works);
+            self.run_levels(stage + 1, joined, out);
         }
-
-        // Right arrival at stage `port - 1`: insert and probe the left side.
-        let stage = port - 1;
-        let plan = &self.stages[stage];
-        let key = Self::key_of(&vals, &plan.right_key);
-        let (left, right) = &mut self.state[stage];
-        if delete {
-            right.remove(&key, &vals, iv);
-        } else if right
-            .insert(key.clone(), &vals, iv, self.suppress)
-            .is_none()
-        {
-            return;
-        }
-        let mut queue = Vec::new();
-        left.probe(&key, iv, |lvals, meet| {
-            let joined: Box<[VertexId]> = plan
-                .out_from
-                .iter()
-                .map(|&(from_left, i)| if from_left { lvals[i] } else { vals[i] })
-                .collect();
-            queue.push(Work {
-                stage: stage + 1,
-                vals: joined,
-                iv: meet,
-                delete,
-            });
-        });
-        self.run(queue, out);
     }
 
     fn purge(&mut self, watermark: Timestamp, _out: &mut Vec<Delta>) {

@@ -24,13 +24,19 @@ pub struct RevDfa {
 }
 
 impl RevDfa {
-    /// Builds the reverse index from a DFA.
+    /// Builds the reverse index from a DFA. Per-state entries are sorted
+    /// by `(label, source)` so re-derivation traversal order is invariant
+    /// under order-preserving label renamings (like
+    /// `Dfa::transitions_from`).
     pub fn build(dfa: &Dfa) -> RevDfa {
         let mut map: FxHashMap<StateId, Vec<(Label, StateId)>> = FxHashMap::default();
         for l in dfa.alphabet().collect::<Vec<_>>() {
             for &(s, t) in dfa.transitions_on(l) {
                 map.entry(t).or_default().push((l, s));
             }
+        }
+        for v in map.values_mut() {
+            v.sort_unstable();
         }
         RevDfa { map }
     }

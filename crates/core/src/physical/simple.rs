@@ -5,7 +5,7 @@
 //! the standard map operator that adjusts the validity intervals of sgts
 //! based on window specifications."
 
-use super::{Delta, PhysicalOp};
+use super::{Delta, DeltaBatch, PhysicalOp};
 use crate::algebra::FilterPred;
 use sgq_types::{time::window_interval, Edge, Label, Payload, Sgt, Timestamp};
 
@@ -23,25 +23,43 @@ impl WScanOp {
     }
 }
 
+impl WScanOp {
+    fn map(&self, delta: &Delta) -> Option<Delta> {
+        let map = |s: &Sgt| {
+            let mut s = s.clone();
+            s.interval = window_interval(s.interval.ts, self.window, self.slide);
+            s
+        };
+        let mapped = match delta {
+            Delta::Insert(s) => Delta::Insert(map(s)),
+            Delta::Delete(s) => Delta::Delete(map(s)),
+        };
+        // With β > T a tuple arriving in the tail of a slide period gets an
+        // empty validity interval (it "missed" the window, Def. 16): drop.
+        (!mapped.sgt().interval.is_empty()).then_some(mapped)
+    }
+}
+
 impl PhysicalOp for WScanOp {
     fn name(&self) -> String {
         format!("WSCAN[T={},β={}]", self.window, self.slide)
     }
 
     fn on_delta(&mut self, _port: usize, delta: Delta, _now: Timestamp, out: &mut Vec<Delta>) {
-        let map = |s: &Sgt| {
-            let mut s = s.clone();
-            s.interval = window_interval(s.interval.ts, self.window, self.slide);
-            s
-        };
-        let mapped = match &delta {
-            Delta::Insert(s) => Delta::Insert(map(s)),
-            Delta::Delete(s) => Delta::Delete(map(s)),
-        };
-        // With β > T a tuple arriving in the tail of a slide period gets an
-        // empty validity interval (it "missed" the window, Def. 16): drop.
-        if !mapped.sgt().interval.is_empty() {
-            out.push(mapped);
+        out.extend(self.map(&delta));
+    }
+
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        batch: &DeltaBatch,
+        _now: Timestamp,
+        out: &mut DeltaBatch,
+    ) {
+        // Map straight off the borrowed batch: one sgt clone per output,
+        // none for tail-dropped tuples.
+        for d in batch.iter() {
+            out.extend(self.map(d));
         }
     }
 }
@@ -70,6 +88,22 @@ impl PhysicalOp for FilterOp {
             out.push(delta);
         }
     }
+
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        batch: &DeltaBatch,
+        _now: Timestamp,
+        out: &mut DeltaBatch,
+    ) {
+        // Clone only the survivors (the per-tuple adapter would clone every
+        // delta before filtering).
+        for d in batch.iter() {
+            if self.preds.iter().all(|p| p.eval(d.sgt())) {
+                out.push(d.clone());
+            }
+        }
+    }
 }
 
 /// UNION `∪_[d]` (Def. 18): merges its input streams, assigning the output
@@ -87,12 +121,8 @@ impl UnionOp {
     }
 }
 
-impl PhysicalOp for UnionOp {
-    fn name(&self) -> String {
-        format!("UNION[{:?}]", self.label)
-    }
-
-    fn on_delta(&mut self, _port: usize, delta: Delta, _now: Timestamp, out: &mut Vec<Delta>) {
+impl UnionOp {
+    fn map(&self, delta: &Delta) -> Delta {
         let map = |s: &Sgt| {
             let payload = match &s.payload {
                 Payload::Edge(_) => Payload::Edge(Edge::new(s.src, s.trg, self.label)),
@@ -100,10 +130,32 @@ impl PhysicalOp for UnionOp {
             };
             Sgt::with_payload(s.src, s.trg, self.label, s.interval, payload)
         };
-        out.push(match &delta {
+        match delta {
             Delta::Insert(s) => Delta::Insert(map(s)),
             Delta::Delete(s) => Delta::Delete(map(s)),
-        });
+        }
+    }
+}
+
+impl PhysicalOp for UnionOp {
+    fn name(&self) -> String {
+        format!("UNION[{:?}]", self.label)
+    }
+
+    fn on_delta(&mut self, _port: usize, delta: Delta, _now: Timestamp, out: &mut Vec<Delta>) {
+        out.push(self.map(&delta));
+    }
+
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        batch: &DeltaBatch,
+        _now: Timestamp,
+        out: &mut DeltaBatch,
+    ) {
+        for d in batch.iter() {
+            out.push(self.map(d));
+        }
     }
 }
 

@@ -23,7 +23,7 @@
 //! negative tuples cancel prior emissions symmetrically (§6.2.5).
 
 use super::pattern::CompiledPattern;
-use super::{Delta, PhysicalOp};
+use super::{Delta, DeltaBatch, PhysicalOp};
 use sgq_types::{Edge, FxHashMap, Interval, IntervalSet, Payload, Sgt, Timestamp, VertexId};
 
 /// One port's windowed edge index: forward (`src → (trg, validity)`) and
@@ -349,34 +349,18 @@ impl PhysicalOp for WcojPatternOp {
         )
     }
 
-    fn on_delta(&mut self, port: usize, delta: Delta, _now: Timestamp, out: &mut Vec<Delta>) {
-        let delete = delta.is_delete();
-        let s = delta.sgt();
-        let iv = s.interval;
-        if iv.is_empty() {
-            return;
-        }
+    fn on_delta(&mut self, port: usize, delta: Delta, now: Timestamp, out: &mut Vec<Delta>) {
+        let mut batch_out = DeltaBatch::new();
+        self.on_batch(port, &DeltaBatch::single(delta), now, &mut batch_out);
+        out.extend(batch_out);
+    }
+
+    fn on_batch(&mut self, port: usize, batch: &DeltaBatch, _now: Timestamp, out: &mut DeltaBatch) {
         let (sv, tv) = self.spec.input_vars[port];
-        if sv == tv && s.src != s.trg {
-            return; // `l(x, x)` atom: only self-loops qualify
-        }
-        let (src, trg) = (s.src, s.trg);
-
-        // Update the port index first (symmetric processing), then seed the
-        // generic join with this tuple's bindings.
-        if delete {
-            self.state[port].remove(src, trg, iv);
-        } else if self.state[port]
-            .insert(src, trg, iv, self.suppress)
-            .is_none()
-        {
-            return; // fully covered: no new results possible
-        }
-
-        let mut bindings: Vec<Option<VertexId>> = vec![None; self.n_vars];
-        bindings[sv as usize] = Some(src);
-        bindings[tv as usize] = Some(trg);
-        let mut pending: Vec<Atom> = self
+        // The pending-atom template and enumeration buffers are set up once
+        // per batch: each delta's generic join starts from the same atom
+        // set, so per-tuple execution re-derived them needlessly.
+        let template: Vec<Atom> = self
             .spec
             .input_vars
             .iter()
@@ -388,10 +372,45 @@ impl PhysicalOp for WcojPatternOp {
                 trg_var: t,
             })
             .collect();
+        let mut bindings: Vec<Option<VertexId>> = vec![None; self.n_vars];
+        let mut pending: Vec<Atom> = Vec::with_capacity(template.len());
         let mut results = Vec::new();
-        self.join(&mut bindings, iv, &mut pending, &mut results);
-        for (vals, meet) in results {
-            self.emit(&vals, meet, delete, out);
+        let out = out.as_mut_vec();
+
+        for d in batch.iter() {
+            let delete = d.is_delete();
+            let s = d.sgt();
+            let iv = s.interval;
+            if iv.is_empty() {
+                continue;
+            }
+            if sv == tv && s.src != s.trg {
+                continue; // `l(x, x)` atom: only self-loops qualify
+            }
+            let (src, trg) = (s.src, s.trg);
+
+            // Update the port index first (symmetric processing), then seed
+            // the generic join with this tuple's bindings. Insert-then-join
+            // per delta keeps each result derived exactly once within the
+            // batch (later deltas see earlier ones, never vice versa).
+            if delete {
+                self.state[port].remove(src, trg, iv);
+            } else if self.state[port]
+                .insert(src, trg, iv, self.suppress)
+                .is_none()
+            {
+                continue; // fully covered: no new results possible
+            }
+
+            bindings.fill(None);
+            bindings[sv as usize] = Some(src);
+            bindings[tv as usize] = Some(trg);
+            pending.clear();
+            pending.extend_from_slice(&template);
+            self.join(&mut bindings, iv, &mut pending, &mut results);
+            for (vals, meet) in results.drain(..) {
+                self.emit(&vals, meet, delete, out);
+            }
         }
     }
 

@@ -261,9 +261,12 @@ impl MultiQueryEngine {
         inserts
     }
 
-    /// Processes a timestamp-ordered batch at once, pre-coalescing
-    /// value-equivalent sges that fall in the same host tick period
-    /// (mirrors `Engine::process_batch`; requires append-only pipelines).
+    /// Processes a timestamp-ordered batch as true **epochs**: chunked at
+    /// host tick boundaries and delivered through the shared dataflow in
+    /// level-ordered sweeps (mirrors `Engine::process_batch`). Under
+    /// duplicate suppression, value-equivalent sges falling in the same
+    /// host tick period are pre-coalesced at the ingestion boundary; with
+    /// suppression off every arrival is delivered.
     pub fn process_batch(&mut self, batch: &[Sge]) -> Vec<(QueryId, Sgt)> {
         let Some(&last) = batch.last() else {
             return Vec::new();
@@ -275,20 +278,31 @@ impl MultiQueryEngine {
         let mut inserts = Vec::new();
         let mut deletes = Vec::new();
         let mut seen: FxHashMap<(VertexId, VertexId, Label), Timestamp> = FxHashMap::default();
+        let mut epoch: Vec<(Label, Delta)> = Vec::new();
         for &sge in batch {
             // Retain even coalesced duplicates: retention is raw input
             // history, independent of the current tick granularity.
             self.retain_input(sge, None);
-            let period = sge.t / self.slide;
-            match seen.get(&(sge.src, sge.trg, sge.label)) {
-                Some(&p) if p == period => continue, // covered duplicate
-                _ => {
-                    seen.insert((sge.src, sge.trg, sge.label), period);
+            if self.opts.suppress_duplicates {
+                let period = sge.t / self.slide;
+                match seen.get(&(sge.src, sge.trg, sge.label)) {
+                    Some(&p) if p == period => continue, // covered duplicate
+                    _ => {
+                        seen.insert((sge.src, sge.trg, sge.label), period);
+                    }
                 }
             }
-            self.advance_time_into(sge.t, &mut inserts, &mut deletes);
-            self.ingest(sge.label, input_delta(sge), &mut inserts, &mut deletes);
+            let crosses = match self.next_boundary {
+                None => true,
+                Some(b) => sge.t >= b,
+            };
+            if crosses {
+                self.flush_epoch(&mut epoch, &mut inserts, &mut deletes);
+                self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+            }
+            epoch.push((sge.label, input_delta(sge)));
         }
+        self.flush_epoch(&mut epoch, &mut inserts, &mut deletes);
         self.advance_time_into(last.t, &mut inserts, &mut deletes);
         inserts
     }
@@ -378,9 +392,32 @@ impl MultiQueryEngine {
     ) {
         let (opts, now) = (self.opts, self.now);
         let MultiQueryEngine { flow, registry, .. } = self;
-        flow.ingest(label, delta, now, |n, d| {
-            registry.route(n, d, &opts, inserts, deletes);
+        flow.ingest(label, delta, now, |n, batch| {
+            registry.route_batch(n, batch, &opts, inserts, deletes);
         });
+    }
+
+    /// Delivers the accumulated epoch through the shared dataflow in one
+    /// level-ordered sweep (`self.now` is the epoch's opening watermark).
+    fn flush_epoch(
+        &mut self,
+        epoch: &mut Vec<(Label, Delta)>,
+        inserts: &mut Vec<(QueryId, Sgt)>,
+        deletes: &mut Vec<(QueryId, Sgt)>,
+    ) {
+        if epoch.is_empty() {
+            return;
+        }
+        let (opts, now) = (self.opts, self.now);
+        let MultiQueryEngine { flow, registry, .. } = self;
+        flow.ingest_epoch(epoch.drain(..), now, |n, batch| {
+            registry.route_batch(n, batch, &opts, inserts, deletes);
+        });
+    }
+
+    /// Executor dispatch counters for the shared dataflow.
+    pub fn exec_stats(&self) -> sgq_core::metrics::ExecStats {
+        self.flow.exec_stats()
     }
 
     fn advance_time_into(
@@ -418,8 +455,8 @@ impl MultiQueryEngine {
         };
         let (opts, now) = (self.opts, self.now);
         let MultiQueryEngine { flow, registry, .. } = self;
-        flow.purge(watermark, now, due, |n, d| {
-            registry.route(n, d, &opts, inserts, deletes);
+        flow.purge(watermark, now, due, |n, batch| {
+            registry.route_batch(n, batch, &opts, inserts, deletes);
         });
         if due {
             self.last_physical_purge = Some(watermark);
@@ -430,10 +467,13 @@ impl MultiQueryEngine {
     }
 
     fn retain_input(&mut self, sge: Sge, props: Option<SharedProps>) {
-        if self.retention_horizon > 0 {
+        // Catch-up is the sole consumer of retained history and is skipped
+        // for unsuppressed (explicit-deletion) pipelines, so don't pay for
+        // retention there.
+        if self.retention_horizon > 0 && self.opts.suppress_duplicates {
             self.retained.push_back((sge, props));
+            self.prune_retained();
         }
-        self.prune_retained();
     }
 
     fn prune_retained(&mut self) {
@@ -502,10 +542,13 @@ impl MultiQueryEngine {
         let mut replay = Dataflow::new(opts);
         let replay_root = replay.lower(&expr);
         {
+            // The whole retained window replays as one epoch (dedicated
+            // replay never advances time, so every delta already shared one
+            // watermark — the batched form only amortises dispatch).
             let MultiQueryEngine {
                 registry, retained, ..
             } = self;
-            for (sge, props) in retained.iter() {
+            let epoch = retained.iter().map(|(sge, props)| {
                 let delta = match input_delta(*sge) {
                     Delta::Insert(s) => match props {
                         Some(p) => Delta::Insert(s.with_props(p.clone())),
@@ -513,12 +556,15 @@ impl MultiQueryEngine {
                     },
                     d => d,
                 };
-                replay.ingest(sge.label, delta, now, |n, d| {
-                    if n == replay_root {
-                        registry.sink_to(id, d, &opts);
+                (sge.label, delta)
+            });
+            replay.ingest_epoch(epoch, now, |n, batch| {
+                if n == replay_root {
+                    for d in batch.iter() {
+                        registry.sink_to(id, d.clone(), &opts);
                     }
-                });
-            }
+                }
+            });
         }
         // Adopt the warmed state for every node this registration newly
         // created (sole-reference ⇒ created cold by this register call).

@@ -3,7 +3,7 @@
 
 use sgq_core::algebra::SgaExpr;
 use sgq_core::engine::{sink_result, EngineOptions};
-use sgq_core::physical::Delta;
+use sgq_core::physical::{Delta, DeltaBatch};
 use sgq_types::{FxHashMap, FxHashSet, Interval, IntervalSet, Label, Sgt, Timestamp, VertexId};
 
 /// Identity of a registered persistent query (stable for the lifetime of
@@ -52,8 +52,10 @@ pub(crate) struct Registration {
 #[derive(Default)]
 pub(crate) struct Registry {
     entries: FxHashMap<u64, Registration>,
-    /// Root node → queries whose results it produces.
-    subs: FxHashMap<usize, Vec<u64>>,
+    /// Root node → queries whose results it produces, indexed **densely**
+    /// by node id: the result-routing probe runs once per emission batch
+    /// of every node, so it must be an array load, not a hash lookup.
+    subs: Vec<Vec<u64>>,
     /// Node → number of registrations whose plan uses it.
     refcount: FxHashMap<usize, u32>,
     next: u64,
@@ -63,7 +65,10 @@ impl Registry {
     pub fn insert(&mut self, reg: Registration) -> QueryId {
         let id = self.next;
         self.next += 1;
-        self.subs.entry(reg.root).or_default().push(id);
+        if self.subs.len() <= reg.root {
+            self.subs.resize_with(reg.root + 1, Vec::new);
+        }
+        self.subs[reg.root].push(id);
         for &n in &reg.nodes {
             *self.refcount.entry(n).or_insert(0) += 1;
         }
@@ -75,11 +80,8 @@ impl Registry {
     /// remaining registration references (to be retired by the host).
     pub fn remove(&mut self, id: QueryId) -> Option<(Registration, FxHashSet<usize>)> {
         let reg = self.entries.remove(&id.0)?;
-        if let Some(subs) = self.subs.get_mut(&reg.root) {
+        if let Some(subs) = self.subs.get_mut(reg.root) {
             subs.retain(|&q| q != id.0);
-            if subs.is_empty() {
-                self.subs.remove(&reg.root);
-            }
         }
         let mut dead = FxHashSet::default();
         for &n in &reg.nodes {
@@ -120,33 +122,30 @@ impl Registry {
         self.entries.iter_mut().map(|(&id, r)| (QueryId(id), r))
     }
 
-    /// Routes an emission of `node` to every subscribed query's sink,
-    /// re-labelling to each query's answer tag. Newly accepted inserts and
-    /// deletes are appended to `inserts` / `deletes` (for `process`-style
-    /// return values).
-    pub fn route(
+    /// Routes an emission batch of `node` to every subscribed query's
+    /// sink, re-labelling to each query's answer tag. Newly accepted
+    /// inserts and deletes are appended to `inserts` / `deletes` (for
+    /// `process`-style return values).
+    ///
+    /// The subscription lookup happens once per **batch**, not per delta —
+    /// with the epoch-batched executor, non-subscribed (internal) nodes
+    /// cost one hash probe per epoch.
+    pub fn route_batch(
         &mut self,
         node: usize,
-        delta: Delta,
+        batch: &DeltaBatch,
         opts: &EngineOptions,
         inserts: &mut Vec<(QueryId, Sgt)>,
         deletes: &mut Vec<(QueryId, Sgt)>,
     ) {
-        let Some(subscribers) = self.subs.get(&node) else {
+        let Some(subscribers) = self.subs.get(node) else {
             return;
         };
-        // The sole (or last) subscriber takes ownership; extra fan-out
-        // pays one clone each.
-        let last = subscribers.len() - 1;
-        let mut delta = Some(delta);
-        for (i, &q) in subscribers.iter().enumerate() {
-            let d = if i == last {
-                delta.take().expect("delta consumed only once")
-            } else {
-                delta.as_ref().expect("delta present until last").clone()
-            };
+        for &q in subscribers {
             let reg = self.entries.get_mut(&q).expect("subscribed query exists");
-            sink_one(reg, d, opts, Some((QueryId(q), inserts, deletes)));
+            for d in batch.iter() {
+                sink_one(reg, d.clone(), opts, Some((QueryId(q), inserts, deletes)));
+            }
         }
     }
 
@@ -167,7 +166,7 @@ impl Registry {
     /// its plan shares this exact root).
     pub fn subscriber_other_than(&self, node: usize, id: QueryId) -> Option<QueryId> {
         self.subs
-            .get(&node)?
+            .get(node)?
             .iter()
             .find(|&&q| q != id.0)
             .map(|&q| QueryId(q))

@@ -18,12 +18,17 @@
 //! * [`LabelInterner`] — string labels interned to dense [`Label`] ids, with
 //!   the EDB/IDB split of Def. 13 (input-edge labels are reserved; operators
 //!   mint fresh derived labels).
+//! * [`Delta`] / [`DeltaBatch`] — the units of exchange between physical
+//!   operators: single sgt changes, and the contiguous epoch batches the
+//!   executor delivers them in (shared via [`SharedDeltaBatch`] so N-way
+//!   fan-out clones a pointer, not payloads).
 //!
 //! The crate has no dependencies; the hash tables used throughout the engine
 //! live in [`hash`] (an FxHash-style hasher implemented in-repo).
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod edge;
 pub mod hash;
 pub mod ids;
@@ -36,6 +41,7 @@ pub mod snapshot;
 pub mod stream;
 pub mod time;
 
+pub use delta::{Delta, DeltaBatch, SharedDeltaBatch};
 pub use edge::{Edge, Sge};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{Label, LabelInterner, VertexId};

@@ -1,0 +1,264 @@
+//! Batched-vs-tuple execution equivalence (property-based): feeding a
+//! random stream through `process_batch` under **any** batch split —
+//! including splits that straddle slide boundaries, and interleaved with
+//! explicit deletions — must produce exactly the per-tuple results, for
+//! both [`Engine`] and [`MultiQueryEngine`].
+//!
+//! "Exactly" is stated at the data model's granularity: result streams
+//! carry set semantics (Def. 10–12), so two logs are equal iff their
+//! per-pair coalesced validity coverage is equal (batched execution may
+//! chunk the same coverage into fewer, wider emissions — e.g. one epoch's
+//! worth of S-PATH improvements coalesces into a single tuple). The
+//! instantaneous answer sets (`answer_at`) are additionally compared at
+//! every probed timestamp.
+
+use proptest::prelude::*;
+use s_graffito::prelude::*;
+use s_graffito::types::{IntervalSet, Sge, VertexId};
+use std::collections::BTreeMap;
+
+const WINDOW: u64 = 24;
+const SLIDE: u64 = 6;
+const SPAN: u64 = 72;
+
+/// One raw stream event: insert or (sometimes) an explicit deletion of a
+/// previously inserted edge.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Insert(u64, u64, u8, u64),
+    /// Deletes the most recent not-yet-deleted insert (resolved when the
+    /// event sequence is materialized).
+    DeleteRecent,
+}
+
+fn events(max_len: usize, with_deletes: bool) -> impl Strategy<Value = Vec<Event>> {
+    let insert = (0u64..12, 0u64..12, 0u8..3, 1u64..4)
+        .prop_map(|(s, t, l, dt)| Event::Insert(s, t, l, dt))
+        .boxed();
+    let event = if with_deletes {
+        // ~1 in 5 events deletes the most recent live insert.
+        prop_oneof![
+            insert.clone(),
+            insert.clone(),
+            insert.clone(),
+            insert.clone(),
+            Just(Event::DeleteRecent).boxed(),
+        ]
+        .boxed()
+    } else {
+        insert
+    };
+    prop::collection::vec(event, 1..max_len)
+}
+
+/// Materializes events into an ordered op sequence: `(sge, is_delete)`.
+/// Timestamps accumulate the per-event increments, so streams span several
+/// slide periods and batch splits land on boundaries regularly.
+fn materialize(events: &[Event], labels: &[Label]) -> Vec<(Sge, bool)> {
+    let mut t = 0u64;
+    let mut live: Vec<Sge> = Vec::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match *ev {
+            Event::Insert(s, tr, l, dt) => {
+                t = (t + dt).min(SPAN);
+                let sge = Sge::new(VertexId(s), VertexId(tr), labels[l as usize], t);
+                live.push(sge);
+                out.push((sge, false));
+            }
+            Event::DeleteRecent => {
+                if let Some(sge) = live.pop() {
+                    out.push((sge, true));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The semantic content of a result log: per (src, trg), the coalesced
+/// validity coverage.
+fn coverage(results: &[Sgt]) -> BTreeMap<(u64, u64), Vec<Interval>> {
+    let mut map: BTreeMap<(u64, u64), IntervalSet> = BTreeMap::new();
+    for s in results {
+        map.entry((s.src.0, s.trg.0))
+            .or_default()
+            .insert(s.interval);
+    }
+    map.into_iter()
+        .map(|(k, set)| (k, set.intervals().to_vec()))
+        .collect()
+}
+
+fn opts(with_deletes: bool) -> EngineOptions {
+    EngineOptions {
+        suppress_duplicates: !with_deletes,
+        ..Default::default()
+    }
+}
+
+/// Drives `ops` per-tuple through a dedicated engine.
+fn run_tuple(query: &SgqQuery, ops: &[(Sge, bool)], with_deletes: bool) -> Engine {
+    let mut e = Engine::from_query_with(query, opts(with_deletes));
+    for &(sge, del) in ops {
+        if del {
+            e.delete(sge);
+        } else {
+            e.process(sge);
+        }
+    }
+    e
+}
+
+/// Drives `ops` through `process_batch`, splitting insert runs at the
+/// given cut points (deletions are their own per-tuple calls, as in a real
+/// deletion pipeline).
+fn run_batched(
+    query: &SgqQuery,
+    ops: &[(Sge, bool)],
+    cuts: &[usize],
+    with_deletes: bool,
+) -> Engine {
+    let mut e = Engine::from_query_with(query, opts(with_deletes));
+    let mut batch: Vec<Sge> = Vec::new();
+    for (i, &(sge, del)) in ops.iter().enumerate() {
+        if del {
+            e.process_batch(&batch);
+            batch.clear();
+            e.delete(sge);
+            continue;
+        }
+        batch.push(sge);
+        if cuts.contains(&i) {
+            e.process_batch(&batch);
+            batch.clear();
+        }
+    }
+    e.process_batch(&batch);
+    e
+}
+
+fn probe_times() -> Vec<u64> {
+    (0..=SPAN + WINDOW).step_by(3).collect()
+}
+
+fn check_engines_equal(tuple: &Engine, batched: &Engine) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        coverage(tuple.results()),
+        coverage(batched.results()),
+        "insert coverage"
+    );
+    prop_assert_eq!(
+        coverage(tuple.deleted_results()),
+        coverage(batched.deleted_results()),
+        "delete coverage"
+    );
+    for t in probe_times() {
+        prop_assert_eq!(
+            tuple.answer_at(t),
+            batched.answer_at(t),
+            "answers at t={}",
+            t
+        );
+    }
+    Ok(())
+}
+
+fn query(text: &str) -> SgqQuery {
+    SgqQuery::new(parse_program(text).unwrap(), WindowSpec::new(WINDOW, SLIDE))
+}
+
+/// The tested plans cover every operator: WSCAN, PATTERN (join tree),
+/// S-PATH (Kleene closure), and a composite.
+const PLANS: [&str; 3] = [
+    "Ans(x, y) <- a(x, z), b(z, y).",
+    "Ans(x, y) <- a+(x, y).",
+    "Ans(x, y) <- a+(x, m), b(m, y).",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_batched_equals_tuple_append_only(
+        evs in events(60, false),
+        cuts in prop::collection::vec(0usize..60, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PLANS[plan_idx]);
+        let tuple = run_tuple(&q, &materialize(&evs, &label_vec(&q)), false);
+        let batched = run_batched(&q, &materialize(&evs, &label_vec(&q)), &cuts, false);
+        check_engines_equal(&tuple, &batched)?;
+    }
+
+    #[test]
+    fn engine_batched_equals_tuple_with_deletions(
+        evs in events(50, true),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PLANS[plan_idx]);
+        let tuple = run_tuple(&q, &materialize(&evs, &label_vec(&q)), true);
+        let batched = run_batched(&q, &materialize(&evs, &label_vec(&q)), &cuts, true);
+        check_engines_equal(&tuple, &batched)?;
+    }
+
+    #[test]
+    fn multiquery_batched_equals_tuple(
+        evs in events(50, false),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+    ) {
+        // All three plans hosted concurrently; batched host vs per-tuple host.
+        let queries: Vec<SgqQuery> = PLANS.iter().map(|p| query(p)).collect();
+
+        let mut tuple = MultiQueryEngine::new();
+        let tuple_ids: Vec<QueryId> = queries.iter().map(|q| tuple.register(q)).collect();
+        let mut batched = MultiQueryEngine::new();
+        let batched_ids: Vec<QueryId> = queries.iter().map(|q| batched.register(q)).collect();
+
+        // "c" is referenced by no plan: such events are discarded by both
+        // hosts (unknown-label handling is part of the equivalence).
+        let labels: Vec<Label> = ["a", "b", "c"]
+            .iter()
+            .map(|n| tuple.labels().get(n).unwrap_or(Label(u32::MAX)))
+            .collect();
+        let ops = materialize(&evs, &labels);
+        for &(sge, _) in &ops {
+            tuple.process(sge);
+        }
+        let mut batch: Vec<Sge> = Vec::new();
+        for (i, &(sge, _)) in ops.iter().enumerate() {
+            batch.push(sge);
+            if cuts.contains(&i) {
+                batched.process_batch(&batch);
+                batch.clear();
+            }
+        }
+        batched.process_batch(&batch);
+
+        for (ti, bi) in tuple_ids.iter().zip(&batched_ids) {
+            prop_assert_eq!(
+                coverage(tuple.results(*ti)),
+                coverage(batched.results(*bi)),
+                "per-query coverage"
+            );
+            for t in probe_times() {
+                prop_assert_eq!(
+                    tuple.answer_at(*ti, t),
+                    batched.answer_at(*bi, t),
+                    "answers at t={}", t
+                );
+            }
+        }
+    }
+}
+
+/// The EDB labels `a`, `b`, `c` in `q`'s namespace (indexable by the
+/// event's label ordinal).
+fn label_vec(q: &SgqQuery) -> Vec<Label> {
+    let labels = Engine::from_query(q).labels().clone();
+    ["a", "b", "c"]
+        .iter()
+        .map(|n| labels.get(n).unwrap_or(Label(u32::MAX)))
+        .collect()
+}
