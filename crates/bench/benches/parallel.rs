@@ -1,0 +1,258 @@
+//! Parallel epoch execution: the level-scheduled worker-pool sweep
+//! measured at workers ∈ {1, 2, 4, 8}.
+//!
+//! Within one query's plan the level schedule is nearly a chain (one PATH
+//! or PATTERN per level), so intra-plan parallelism is structurally
+//! limited; the width the tentpole targets comes from *hosting several
+//! plans on one dataflow* — exactly the multi-query motivation. Each
+//! measured configuration therefore hosts `VARIANTS` window-size variants
+//! of query Qn (a parameter-sweep fleet: same query text, windows of 18 /
+//! 22 / 26 / 30 days — a realistic monitoring setup and the smallest
+//! fleet with fully disjoint operator chains) on one
+//! [`MultiQueryEngine`], ingesting the stream through the drain-only
+//! batch path at batch size 256. Level width is then ≥ `VARIANTS` at
+//! every operator depth, and the pool has real work per level.
+//!
+//! Alongside wall clock, the JSON rows record the schedule/occupancy
+//! counters (`max_level_width`, `mean_parallel_width`,
+//! `worker_occupancy`, `parallel_time_share`) — the evidence of how much
+//! parallelism the schedule exposed — plus `host_parallelism`, the number
+//! of CPUs the host actually granted. **On a single-CPU host the
+//! multi-worker rows cannot show wall-clock speedup** (threads time-slice
+//! one core); the determinism assertions and occupancy counters still
+//! validate the machinery, and the recorded speedups are honest
+//! measurements of whatever the host provides.
+//!
+//! Set `SGQ_BENCH_QUICK=1` for a truncated smoke pass (CI): worker counts
+//! {1, 4}, equivalence assertions still run, no JSON written.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use sgq_bench::Scale;
+use sgq_core::engine::EngineOptions;
+use sgq_core::metrics::ExecStats;
+use sgq_datagen::workloads::{self, Dataset};
+use sgq_multiquery::MultiQueryEngine;
+use sgq_query::SgqQuery;
+use std::time::{Duration, Instant};
+
+/// Window sizes (in simulated "days") of the hosted variants of each
+/// query; all slide by one day, so the host ticks daily like the paper's
+/// default window.
+const VARIANT_DAYS: [u64; 4] = [18, 22, 26, 30];
+/// Ingestion batch size (the acceptance point batch ≥ 256).
+const BATCH: usize = 256;
+/// Timed passes per configuration; best is reported.
+const PASSES: usize = 3;
+
+fn quick() -> bool {
+    std::env::var_os("SGQ_BENCH_QUICK").is_some()
+}
+
+fn worker_counts() -> &'static [usize] {
+    if quick() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8]
+    }
+}
+
+fn scale() -> Scale {
+    if quick() {
+        Scale::bench().scaled(0.1)
+    } else {
+        Scale::bench().scaled(0.4)
+    }
+}
+
+fn opts(workers: usize) -> EngineOptions {
+    EngineOptions {
+        materialize_paths: false,
+        workers,
+        ..Default::default()
+    }
+}
+
+/// The window-variant fleet of query `n`: one registration per entry of
+/// [`VARIANT_DAYS`]. Distinct window sizes make the plans structurally
+/// distinct, so the shared dataflow holds `VARIANTS` disjoint operator
+/// chains — the level width the pool sweeps.
+fn fleet(n: usize, ds: Dataset, scale: &Scale) -> Vec<SgqQuery> {
+    VARIANT_DAYS
+        .iter()
+        .map(|&days| SgqQuery::new(workloads::query(n, ds), scale.window(days, 1, 1)))
+        .collect()
+}
+
+struct Run {
+    secs: f64,
+    edges: usize,
+    results: Vec<usize>,
+    stats: ExecStats,
+}
+
+fn run_fleet(
+    n: usize,
+    ds: Dataset,
+    scale: &Scale,
+    raw: &sgq_datagen::RawStream,
+    workers: usize,
+) -> Run {
+    let mut host = MultiQueryEngine::with_options(opts(workers));
+    let ids: Vec<_> = fleet(n, ds, scale)
+        .iter()
+        .map(|q| host.register(q))
+        .collect();
+    let stream = sgq_datagen::resolve(raw, host.labels());
+    let sges = stream.sges();
+    let started = Instant::now();
+    for chunk in sges.chunks(BATCH) {
+        host.ingest_batch(chunk);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    Run {
+        secs,
+        edges: sges.len(),
+        results: ids.iter().map(|id| host.results(*id).len()).collect(),
+        stats: host.exec_stats(),
+    }
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    if quick() || std::env::var_os("SGQ_BENCH_SUMMARY_ONLY").is_some() {
+        return;
+    }
+    let scale = scale();
+    let mut group = c.benchmark_group("parallel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let raw = scale.stream(Dataset::So);
+    for n in [1, 6] {
+        for &w in worker_counts() {
+            group.bench_with_input(BenchmarkId::new(format!("q{n}"), w), &w, |b, &w| {
+                b.iter(|| run_fleet(n, Dataset::So, &scale, &raw, w));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// One timed full-stream pass per configuration, summarized as JSON, with
+/// worker-count equivalence asserted on per-variant result counts and the
+/// deterministic executor counters.
+fn emit_json_summary() {
+    let scale = scale();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut rows: Vec<String> = Vec::new();
+    let mut stream_edges = 0usize;
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        for n in 1..=7 {
+            let mut baseline: Option<(f64, Vec<usize>, [u64; 9])> = None;
+            for &w in worker_counts() {
+                let mut best: Option<Run> = None;
+                for _ in 0..PASSES {
+                    let run = run_fleet(n, ds, &scale, &raw, w);
+                    match &baseline {
+                        None => {
+                            baseline = Some((
+                                run.secs,
+                                run.results.clone(),
+                                run.stats.determinism_fingerprint(),
+                            ))
+                        }
+                        Some((_, results, fingerprint)) => {
+                            assert_eq!(
+                                results,
+                                &run.results,
+                                "{} Q{n}: workers={w} changed per-variant result counts",
+                                ds.name()
+                            );
+                            assert_eq!(
+                                fingerprint,
+                                &run.stats.determinism_fingerprint(),
+                                "{} Q{n}: workers={w} changed deterministic exec counters",
+                                ds.name()
+                            );
+                        }
+                    }
+                    if best.as_ref().is_none_or(|b| run.secs < b.secs) {
+                        best = Some(run);
+                    }
+                }
+                let run = best.expect("at least one pass");
+                // Refresh the baseline time with workers=1's best pass so
+                // speedups compare best against best.
+                if w == 1 {
+                    if let Some(b) = baseline.as_mut() {
+                        b.0 = run.secs;
+                    }
+                }
+                stream_edges = run.edges;
+                let base_secs = baseline.as_ref().expect("baseline set").0;
+                let stats = run.stats;
+                rows.push(format!(
+                    concat!(
+                        "    {{\"dataset\": \"{}\", \"query\": \"Q{}\", \"workers\": {}, ",
+                        "\"edges_per_s\": {:.0}, \"speedup_vs_workers1\": {:.3}, ",
+                        "\"results\": {}, \"max_level_width\": {}, ",
+                        "\"mean_parallel_width\": {:.2}, \"worker_occupancy\": {:.2}, ",
+                        "\"parallel_time_share\": {:.2}}}"
+                    ),
+                    ds.name(),
+                    n,
+                    w,
+                    run.edges as f64 / run.secs,
+                    base_secs / run.secs,
+                    run.results.iter().sum::<usize>(),
+                    stats.max_level_width,
+                    stats.mean_parallel_width(),
+                    stats.worker_occupancy(w),
+                    if stats.level_nanos == 0 {
+                        0.0
+                    } else {
+                        stats.parallel_nanos as f64 / stats.level_nanos as f64
+                    },
+                ));
+            }
+        }
+    }
+    if quick() {
+        println!("quick mode: skipping BENCH_parallel.json");
+        return;
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"parallel\",\n",
+            "  \"host_parallelism\": {},\n",
+            "  \"note\": \"fleet = {} window-size variants of each query ",
+            "on one shared dataflow, drain-only batch ingestion at batch {}; ",
+            "wall-clock speedup requires host_parallelism > 1 — on a ",
+            "single-CPU host the workers>1 rows measure pool overhead, not ",
+            "speedup\",\n",
+            "  \"stream_edges\": {},\n  \"window_variant_days\": {:?},\n",
+            "  \"rows\": [\n{}\n  ]\n}}\n"
+        ),
+        host_parallelism,
+        VARIANT_DAYS.len(),
+        BATCH,
+        stream_edges,
+        VARIANT_DAYS,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_parallel);
+
+fn main() {
+    if std::env::var_os("SGQ_BENCH_SUMMARY_ONLY").is_none() {
+        benches();
+    }
+    emit_json_summary();
+}

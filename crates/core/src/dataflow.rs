@@ -23,10 +23,24 @@
 //!   plan (the node arena is monotonic: slots are tombstoned, not reused,
 //!   so node ids held by other plans stay valid).
 //!
-//! The topological sweep relies on a lowering invariant: children are
-//! created before parents, so every dataflow edge points from a lower node
-//! id to a higher one and a single ascending pass delivers every batch
-//! after all of its producers ran.
+//! ## The epoch schedule
+//!
+//! The sweep runs off an explicit **level decomposition** of the operator
+//! graph (recomputed whenever `lower`/`retire` change it): level 0 holds
+//! the sources, and every other node sits one past its deepest producer.
+//! Nodes inside one level never exchange data within an epoch — a dataflow
+//! edge always crosses to a strictly higher level — so a level's ready
+//! nodes (those holding unconsumed deliveries) are independent units of
+//! work. With [`EngineOptions::workers`] > 1 they are dispatched onto a
+//! persistent worker pool (the private `pool` module); either way, outputs are
+//! published in ascending node-id order within the level, so the emitted
+//! result stream and every inbox arrival order are **identical at any
+//! worker count** (the serial sweep is literally the `workers = 1` case of
+//! the same schedule).
+//!
+//! Level computation relies on the lowering invariant that children are
+//! created before parents: every edge points from a lower node id to a
+//! higher one, so one ascending pass settles all depths.
 
 use crate::algebra::SgaExpr;
 use crate::engine::{DispatchMode, EngineOptions, PathImpl, PatternImpl};
@@ -35,7 +49,16 @@ use crate::physical::pattern::{CompiledPattern, PatternOp};
 use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
 use crate::physical::wcoj::WcojPatternOp;
 use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, DeltaBatch, PhysicalOp};
+use crate::pool::{LevelJob, WorkerPool};
 use sgq_types::{FxHashMap, FxHashSet, Label, SharedDeltaBatch, Timestamp};
+use std::time::Instant;
+
+/// Minimum total deltas queued across a level's ready nodes before the
+/// level is dispatched onto the worker pool; below this, the channel
+/// round-trip and thread wake-ups cost more than the operator work and
+/// the level runs inline. Purely a performance gate — results are
+/// identical either way, so any value preserves determinism.
+const PARALLEL_MIN_DELTAS: u64 = 16;
 
 /// A node in the physical dataflow: an operator plus its fan-out edges
 /// `(successor node, input port)`.
@@ -69,11 +92,24 @@ pub struct Dataflow {
     spare: Vec<DeltaBatch>,
     /// Scratch: per-source seed batches for the epoch being assembled.
     seeds: FxHashMap<usize, DeltaBatch>,
-    /// Highest node id holding an unconsumed delivery (the epoch sweep
-    /// stops here instead of scanning the whole arena, so a singleton
-    /// ingest touching one small subplan stays proportional to that
-    /// subplan even in a large multi-plan host).
-    sweep_end: usize,
+    /// Topological depth of each node (parallel to `nodes`; stale entries
+    /// for retired nodes are never consulted). Rebuilt with the schedule.
+    level_of: Vec<usize>,
+    /// The level decomposition: `levels[d]` holds the live nodes at depth
+    /// `d`, ascending by id. Rebuilt on `lower`/`retire`/`take_op`.
+    levels: Vec<Vec<usize>>,
+    /// Per-level ready lists: nodes holding an unconsumed delivery for the
+    /// epoch in flight (pushed on an inbox's empty→non-empty transition).
+    /// Empty between epochs, so a singleton ingest touching one small
+    /// subplan stays proportional to that subplan even in a large
+    /// multi-plan host.
+    ready: Vec<Vec<usize>>,
+    /// Whether the level schedule must be rebuilt before the next sweep.
+    schedule_dirty: bool,
+    /// Worker threads for parallel level dispatch, spawned lazily on the
+    /// first level wide enough to use them (`None` until then, and always
+    /// `None` when `opts.workers <= 1`).
+    pool: Option<WorkerPool>,
     stats: ExecStats,
 }
 
@@ -89,7 +125,11 @@ impl Dataflow {
             inboxes: Vec::new(),
             spare: Vec::new(),
             seeds: FxHashMap::default(),
-            sweep_end: 0,
+            level_of: Vec::new(),
+            levels: Vec::new(),
+            ready: Vec::new(),
+            schedule_dirty: false,
+            pool: None,
             stats: ExecStats::default(),
         }
     }
@@ -156,8 +196,15 @@ impl Dataflow {
 
     /// Lowers `expr` into physical operators, returning its root node.
     /// Structurally equal (sub)expressions — across *all* `lower` calls on
-    /// this dataflow — share one node.
+    /// this dataflow — share one node. The level schedule is recomputed to
+    /// cover any newly created nodes.
     pub fn lower(&mut self, expr: &SgaExpr) -> usize {
+        let n = self.lower_rec(expr);
+        self.ensure_schedule();
+        n
+    }
+
+    fn lower_rec(&mut self, expr: &SgaExpr) -> usize {
         if let Some(&n) = self.memo.get(expr) {
             return n;
         }
@@ -172,13 +219,13 @@ impl Dataflow {
                 n
             }
             SgaExpr::Filter { input, preds } => {
-                let child = self.lower(input);
+                let child = self.lower_rec(input);
                 let n = self.add(Box::new(FilterOp::new(preds.clone())));
                 self.connect(child, n, 0);
                 n
             }
             SgaExpr::Union { inputs, label } => {
-                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
+                let children: Vec<usize> = inputs.iter().map(|i| self.lower_rec(i)).collect();
                 let n = self.add(Box::new(UnionOp::new(*label)));
                 for c in children {
                     self.connect(c, n, 0);
@@ -191,7 +238,7 @@ impl Dataflow {
                 output,
                 label,
             } => {
-                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
+                let children: Vec<usize> = inputs.iter().map(|i| self.lower_rec(i)).collect();
                 let spec = CompiledPattern::compile(inputs.len(), conditions, *output, *label);
                 let op: Box<dyn PhysicalOp> = match self.opts.pattern_impl {
                     PatternImpl::HashTree => {
@@ -212,7 +259,7 @@ impl Dataflow {
                 regex,
                 label,
             } => {
-                let children: Vec<usize> = inputs.iter().map(|i| self.lower(i)).collect();
+                let children: Vec<usize> = inputs.iter().map(|i| self.lower_rec(i)).collect();
                 let op: Box<dyn PhysicalOp> = match self.opts.path_impl {
                     PathImpl::Direct => {
                         let op = SPathOp::new(regex, *label);
@@ -251,8 +298,11 @@ impl Dataflow {
     }
 
     /// Retires `dead` nodes: drops their memo and source entries, severs
-    /// every edge touching them, and replaces their operators with inert
-    /// tombstones. Node ids of surviving nodes are unchanged.
+    /// every edge touching them, replaces their operators with inert
+    /// tombstones, and rebuilds the level schedule (which additionally
+    /// prunes *any* edge still pointing at a retired node — `take_op`
+    /// retires in place without severing — so the sweep can never enqueue
+    /// a retired node). Node ids of surviving nodes are unchanged.
     ///
     /// The caller is responsible for ensuring no live plan references the
     /// retired nodes (the multi-query host refcounts per registration).
@@ -275,6 +325,8 @@ impl Dataflow {
                 node.succs.retain(|(succ, _)| !dead.contains(succ));
             }
         }
+        self.schedule_dirty = true;
+        self.ensure_schedule();
     }
 
     fn add(&mut self, op: Box<dyn PhysicalOp>) -> usize {
@@ -284,11 +336,84 @@ impl Dataflow {
         });
         self.retired.push(false);
         self.inboxes.push(Vec::new());
+        self.schedule_dirty = true;
         self.nodes.len() - 1
     }
 
     fn connect(&mut self, from: usize, to: usize, port: usize) {
         self.nodes[from].succs.push((to, port));
+        self.schedule_dirty = true;
+    }
+
+    /// Rebuilds the level schedule if the graph changed since the last
+    /// build. Runs only between epochs (all inboxes and ready lists
+    /// empty), so no in-flight delivery can reference a stale level.
+    fn ensure_schedule(&mut self) {
+        if !self.schedule_dirty {
+            return;
+        }
+        let Dataflow {
+            nodes,
+            retired,
+            level_of,
+            levels,
+            ready,
+            ..
+        } = self;
+        // Prune dangling edges into retired slots: `retire` severs its own
+        // edges eagerly, but `take_op` tombstones a node in place and
+        // leaves its producers pointing at it. A pruned graph is what
+        // makes "ready ⇒ live" an invariant of the dispatch loop.
+        for node in nodes.iter_mut() {
+            node.succs.retain(|&(succ, _)| !retired[succ]);
+        }
+        // One ascending pass settles every depth: each edge points to a
+        // higher node id, so a producer's level is final when visited.
+        level_of.clear();
+        level_of.resize(nodes.len(), 0);
+        let mut depth = 0usize;
+        for n in 0..nodes.len() {
+            if retired[n] {
+                continue;
+            }
+            let ln = level_of[n];
+            depth = depth.max(ln + 1);
+            for &(succ, _) in &nodes[n].succs {
+                level_of[succ] = level_of[succ].max(ln + 1);
+            }
+        }
+        levels.clear();
+        levels.resize_with(depth, Vec::new);
+        for n in 0..nodes.len() {
+            if !retired[n] {
+                levels[level_of[n]].push(n); // ascending: n is monotonic
+            }
+        }
+        // Ready lists must cover every level; `resize_with` truncates or
+        // extends as needed, carrying existing allocations over.
+        debug_assert!(ready.iter().all(Vec::is_empty), "rebuild between epochs");
+        ready.resize_with(depth, Vec::new);
+        self.schedule_dirty = false;
+    }
+
+    /// Number of levels in the current schedule (the epoch's critical-path
+    /// length in operator rounds).
+    pub fn level_count(&self) -> usize {
+        debug_assert!(!self.schedule_dirty);
+        self.levels.len()
+    }
+
+    /// Live nodes per level, in level order — the schedule's shape. The
+    /// maximum entry bounds how many workers one epoch can occupy at once.
+    pub fn level_widths(&self) -> Vec<usize> {
+        debug_assert!(!self.schedule_dirty);
+        self.levels.iter().map(Vec::len).collect()
+    }
+
+    /// The topological depth of node `n` in the current schedule.
+    pub fn level_of(&self, n: usize) -> usize {
+        debug_assert!(!self.schedule_dirty && !self.retired[n]);
+        self.level_of[n]
     }
 
     /// Pushes one input delta to every WSCAN reading `label` and runs a
@@ -321,6 +446,7 @@ impl Dataflow {
         sink: impl FnMut(usize, &DeltaBatch),
     ) -> usize {
         debug_assert!(self.seeds.is_empty());
+        self.ensure_schedule();
         let mut delivered = 0usize;
         for (label, delta) in epoch {
             let Some(starts) = self.sources.get(&label) else {
@@ -343,16 +469,16 @@ impl Dataflow {
         if delivered == 0 {
             return 0;
         }
-        let mut start = usize::MAX;
         for (n, batch) in self.seeds.drain() {
-            start = start.min(n);
-            self.sweep_end = self.sweep_end.max(n);
+            if self.inboxes[n].is_empty() {
+                self.ready[self.level_of[n]].push(n);
+            }
             self.inboxes[n].push((0, batch.into_shared()));
         }
         self.stats.epochs += 1;
         self.stats.input_deltas += delivered as u64;
         self.stats.max_epoch_input = self.stats.max_epoch_input.max(delivered);
-        self.run_epoch(start, now, sink);
+        self.run_epoch(now, sink);
         delivered
     }
 
@@ -365,10 +491,15 @@ impl Dataflow {
     }
 
     /// Removes and returns node `n`'s operator, leaving a tombstone (used
-    /// to move warmed state out of a throwaway replay dataflow).
+    /// to move warmed state out of a throwaway replay dataflow). The level
+    /// schedule is rebuilt, pruning every edge still pointing at `n`, so a
+    /// later sweep can never enqueue the tombstone.
     pub fn take_op(&mut self, n: usize) -> Box<dyn PhysicalOp> {
         self.retired[n] = true;
-        std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone))
+        self.schedule_dirty = true;
+        let op = std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone));
+        self.ensure_schedule();
+        op
     }
 
     /// Reports `batch` as an emission of `origin` (through `sink`) and
@@ -384,34 +515,32 @@ impl Dataflow {
         if batch.is_empty() {
             return;
         }
+        self.ensure_schedule();
         self.stats.epochs += 1;
-        let start = self.publish(origin, batch, &mut sink);
-        self.run_epoch(start, now, sink);
+        self.publish(origin, batch, &mut sink);
+        self.run_epoch(now, sink);
     }
 
     /// Shares `batch` into every successor inbox of `n` and reports it to
-    /// `sink`. Returns the lowest successor id (`usize::MAX` if none).
-    fn publish(
-        &mut self,
-        n: usize,
-        batch: DeltaBatch,
-        sink: &mut impl FnMut(usize, &DeltaBatch),
-    ) -> usize {
+    /// `sink`. Successors whose inbox was empty join their level's ready
+    /// list (levels are strictly increasing along edges, so a publish
+    /// during the sweep always targets a level not yet reached).
+    fn publish(&mut self, n: usize, batch: DeltaBatch, sink: &mut impl FnMut(usize, &DeltaBatch)) {
         self.stats.deltas_emitted += batch.len() as u64;
         if self.nodes[n].succs.is_empty() {
             sink(n, &batch);
             self.recycle(batch);
-            return usize::MAX;
+            return;
         }
-        let mut start = usize::MAX;
         if self.opts.dispatch == DispatchMode::Tuple {
             // Tuple-at-a-time reference (ablation baseline): one singleton
             // delivery per (delta, successor), each a deep copy — the
             // pre-batching executor's cost model.
             for i in 0..self.nodes[n].succs.len() {
                 let (succ, port) = self.nodes[n].succs[i];
-                start = start.min(succ);
-                self.sweep_end = self.sweep_end.max(succ);
+                if self.inboxes[succ].is_empty() {
+                    self.ready[self.level_of[succ]].push(succ);
+                }
                 for d in batch.iter() {
                     self.inboxes[succ].push((port, DeltaBatch::single(d.clone()).into_shared()));
                     self.stats.fanout_deliveries += 1;
@@ -419,71 +548,187 @@ impl Dataflow {
             }
             sink(n, &batch);
             self.recycle(batch);
-            return start;
+            return;
         }
         let shared = batch.into_shared();
         for i in 0..self.nodes[n].succs.len() {
             let (succ, port) = self.nodes[n].succs[i];
-            start = start.min(succ);
-            self.sweep_end = self.sweep_end.max(succ);
+            if self.inboxes[succ].is_empty() {
+                self.ready[self.level_of[succ]].push(succ);
+            }
             self.inboxes[succ].push((port, shared.clone()));
             self.stats.fanout_deliveries += 1;
         }
         sink(n, &shared);
-        start
     }
 
-    /// The epoch sweep: one ascending pass over the node arena. Every edge
-    /// points to a higher node id (children are lowered before parents), so
-    /// when a node is visited all of its inputs for this epoch are present;
-    /// the node consumes its inbox segments in arrival order, one
-    /// [`PhysicalOp::on_batch`] call each, and publishes a single combined
-    /// output batch that each successor receives by reference.
-    fn run_epoch(
-        &mut self,
-        start: usize,
-        now: Timestamp,
-        mut sink: impl FnMut(usize, &DeltaBatch),
-    ) {
-        let mut n = start;
-        let mut segs = Vec::new();
-        // `sweep_end` tracks the highest id with an unconsumed delivery
-        // (publishes during the sweep only raise it), so the pass covers
-        // exactly the touched range of the arena.
-        while n <= self.sweep_end && n < self.nodes.len() {
-            if self.inboxes[n].is_empty() {
-                n += 1;
+    /// The epoch sweep, driven by the explicit level schedule: levels run
+    /// in depth order, and within a level the ready nodes run in ascending
+    /// node-id order — serially on the calling thread, or (with
+    /// `workers > 1` and at least two ready nodes) on the worker pool.
+    /// Every edge crosses to a strictly higher level, so when a level runs
+    /// all of its inputs for this epoch are present, and nodes within it
+    /// share no data. Each node consumes its inbox segments in arrival
+    /// order, one [`PhysicalOp::on_batch`] call per segment, and publishes
+    /// a single combined output batch that each successor receives by
+    /// reference.
+    ///
+    /// Publication is *always* in ascending node order within the level
+    /// (the pool's merge step re-sorts completions), so inbox arrival
+    /// orders, sink call order, and therefore results are identical at any
+    /// worker count.
+    fn run_epoch(&mut self, now: Timestamp, mut sink: impl FnMut(usize, &DeltaBatch)) {
+        debug_assert!(!self.schedule_dirty);
+        for lvl in 0..self.ready.len() {
+            if self.ready[lvl].is_empty() {
                 continue;
             }
-            std::mem::swap(&mut segs, &mut self.inboxes[n]);
-            let mut out = self.spare.pop().unwrap_or_default();
-            for (port, batch) in segs.drain(..) {
-                self.stats.deltas_dispatched += batch.len() as u64;
-                if self.opts.dispatch == DispatchMode::Tuple {
-                    // Reference executor: one `on_delta` call per tuple
-                    // (inline emissions, no batch-aware inner loops).
-                    self.stats.operator_invocations += batch.len() as u64;
-                    for d in batch.iter() {
-                        self.nodes[n]
-                            .op
-                            .on_delta(port, d.clone(), now, out.as_mut_vec());
-                    }
-                } else {
-                    self.stats.operator_invocations += 1;
-                    self.nodes[n].op.on_batch(port, &batch, now, &mut out);
+            // Level timing only matters when a pool exists to occupy;
+            // the serial hot path (per-tuple `process` sweeps a level per
+            // cascade step) skips the clock reads entirely.
+            let started = (self.opts.workers > 1).then(Instant::now);
+            let mut nodes = std::mem::take(&mut self.ready[lvl]);
+            // Ready order is publish order, not id order; restore the
+            // deterministic schedule order.
+            nodes.sort_unstable();
+            self.stats.levels_run += 1;
+            self.stats.max_level_width = self.stats.max_level_width.max(nodes.len());
+            // The per-tuple ablation keeps its historical serial loop;
+            // trickle levels stay inline (see [`PARALLEL_MIN_DELTAS`]).
+            let parallel = self.opts.workers > 1
+                && nodes.len() > 1
+                && self.opts.dispatch == DispatchMode::Epoch
+                && nodes
+                    .iter()
+                    .flat_map(|&n| self.inboxes[n].iter())
+                    .map(|(_, b)| b.len() as u64)
+                    .sum::<u64>()
+                    >= PARALLEL_MIN_DELTAS;
+            if parallel {
+                self.run_level_parallel(&nodes, now, &mut sink);
+            } else {
+                for &n in &nodes {
+                    self.run_node(n, now, &mut sink);
                 }
+            }
+            if let Some(started) = started {
+                let nanos = started.elapsed().as_nanos() as u64;
+                self.stats.level_nanos += nanos;
+                if parallel {
+                    self.stats.parallel_nanos += nanos;
+                }
+            }
+            nodes.clear();
+            self.ready[lvl] = nodes; // keep the allocation
+        }
+    }
+
+    /// Runs one ready node on the calling thread: consume inbox segments,
+    /// publish the combined output.
+    fn run_node(&mut self, n: usize, now: Timestamp, sink: &mut impl FnMut(usize, &DeltaBatch)) {
+        let mut segs = std::mem::take(&mut self.inboxes[n]);
+        let mut out = self.spare.pop().unwrap_or_default();
+        for (port, batch) in segs.drain(..) {
+            self.stats.deltas_dispatched += batch.len() as u64;
+            if self.opts.dispatch == DispatchMode::Tuple {
+                // Reference executor: one `on_delta` call per tuple
+                // (inline emissions, no batch-aware inner loops).
+                self.stats.operator_invocations += batch.len() as u64;
+                for d in batch.iter() {
+                    self.nodes[n]
+                        .op
+                        .on_delta(port, d.clone(), now, out.as_mut_vec());
+                }
+            } else {
+                self.stats.operator_invocations += 1;
+                self.nodes[n].op.on_batch(port, &batch, now, &mut out);
+            }
+            self.recycle_shared(batch);
+        }
+        self.inboxes[n] = segs; // keep the allocation
+        if out.is_empty() {
+            self.spare.push(out);
+        } else {
+            self.publish(n, out, sink);
+        }
+    }
+
+    /// Runs one level's ready nodes on the worker pool. Each node's
+    /// operator and inbox segments are moved into a job, executed on
+    /// whichever worker picks it up, and merged back — operator restored,
+    /// stats accumulated, output published — in ascending node order, so
+    /// the observable effects are exactly the serial sweep's.
+    fn run_level_parallel(
+        &mut self,
+        nodes: &[usize],
+        now: Timestamp,
+        sink: &mut impl FnMut(usize, &DeltaBatch),
+    ) {
+        let mut jobs = Vec::with_capacity(nodes.len());
+        for (idx, &n) in nodes.iter().enumerate() {
+            debug_assert!(!self.retired[n], "ready nodes are live");
+            jobs.push(LevelJob {
+                idx,
+                node: n,
+                op: std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone)),
+                segs: std::mem::take(&mut self.inboxes[n]),
+                out: self.spare.pop().unwrap_or_default(),
+                now,
+                invocations: 0,
+                dispatched: 0,
+                panic: None,
+            });
+        }
+        self.stats.parallel_levels += 1;
+        self.stats.parallel_node_runs += jobs.len() as u64;
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.opts.workers));
+        }
+        let done = self
+            .pool
+            .as_ref()
+            .expect("pool just ensured")
+            .run_level(jobs);
+        // Merge pass 1: restore every operator and recycle consumed
+        // segments before anything can unwind, so a panicking operator
+        // leaves the arena structurally intact.
+        let mut outs: Vec<(usize, DeltaBatch)> = Vec::with_capacity(done.len());
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for mut job in done {
+            self.nodes[job.node].op = job.op;
+            for (_, batch) in job.segs.drain(..) {
                 self.recycle_shared(batch);
             }
+            self.inboxes[job.node] = job.segs; // keep the allocation
+            self.stats.operator_invocations += job.invocations;
+            self.stats.deltas_dispatched += job.dispatched;
+            if let Some(p) = job.panic.take() {
+                panic.get_or_insert(p);
+            } else {
+                outs.push((job.node, job.out));
+            }
+        }
+        if let Some(p) = panic {
+            // Abandon the epoch cleanly before unwinding: deeper levels
+            // may already hold deliveries (ready lists + inboxes) from
+            // earlier publishes. A host that catches the panic and keeps
+            // the engine must not replay half an epoch into the next one.
+            for lvl in 0..self.ready.len() {
+                for n in std::mem::take(&mut self.ready[lvl]) {
+                    self.inboxes[n].clear();
+                }
+            }
+            std::panic::resume_unwind(p);
+        }
+        // Merge pass 2: publish in ascending node order — `outs` preserves
+        // the ready list's sorted order, so this is the serial order.
+        for (n, out) in outs {
             if out.is_empty() {
                 self.spare.push(out);
             } else {
-                self.publish(n, out, &mut sink);
+                self.publish(n, out, sink);
             }
-            n += 1;
         }
-        // Every delivery at or below `sweep_end` was consumed and inter-
-        // epoch inboxes are empty, so the next epoch starts a fresh range.
-        self.sweep_end = 0;
     }
 
     /// The seed batch under assembly for source `n`, drawing recycled
@@ -598,6 +843,124 @@ mod tests {
         let nodes = flow.nodes_of(&p.expr);
         assert!(nodes.contains(&root));
         assert_eq!(nodes.len(), 3, "two WSCANs and a PATTERN");
+    }
+
+    #[test]
+    fn level_schedule_tracks_topological_depth() {
+        let mut flow = Dataflow::new(EngineOptions::default());
+        let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let root = flow.lower(&p.expr);
+        // Two WSCANs at level 0, the PATTERN above them.
+        assert_eq!(flow.level_count(), 2);
+        assert_eq!(flow.level_widths(), vec![2, 1]);
+        assert_eq!(flow.level_of(root), 1);
+        // A second plan deepens the schedule without disturbing the first:
+        // both WSCANs are shared, its PATH sits above `a`'s WSCAN at level
+        // 1 (beside the first plan's PATTERN), its own PATTERN at level 2.
+        let p2 = plan("Ans(x, y) <- a+(x, m), b(m, y).");
+        let root2 = flow.lower(&p2.expr);
+        assert_eq!(flow.level_count(), 3);
+        assert_eq!(flow.level_widths(), vec![2, 2, 1]);
+        assert_eq!(flow.level_of(root2), 2);
+        assert_eq!(flow.level_of(root), 1, "existing depths unchanged");
+    }
+
+    #[test]
+    fn retire_rebuilds_schedule() {
+        let mut flow = Dataflow::new(EngineOptions::default());
+        let p = plan("Ans(x, y) <- a+(x, m), c(m, y).");
+        let _ = flow.lower(&p.expr);
+        assert_eq!(flow.level_count(), 3);
+        flow.retire(&flow.nodes_of(&p.expr));
+        assert_eq!(flow.level_count(), 0, "no live nodes, no levels");
+        assert_eq!(flow.level_widths(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn take_op_prunes_dangling_successor_edges() {
+        // `take_op` retires a node in place without severing the edges
+        // pointing at it; the schedule rebuild must prune them so the
+        // sweep never enqueues (and dispatches) the tombstone.
+        let mut flow = Dataflow::new(EngineOptions::default());
+        let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let root = flow.lower(&p.expr);
+        let _ = flow.take_op(root);
+        assert!(flow.is_retired(root));
+        for n in 0..flow.len() {
+            if !flow.is_retired(n) {
+                assert!(
+                    !flow.nodes[n].succs.iter().any(|&(s, _)| s == root),
+                    "node {n} still points at the taken root"
+                );
+            }
+        }
+        // The WSCANs survive at level 0 and an ingest completes without
+        // ever delivering to the tombstone.
+        assert_eq!(flow.level_widths(), vec![2]);
+        let a = p.labels.get("a").unwrap();
+        let delivered = flow.ingest(
+            a,
+            Delta::Insert(sgq_types::Sgt::edge(
+                sgq_types::VertexId(1),
+                sgq_types::VertexId(2),
+                a,
+                sgq_types::Interval::new(0, 10),
+            )),
+            0,
+            |n, _| assert_ne!(n, root, "tombstone must not emit"),
+        );
+        assert!(delivered);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_results() {
+        // One shared stream, two window variants: level 0 is two WSCANs
+        // wide, so workers = 3 exercises the pool; outputs must be
+        // bit-identical to the serial sweep (same epoch, same graph).
+        let build = |workers: usize| {
+            let mut flow = Dataflow::new(EngineOptions {
+                workers,
+                ..Default::default()
+            });
+            let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+            let root = flow.lower(&p.expr);
+            (flow, p, root)
+        };
+        let run = |workers: usize| {
+            let (mut flow, p, root) = build(workers);
+            let a = p.labels.get("a").unwrap();
+            let b = p.labels.get("b").unwrap();
+            let mut emitted: Vec<(usize, Delta)> = Vec::new();
+            let epoch: Vec<(Label, Delta)> = (0..40u64)
+                .map(|i| {
+                    let l = if i % 2 == 0 { a } else { b };
+                    (
+                        l,
+                        Delta::Insert(sgq_types::Sgt::edge(
+                            sgq_types::VertexId(i % 5),
+                            sgq_types::VertexId((i + 1) % 5),
+                            l,
+                            sgq_types::Interval::new(0, 10),
+                        )),
+                    )
+                })
+                .collect();
+            flow.ingest_epoch(epoch, 0, |n, batch| {
+                for d in batch.iter() {
+                    emitted.push((n, d.clone()));
+                }
+            });
+            (emitted, root, flow.exec_stats())
+        };
+        let (serial, _, s_stats) = run(1);
+        let (parallel, _, p_stats) = run(3);
+        assert_eq!(serial, parallel, "emission streams must be identical");
+        assert_eq!(
+            s_stats.determinism_fingerprint(),
+            p_stats.determinism_fingerprint()
+        );
+        assert!(p_stats.parallel_levels > 0, "the pool actually ran");
+        assert!(s_stats.parallel_levels == 0, "serial sweep stays serial");
     }
 
     #[test]

@@ -87,6 +87,17 @@ pub struct EngineOptions {
     pub purge_period: Option<u64>,
     /// Executor delivery granularity (see [`DispatchMode`]).
     pub dispatch: DispatchMode,
+    /// Worker threads for the level-scheduled epoch sweep. `1` (the
+    /// default) runs every level on the calling thread — exactly the
+    /// serial executor, preserving the [`DispatchMode::Tuple`] ablation's
+    /// cost model. Values > 1 dispatch each level's ready nodes onto a
+    /// persistent pool of that many threads; per-node outputs are merged
+    /// back in deterministic node order, so **results are identical at
+    /// any worker count** (asserted by the parallel-determinism
+    /// proptests). The default honours the `SGQ_WORKERS` environment
+    /// variable, which is how CI runs the whole suite at several worker
+    /// counts without touching test code.
+    pub workers: usize,
 }
 
 impl Default for EngineOptions {
@@ -98,8 +109,19 @@ impl Default for EngineOptions {
             materialize_paths: true,
             purge_period: None,
             dispatch: DispatchMode::Epoch,
+            workers: default_workers(),
         }
     }
+}
+
+/// The default worker count: `SGQ_WORKERS` when set to a positive integer,
+/// else 1 (serial).
+pub fn default_workers() -> usize {
+    std::env::var("SGQ_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
 }
 
 /// The streaming graph query engine.
@@ -281,9 +303,7 @@ impl Engine {
         );
         flow.ingest_epoch(epoch.drain(..), now, |n, batch| {
             if n == root {
-                for d in batch.iter() {
-                    sink_result(&opts, sink_dedup, results, deleted, d.clone());
-                }
+                sink_batch(&opts, sink_dedup, results, deleted, batch);
             }
         });
     }
@@ -386,9 +406,7 @@ impl Engine {
         );
         flow.purge(watermark, now, due, |n, batch| {
             if n == root {
-                for d in batch.iter() {
-                    sink_result(&opts, sink_dedup, results, deleted, d.clone());
-                }
+                sink_batch(&opts, sink_dedup, results, deleted, batch);
             }
         });
         if due {
@@ -418,9 +436,7 @@ impl Engine {
         );
         flow.ingest(label, delta, now, |n, batch| {
             if n == root {
-                for d in batch.iter() {
-                    sink_result(&opts, sink_dedup, results, deleted, d.clone());
-                }
+                sink_batch(&opts, sink_dedup, results, deleted, batch);
             }
         });
     }
@@ -600,10 +616,108 @@ pub fn answer_at(
         .collect()
 }
 
+/// Delivers a root emission **batch** to an engine-style sink with
+/// epoch-level coalescing: the batch's insertions are grouped by
+/// `(src, trg)` so the per-pair [`IntervalSet`] in `sink_dedup` is looked
+/// up once per distinct pair instead of once per delta — on emission-heavy
+/// path queries most of a root batch shares a handful of pairs, and the
+/// per-emission hash probe is the dominant sink cost.
+///
+/// Semantics match the per-delta [`sink_result`] loop exactly at the data
+/// model's granularity: each pair's deltas are processed in arrival order
+/// (so per-pair coverage, and hence every `answer_at`, is unchanged) and
+/// pairs are processed in ascending-pair order, making the emitted log a
+/// *deterministic* pair-interleaving permutation of the per-delta log with
+/// identical length. Deletions and unsuppressed pipelines take the
+/// per-delta path unchanged (without suppression the dedup table is never
+/// consulted, so there is nothing to amortise).
+pub fn sink_batch(
+    opts: &EngineOptions,
+    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    results: &mut Vec<Sgt>,
+    deleted_results: &mut Vec<Sgt>,
+    batch: &crate::physical::DeltaBatch,
+) {
+    sink_batch_relabel(opts, sink_dedup, results, deleted_results, batch, None);
+}
+
+/// [`sink_batch`] with an optional answer-label rewrite on every accepted
+/// emission. This is the **single** implementation behind both the
+/// single-query engine sink and the multi-query registry's per-subscriber
+/// sinks (which re-tag with each query's answer predicate): shared-host
+/// result logs must stay bit-identical to dedicated engines', so the
+/// grouping gate and delete handling live in exactly one place.
+pub fn sink_batch_relabel(
+    opts: &EngineOptions,
+    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    results: &mut Vec<Sgt>,
+    deleted_results: &mut Vec<Sgt>,
+    batch: &crate::physical::DeltaBatch,
+    relabel: Option<Label>,
+) {
+    let retag = |mut s: Sgt| {
+        if let Some(label) = relabel {
+            s.label = label;
+        }
+        s
+    };
+    if !opts.suppress_duplicates || batch.len() <= 1 {
+        for d in batch.iter() {
+            let d = match d.clone() {
+                Delta::Insert(s) => Delta::Insert(retag(s)),
+                Delta::Delete(s) => Delta::Delete(retag(s)),
+            };
+            sink_result(opts, sink_dedup, results, deleted_results, d);
+        }
+        return;
+    }
+    for s in batch.deletes() {
+        deleted_results.push(retag(s.clone()));
+    }
+    sink_inserts_grouped(sink_dedup, results, batch.inserts(), relabel);
+}
+
+/// The grouped-insert core of [`sink_batch`]: one dedup-table probe per
+/// distinct `(src, trg)` pair. A **stable** sort arranges the batch into
+/// per-pair runs — pairs in ascending order, each pair's deltas in
+/// arrival order, so per-pair coverage (and every `answer_at`) is exactly
+/// the per-delta path's, and the emitted order is deterministic. One
+/// scratch `Vec` of references is the only allocation. When `relabel` is
+/// set, accepted results carry that label (multi-query hosts re-tag
+/// emissions with each subscriber's answer predicate).
+pub fn sink_inserts_grouped<'a>(
+    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    results: &mut Vec<Sgt>,
+    inserts: impl Iterator<Item = &'a Sgt>,
+    relabel: Option<Label>,
+) {
+    let mut ordered: Vec<&Sgt> = inserts.collect();
+    ordered.sort_by_key(|s| (s.src, s.trg)); // stable: arrival order kept
+    let mut i = 0;
+    while i < ordered.len() {
+        let key = (ordered[i].src, ordered[i].trg);
+        let set = sink_dedup.entry(key).or_default();
+        while i < ordered.len() && (ordered[i].src, ordered[i].trg) == key {
+            let s = ordered[i];
+            i += 1;
+            if set.covers(&s.interval) {
+                continue;
+            }
+            let mut s = s.clone();
+            s.interval = set.insert(s.interval).expect("non-empty");
+            if let Some(label) = relabel {
+                s.label = label;
+            }
+            results.push(s);
+        }
+    }
+}
+
 /// Delivers a root emission to an engine-style sink: per-pair interval
 /// coalescing under duplicate suppression, separate insert/delete logs.
 /// Shared by [`Engine`] and reusable by multi-query hosts (which keep one
-/// such sink per registered query).
+/// such sink per registered query). [`sink_batch`] is the batch-at-a-time
+/// form with per-pair grouping.
 pub fn sink_result(
     opts: &EngineOptions,
     sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,

@@ -60,6 +60,7 @@ pub mod metrics;
 pub mod optimizer;
 pub mod physical;
 pub mod planner;
+pub(crate) mod pool;
 pub mod rewrite;
 
 pub use algebra::{FilterPred, Pos, SgaExpr, Side};

@@ -27,6 +27,26 @@ pub struct ExecStats {
     pub fanout_deliveries: u64,
     /// Largest single epoch seeded, in input deltas.
     pub max_epoch_input: usize,
+    /// Schedule levels executed (levels with at least one ready node).
+    /// Deterministic: identical across worker counts.
+    pub levels_run: u64,
+    /// Widest level executed, in ready nodes — the upper bound on how many
+    /// workers one level can occupy. Deterministic across worker counts.
+    pub max_level_width: usize,
+    /// Levels whose ready nodes were dispatched onto the worker pool
+    /// (workers > 1 and ≥ 2 ready nodes). **Not** part of the determinism
+    /// contract — it depends on `EngineOptions::workers`.
+    pub parallel_levels: u64,
+    /// Operator runs executed on worker-pool threads (worker occupancy
+    /// numerator). Not part of the determinism contract.
+    pub parallel_node_runs: u64,
+    /// Wall-clock nanoseconds spent executing schedule levels across all
+    /// epochs — collected only when `workers > 1` (the serial hot path
+    /// skips the clock reads). Timing, never deterministic.
+    pub level_nanos: u64,
+    /// Wall-clock nanoseconds of `level_nanos` spent in pool-dispatched
+    /// levels. Timing, never deterministic.
+    pub parallel_nanos: u64,
 }
 
 impl ExecStats {
@@ -46,6 +66,42 @@ impl ExecStats {
             return 0.0;
         }
         self.input_deltas as f64 / self.epochs as f64
+    }
+
+    /// Mean ready nodes per pool-dispatched level — the parallelism the
+    /// schedule actually exposed when the pool was used.
+    pub fn mean_parallel_width(&self) -> f64 {
+        if self.parallel_levels == 0 {
+            return 0.0;
+        }
+        self.parallel_node_runs as f64 / self.parallel_levels as f64
+    }
+
+    /// Fraction of `workers` slots a pool-dispatched level kept busy on
+    /// average (`mean_parallel_width / workers`, capped at 1.0).
+    pub fn worker_occupancy(&self, workers: usize) -> f64 {
+        if workers == 0 {
+            return 0.0;
+        }
+        (self.mean_parallel_width() / workers as f64).min(1.0)
+    }
+
+    /// The counters guaranteed identical across worker counts for the same
+    /// input — what the parallel-determinism tests compare. Excludes the
+    /// pool-shape counters (`parallel_*`) and wall-clock timings, which
+    /// legitimately vary with `EngineOptions::workers`.
+    pub fn determinism_fingerprint(&self) -> [u64; 9] {
+        [
+            self.epochs,
+            self.input_deltas,
+            self.operator_invocations,
+            self.deltas_dispatched,
+            self.deltas_emitted,
+            self.fanout_deliveries,
+            self.max_epoch_input as u64,
+            self.levels_run,
+            self.max_level_width as u64,
+        ]
     }
 }
 
@@ -120,6 +176,30 @@ mod tests {
         let zero = ExecStats::default();
         assert_eq!(zero.deltas_per_invocation(), 0.0);
         assert_eq!(zero.mean_epoch_input(), 0.0);
+    }
+
+    #[test]
+    fn parallel_ratios_and_fingerprint() {
+        let s = ExecStats {
+            epochs: 4,
+            parallel_levels: 5,
+            parallel_node_runs: 15,
+            parallel_nanos: 1_000,
+            level_nanos: 2_000,
+            ..Default::default()
+        };
+        assert!((s.mean_parallel_width() - 3.0).abs() < 1e-9);
+        assert!((s.worker_occupancy(4) - 0.75).abs() < 1e-9);
+        assert_eq!(s.worker_occupancy(0), 0.0);
+        assert_eq!(ExecStats::default().mean_parallel_width(), 0.0);
+        // Pool shape and timings are excluded from the fingerprint: two
+        // runs differing only in worker count fingerprint identically.
+        let mut t = s;
+        t.parallel_levels = 0;
+        t.parallel_node_runs = 0;
+        t.parallel_nanos = 0;
+        t.level_nanos = 999;
+        assert_eq!(s.determinism_fingerprint(), t.determinism_fingerprint());
     }
 
     #[test]

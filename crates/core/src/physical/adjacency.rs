@@ -9,6 +9,9 @@
 
 use sgq_types::{FxHashMap, Interval, Label, Timestamp, VertexId};
 
+// Send audit: PATH-operator window state (owned hash maps of Copy entries).
+const _: () = super::assert_send::<Adjacency>();
+
 /// One stored edge occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdjEntry {

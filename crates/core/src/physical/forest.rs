@@ -12,6 +12,11 @@
 use sgq_automata::StateId;
 use sgq_types::{Edge, FxHashMap, FxHashSet, Interval, PathSeq, Timestamp, VertexId};
 
+// Send audit: the forest arena is PATH-operator state and travels with its
+// operator onto worker-pool threads. `PathSeq` payloads are `Arc`-shared
+// (`Send + Sync`), tree/node links are plain indexes.
+const _: () = super::assert_send::<Forest>();
+
 /// Index of a node inside its tree's arena.
 pub type NodeIdx = u32;
 

@@ -22,6 +22,12 @@ use sgq_types::Timestamp;
 
 pub use sgq_types::{Delta, DeltaBatch, SharedDeltaBatch};
 
+/// Compile-time `Send` audit: each operator (and state-holding helper)
+/// module invokes this next to its type definitions, so a non-`Send` field
+/// sneaking into operator state fails the build at the definition site
+/// instead of deep inside the executor's worker-pool dispatch.
+pub(crate) const fn assert_send<T: Send>() {}
+
 /// A push-based physical operator.
 ///
 /// The executor is **epoch-batched**: the scheduler accumulates each
@@ -39,7 +45,16 @@ pub use sgq_types::{Delta, DeltaBatch, SharedDeltaBatch};
 /// `on_batch` adapts it, so a tuple-at-a-time operator participates in
 /// batched epochs unchanged (and batch-aware operators stay reviewable
 /// against their per-tuple form).
-pub trait PhysicalOp {
+///
+/// Operators are **`Send`**: the executor's level-scheduled sweep may move
+/// an operator (with all of its state — S-PATH forests, hash-join tables,
+/// WCOJ buffers) onto a worker-pool thread for the duration of one level
+/// and back. No operator state is shared between threads — each node is
+/// owned by exactly one thread at a time, and input batches cross the
+/// boundary as `Arc`-shared immutable [`DeltaBatch`]es — so `Sync` is not
+/// required. Every operator in this module asserts `Send` at compile time
+/// next to its definition (the audit the parallel executor relies on).
+pub trait PhysicalOp: Send {
     /// Operator name for plan display and metrics.
     fn name(&self) -> String;
 

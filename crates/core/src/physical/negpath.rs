@@ -22,6 +22,9 @@ use super::{Delta, PhysicalOp};
 use sgq_automata::{Dfa, Regex, StateId};
 use sgq_types::{Edge, Interval, Label, Payload, Sgt, Timestamp, VertexId};
 
+// Send audit: Δ-tree forests, adjacency, and the reverse DFA are owned.
+const _: () = super::assert_send::<NegPathOp>();
+
 /// The negative-tuple PATH physical operator.
 pub struct NegPathOp {
     dfa: Dfa,

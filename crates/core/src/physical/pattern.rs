@@ -18,6 +18,10 @@ use super::{Delta, DeltaBatch, PhysicalOp};
 use crate::algebra::{Pos, Side};
 use sgq_types::{Edge, FxHashMap, Interval, IntervalSet, Label, Payload, Sgt, Timestamp, VertexId};
 
+// Send audit: the symmetric-hash-join stage tables and emission dedup
+// state are owned; sgt payloads inside them are `Arc`-shared.
+const _: () = super::assert_send::<PatternOp>();
+
 /// A variable equivalence class (dense id).
 pub type VarId = u32;
 
@@ -364,16 +368,29 @@ impl PatternOp {
                 j += 1;
             }
             let other_bucket = other.map.get(&keys[order[i]]).map(Vec::as_slice);
-            let own_bucket = own
-                .map
-                .entry(std::mem::take(&mut keys[order[i]]))
-                .or_default();
+            // Delete-only groups must not materialise an own-side bucket:
+            // a retraction for a binding this side never stored is a no-op
+            // there (matching the per-tuple `Table::remove`), not an empty
+            // bucket that lingers until the next amortised purge. They
+            // still probe the other side for their negative join results.
+            let has_insert = order[i..j].iter().any(|&w_idx| !works[w_idx].delete);
+            let mut own_bucket = if has_insert {
+                Some(
+                    own.map
+                        .entry(std::mem::take(&mut keys[order[i]]))
+                        .or_default(),
+                )
+            } else {
+                own.map.get_mut(&keys[order[i]])
+            };
             for &w_idx in &order[i..j] {
                 let w = &works[w_idx];
                 if w.delete {
-                    Table::bucket_remove(own_bucket, &w.vals, w.iv);
+                    if let Some(bucket) = own_bucket.as_deref_mut() {
+                        Table::bucket_remove(bucket, &w.vals, w.iv);
+                    }
                 } else if Table::bucket_insert(
-                    own_bucket,
+                    own_bucket.as_mut().expect("insert groups own a bucket"),
                     &mut own.entries,
                     &w.vals,
                     w.iv,

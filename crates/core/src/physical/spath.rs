@@ -20,6 +20,10 @@ use super::{Delta, DeltaBatch, PhysicalOp};
 use sgq_automata::{Dfa, Regex, StateId};
 use sgq_types::{Edge, FxHashSet, Interval, Label, Payload, Sgt, Timestamp, VertexId};
 
+// Send audit: S-PATH state is the DFA, the label-indexed adjacency, and
+// the Δ-PATH spanning forests — all owned, no interior sharing.
+const _: () = super::assert_send::<SPathOp>();
+
 /// The S-PATH physical operator for `P^d_R`.
 pub struct SPathOp {
     dfa: Dfa,

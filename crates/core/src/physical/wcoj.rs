@@ -26,6 +26,10 @@ use super::pattern::CompiledPattern;
 use super::{Delta, DeltaBatch, PhysicalOp};
 use sgq_types::{Edge, FxHashMap, Interval, IntervalSet, Payload, Sgt, Timestamp, VertexId};
 
+// Send audit: WCOJ state is the per-port adjacency indexes, the emission
+// dedup table, and reusable enumeration buffers — all owned.
+const _: () = super::assert_send::<WcojPatternOp>();
+
 /// One port's windowed edge index: forward (`src → (trg, validity)`) and
 /// reverse (`trg → (src, validity)`) adjacency with full [`IntervalSet`]s,
 /// mirroring the hash-join [`Table`](super::pattern) state exactly so the

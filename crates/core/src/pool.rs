@@ -1,0 +1,154 @@
+//! A small persistent worker pool for the level-scheduled epoch sweep.
+//!
+//! The dataflow executor ([`crate::dataflow::Dataflow`]) processes an
+//! epoch level by level; nodes inside one level never exchange data, so
+//! their operator runs are embarrassingly parallel. This module provides
+//! the thread machinery: a fixed set of `std` threads consuming
+//! [`LevelJob`]s from one shared queue and handing them back on a
+//! completion channel. Threads are spawned once — lazily, on the first
+//! level wide enough to dispatch — and live until the owning dataflow is
+//! dropped, so the per-level cost is a channel round-trip, not a thread
+//! spawn. No external dependencies: `std::sync::mpsc` plus a mutex-guarded
+//! receiver is the whole scheduler.
+//!
+//! Determinism is the caller's contract, and the pool is designed not to
+//! break it: a job carries everything its node needs (the operator, moved
+//! out of the arena for the level; the consumed inbox segments; an output
+//! buffer), workers never touch shared executor state, and the caller
+//! merges completed jobs back in ascending node order regardless of which
+//! worker finished first. Completion *order* is the only nondeterministic
+//! thing here, and it is erased by the indexed merge.
+
+use crate::physical::{DeltaBatch, PhysicalOp, SharedDeltaBatch};
+use sgq_types::Timestamp;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One node's work for the current level, shipped to a worker thread and
+/// back. The operator travels *with* the job — each node is owned by
+/// exactly one thread at a time, which is why [`PhysicalOp`] requires
+/// `Send` but not `Sync`.
+pub(crate) struct LevelJob {
+    /// Slot in the level's ready list (ascending node order); the merge
+    /// step uses it to erase completion-order nondeterminism.
+    pub idx: usize,
+    /// Node id in the dataflow arena.
+    pub node: usize,
+    /// The operator, moved out of its arena slot for the level.
+    pub op: Box<dyn PhysicalOp>,
+    /// The node's inbox segments for this epoch, in arrival order. Kept
+    /// (emptied of meaning, not allocation) for the caller to recycle.
+    pub segs: Vec<(usize, SharedDeltaBatch)>,
+    /// Output buffer, drawn from the caller's recycling pool.
+    pub out: DeltaBatch,
+    /// The epoch's opening event-time watermark.
+    pub now: Timestamp,
+    /// `on_batch` calls performed (merged into `ExecStats`).
+    pub invocations: u64,
+    /// Deltas handed to the operator (merged into `ExecStats`).
+    pub dispatched: u64,
+    /// A panic the operator raised on the worker thread, carried back so
+    /// the caller can resume it on the executor thread.
+    pub panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl LevelJob {
+    /// Runs the operator over its segments — on whichever thread owns the
+    /// job — filling `out` and the stats counters. An operator panic is
+    /// captured into `self.panic` instead of unwinding the worker.
+    pub fn run(&mut self) {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            for (port, batch) in &self.segs {
+                self.dispatched += batch.len() as u64;
+                self.invocations += 1;
+                self.op.on_batch(*port, batch, self.now, &mut self.out);
+            }
+        }));
+        if let Err(payload) = result {
+            self.panic = Some(payload);
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads executing [`LevelJob`]s.
+pub(crate) struct WorkerPool {
+    /// `Some` while the pool accepts work; taken on drop to close the
+    /// queue and let workers drain out.
+    job_tx: Option<Sender<LevelJob>>,
+    done_rx: Receiver<LevelJob>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads blocked on an empty job queue.
+    pub fn new(workers: usize) -> WorkerPool {
+        let (job_tx, job_rx) = channel::<LevelJob>();
+        let (done_tx, done_rx) = channel::<LevelJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sgq-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the dequeue, never
+                        // for the operator run, so idle workers can grab
+                        // the next job while this one computes.
+                        let job = { job_rx.lock().expect("job queue lock").recv() };
+                        match job {
+                            Ok(mut job) => {
+                                job.run();
+                                if done_tx.send(job).is_err() {
+                                    return; // pool dropped mid-flight
+                                }
+                            }
+                            Err(_) => return, // queue closed: shut down
+                        }
+                    })
+                    .expect("spawn sgq worker thread")
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Dispatches one level's jobs and blocks until every one completed,
+    /// returning them ordered by their `idx` slot (ascending node order)
+    /// — completion order never leaks to the caller.
+    pub fn run_level(&self, jobs: Vec<LevelJob>) -> Vec<LevelJob> {
+        let n = jobs.len();
+        let tx = self.job_tx.as_ref().expect("pool is live until drop");
+        let mut done: Vec<Option<LevelJob>> = Vec::new();
+        done.resize_with(n, || None);
+        for job in jobs {
+            tx.send(job).expect("worker threads outlive the pool");
+        }
+        for _ in 0..n {
+            let job = self
+                .done_rx
+                .recv()
+                .expect("worker threads outlive the pool");
+            let slot = job.idx;
+            debug_assert!(done[slot].is_none(), "duplicate completion slot");
+            done[slot] = Some(job);
+        }
+        done.into_iter()
+            .map(|j| j.expect("every dispatched job completes"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.job_tx.take(); // close the queue: workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::canon::Canonicalizer;
 pub use crate::registry::QueryId;
-use crate::registry::{input_delta, purge_dedup, Registration, Registry};
+use crate::registry::{input_delta, purge_dedup, Emissions, Registration, Registry};
 use sgq_core::algebra::SgaExpr;
 use sgq_core::dataflow::Dataflow;
 use sgq_core::engine::answer_at;
@@ -48,6 +48,15 @@ pub struct MultiQueryEngine {
     /// large-window query may come back), raised further by
     /// [`MultiQueryEngine::set_retention_horizon`].
     retention_horizon: u64,
+}
+
+/// Borrowed `process`-style collectors: newly accepted `(QueryId, Sgt)`
+/// insert and delete pairs. `None` throughout the drain-only paths.
+type Collectors<'a> = (&'a mut Emissions, &'a mut Emissions);
+
+/// Reborrows optional collectors for one more call without consuming them.
+fn reborrow<'b>(c: &'b mut Option<Collectors<'_>>) -> Option<Collectors<'b>> {
+    c.as_mut().map(|c| (&mut *c.0, &mut *c.1))
 }
 
 impl Default for MultiQueryEngine {
@@ -235,10 +244,37 @@ impl MultiQueryEngine {
     pub fn process(&mut self, sge: Sge) -> Vec<(QueryId, Sgt)> {
         let mut inserts = Vec::new();
         let mut deletes = Vec::new();
-        self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+        self.advance_time_into(sge.t, Some((&mut inserts, &mut deletes)));
         self.retain_input(sge, None);
-        self.ingest(sge.label, input_delta(sge), &mut inserts, &mut deletes);
+        self.ingest_delta(
+            sge.label,
+            input_delta(sge),
+            Some((&mut inserts, &mut deletes)),
+        );
         inserts
+    }
+
+    /// Drain-only ingestion of one arriving sge: semantically
+    /// [`MultiQueryEngine::process`], but **no** `(QueryId, Sgt)` return
+    /// pairs are built — emissions land only in the per-query logs, to be
+    /// read through the [`drain`](MultiQueryEngine::drain) cursor (or the
+    /// [`results`](MultiQueryEngine::results) /
+    /// [`answer_at`](MultiQueryEngine::answer_at) views). This is the
+    /// low-overhead path for subscription-style hosts: `process`'s
+    /// per-call pair collection (a clone per emission plus a `Vec` per
+    /// call) is the bulk of the host tax at small fleet sizes, and a
+    /// caller that drains per slide — not per tuple — never looks at it.
+    pub fn ingest(&mut self, sge: Sge) {
+        self.advance_time_into(sge.t, None);
+        self.retain_input(sge, None);
+        self.ingest_delta(sge.label, input_delta(sge), None);
+    }
+
+    /// Drain-only batch ingestion: [`MultiQueryEngine::process_batch`]
+    /// without the `(QueryId, Sgt)` pair building (see
+    /// [`MultiQueryEngine::ingest`]). The batch must be timestamp-ordered.
+    pub fn ingest_batch(&mut self, batch: &[Sge]) {
+        self.process_batch_collect(batch, None);
     }
 
     /// Processes one sge carrying edge properties (attribute predicates in
@@ -251,13 +287,13 @@ impl MultiQueryEngine {
         let props = std::sync::Arc::new(props);
         let mut inserts = Vec::new();
         let mut deletes = Vec::new();
-        self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+        self.advance_time_into(sge.t, Some((&mut inserts, &mut deletes)));
         self.retain_input(sge, Some(props.clone()));
         let delta = match input_delta(sge) {
             Delta::Insert(s) => Delta::Insert(s.with_props(props)),
             d => d,
         };
-        self.ingest(sge.label, delta, &mut inserts, &mut deletes);
+        self.ingest_delta(sge.label, delta, Some((&mut inserts, &mut deletes)));
         inserts
     }
 
@@ -268,15 +304,23 @@ impl MultiQueryEngine {
     /// host tick period are pre-coalesced at the ingestion boundary; with
     /// suppression off every arrival is delivered.
     pub fn process_batch(&mut self, batch: &[Sge]) -> Vec<(QueryId, Sgt)> {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        self.process_batch_collect(batch, Some((&mut inserts, &mut deletes)));
+        inserts
+    }
+
+    /// The batch-ingestion loop behind [`MultiQueryEngine::process_batch`]
+    /// (collectors given) and [`MultiQueryEngine::ingest_batch`]
+    /// (drain-only, `None`).
+    fn process_batch_collect(&mut self, batch: &[Sge], mut collect: Option<Collectors<'_>>) {
         let Some(&last) = batch.last() else {
-            return Vec::new();
+            return;
         };
         debug_assert!(
             batch.windows(2).all(|w| w[0].t <= w[1].t),
             "batches are stream segments (ordered by timestamp)"
         );
-        let mut inserts = Vec::new();
-        let mut deletes = Vec::new();
         let mut seen: FxHashMap<(VertexId, VertexId, Label), Timestamp> = FxHashMap::default();
         let mut epoch: Vec<(Label, Delta)> = Vec::new();
         for &sge in batch {
@@ -297,14 +341,13 @@ impl MultiQueryEngine {
                 Some(b) => sge.t >= b,
             };
             if crosses {
-                self.flush_epoch(&mut epoch, &mut inserts, &mut deletes);
-                self.advance_time_into(sge.t, &mut inserts, &mut deletes);
+                self.flush_epoch(&mut epoch, reborrow(&mut collect));
+                self.advance_time_into(sge.t, reborrow(&mut collect));
             }
             epoch.push((sge.label, input_delta(sge)));
         }
-        self.flush_epoch(&mut epoch, &mut inserts, &mut deletes);
-        self.advance_time_into(last.t, &mut inserts, &mut deletes);
-        inserts
+        self.flush_epoch(&mut epoch, reborrow(&mut collect));
+        self.advance_time_into(last.t, reborrow(&mut collect));
     }
 
     /// Explicitly deletes a previously inserted sge for every registered
@@ -321,7 +364,7 @@ impl MultiQueryEngine {
             Delta::Insert(s) => Delta::Delete(s),
             d => d,
         };
-        self.ingest(sge.label, delta, &mut inserts, &mut deletes);
+        self.ingest_delta(sge.label, delta, Some((&mut inserts, &mut deletes)));
         deletes
     }
 
@@ -329,17 +372,13 @@ impl MultiQueryEngine {
     /// boundary (the gcd of all registered queries' ticks, so every
     /// query's window-expiry points are hit).
     pub fn advance_time(&mut self, t: Timestamp) {
-        let mut inserts = Vec::new();
-        let mut deletes = Vec::new();
-        self.advance_time_into(t, &mut inserts, &mut deletes);
+        self.advance_time_into(t, None);
     }
 
     /// Purges expired operator and sink state at `watermark`, with the
     /// same timely/amortised split as the single-query engine.
     pub fn purge(&mut self, watermark: Timestamp) {
-        let mut inserts = Vec::new();
-        let mut deletes = Vec::new();
-        self.purge_into(watermark, &mut inserts, &mut deletes);
+        self.purge_into(watermark, None);
     }
 
     /// Forces physical reclamation of all expired operator state.
@@ -383,17 +422,11 @@ impl MultiQueryEngine {
     // Internals
     // ------------------------------------------------------------------
 
-    fn ingest(
-        &mut self,
-        label: Label,
-        delta: Delta,
-        inserts: &mut Vec<(QueryId, Sgt)>,
-        deletes: &mut Vec<(QueryId, Sgt)>,
-    ) {
+    fn ingest_delta(&mut self, label: Label, delta: Delta, mut collect: Option<Collectors<'_>>) {
         let (opts, now) = (self.opts, self.now);
         let MultiQueryEngine { flow, registry, .. } = self;
         flow.ingest(label, delta, now, |n, batch| {
-            registry.route_batch(n, batch, &opts, inserts, deletes);
+            registry.route_batch(n, batch, &opts, reborrow(&mut collect));
         });
     }
 
@@ -402,8 +435,7 @@ impl MultiQueryEngine {
     fn flush_epoch(
         &mut self,
         epoch: &mut Vec<(Label, Delta)>,
-        inserts: &mut Vec<(QueryId, Sgt)>,
-        deletes: &mut Vec<(QueryId, Sgt)>,
+        mut collect: Option<Collectors<'_>>,
     ) {
         if epoch.is_empty() {
             return;
@@ -411,7 +443,7 @@ impl MultiQueryEngine {
         let (opts, now) = (self.opts, self.now);
         let MultiQueryEngine { flow, registry, .. } = self;
         flow.ingest_epoch(epoch.drain(..), now, |n, batch| {
-            registry.route_batch(n, batch, &opts, inserts, deletes);
+            registry.route_batch(n, batch, &opts, reborrow(&mut collect));
         });
     }
 
@@ -420,12 +452,7 @@ impl MultiQueryEngine {
         self.flow.exec_stats()
     }
 
-    fn advance_time_into(
-        &mut self,
-        t: Timestamp,
-        inserts: &mut Vec<(QueryId, Sgt)>,
-        deletes: &mut Vec<(QueryId, Sgt)>,
-    ) {
+    fn advance_time_into(&mut self, t: Timestamp, mut collect: Option<Collectors<'_>>) {
         debug_assert!(t >= self.now, "streams are ordered by timestamp");
         match self.next_boundary {
             None => {
@@ -433,7 +460,7 @@ impl MultiQueryEngine {
             }
             Some(mut b) => {
                 while t >= b {
-                    self.purge_into(b, inserts, deletes);
+                    self.purge_into(b, reborrow(&mut collect));
                     b += self.slide;
                 }
                 self.next_boundary = Some(b);
@@ -443,12 +470,7 @@ impl MultiQueryEngine {
         self.prune_retained();
     }
 
-    fn purge_into(
-        &mut self,
-        watermark: Timestamp,
-        inserts: &mut Vec<(QueryId, Sgt)>,
-        deletes: &mut Vec<(QueryId, Sgt)>,
-    ) {
+    fn purge_into(&mut self, watermark: Timestamp, mut collect: Option<Collectors<'_>>) {
         let due = match self.last_physical_purge {
             None => true,
             Some(last) => watermark.saturating_sub(last) >= self.purge_period,
@@ -456,7 +478,7 @@ impl MultiQueryEngine {
         let (opts, now) = (self.opts, self.now);
         let MultiQueryEngine { flow, registry, .. } = self;
         flow.purge(watermark, now, due, |n, batch| {
-            registry.route_batch(n, batch, &opts, inserts, deletes);
+            registry.route_batch(n, batch, &opts, reborrow(&mut collect));
         });
         if due {
             self.last_physical_purge = Some(watermark);
@@ -539,7 +561,9 @@ impl MultiQueryEngine {
         }
         let expr = reg.expr.clone();
         let (opts, now) = (self.opts, self.now);
-        let mut replay = Dataflow::new(opts);
+        // Replay serially: determinism makes any worker count equivalent,
+        // and a throwaway one-shot dataflow should not spawn a pool.
+        let mut replay = Dataflow::new(EngineOptions { workers: 1, ..opts });
         let replay_root = replay.lower(&expr);
         {
             // The whole retained window replays as one epoch (dedicated

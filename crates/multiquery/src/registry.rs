@@ -2,7 +2,7 @@
 //! refcounts, and root subscriptions.
 
 use sgq_core::algebra::SgaExpr;
-use sgq_core::engine::{sink_result, EngineOptions};
+use sgq_core::engine::{sink_batch_relabel, sink_result, EngineOptions};
 use sgq_core::physical::{Delta, DeltaBatch};
 use sgq_types::{FxHashMap, FxHashSet, Interval, IntervalSet, Label, Sgt, Timestamp, VertexId};
 
@@ -123,28 +123,47 @@ impl Registry {
     }
 
     /// Routes an emission batch of `node` to every subscribed query's
-    /// sink, re-labelling to each query's answer tag. Newly accepted
-    /// inserts and deletes are appended to `inserts` / `deletes` (for
-    /// `process`-style return values).
+    /// sink, re-labelling to each query's answer tag, with epoch-level
+    /// coalescing: the batch's insertions are grouped by `(src, trg)` so
+    /// each subscriber's dedup table is probed once per distinct pair.
+    /// This *is* `sgq_core::engine::sink_batch` (via its relabelling
+    /// form), so shared-host result logs are bit-identical to dedicated
+    /// engines' by construction.
     ///
     /// The subscription lookup happens once per **batch**, not per delta —
     /// with the epoch-batched executor, non-subscribed (internal) nodes
-    /// cost one hash probe per epoch.
+    /// cost one array load per epoch. When `collect` is given, newly
+    /// accepted inserts/deletes are appended as `(QueryId, Sgt)` pairs
+    /// (for `process`-style return values); the drain-only ingestion path
+    /// passes `None` and skips the pair building entirely.
     pub fn route_batch(
         &mut self,
         node: usize,
         batch: &DeltaBatch,
         opts: &EngineOptions,
-        inserts: &mut Vec<(QueryId, Sgt)>,
-        deletes: &mut Vec<(QueryId, Sgt)>,
+        mut collect: Option<(&mut Emissions, &mut Emissions)>,
     ) {
         let Some(subscribers) = self.subs.get(node) else {
             return;
         };
         for &q in subscribers {
             let reg = self.entries.get_mut(&q).expect("subscribed query exists");
-            for d in batch.iter() {
-                sink_one(reg, d.clone(), opts, Some((QueryId(q), inserts, deletes)));
+            let (before_ins, before_del) = (reg.results.len(), reg.deleted.len());
+            sink_batch_relabel(
+                opts,
+                &mut reg.dedup,
+                &mut reg.results,
+                &mut reg.deleted,
+                batch,
+                Some(reg.answer),
+            );
+            if let Some((inserts, deletes)) = collect.as_mut() {
+                for s in &reg.results[before_ins..] {
+                    inserts.push((QueryId(q), s.clone()));
+                }
+                for s in &reg.deleted[before_del..] {
+                    deletes.push((QueryId(q), s.clone()));
+                }
             }
         }
     }
@@ -153,7 +172,7 @@ impl Registry {
     /// catch-up: other subscribers of the node already saw this history).
     pub fn sink_to(&mut self, id: QueryId, delta: Delta, opts: &EngineOptions) {
         if let Some(reg) = self.entries.get_mut(&id.0) {
-            sink_one(reg, delta, opts, None);
+            sink_one(reg, delta, opts);
         }
     }
 
@@ -199,12 +218,7 @@ impl Registry {
 /// `MultiQueryEngine::process`-family methods.
 pub(crate) type Emissions = Vec<(QueryId, Sgt)>;
 
-fn sink_one(
-    reg: &mut Registration,
-    delta: Delta,
-    opts: &EngineOptions,
-    collect: Option<(QueryId, &mut Emissions, &mut Emissions)>,
-) {
+fn sink_one(reg: &mut Registration, delta: Delta, opts: &EngineOptions) {
     let tagged = match delta {
         Delta::Insert(mut s) => {
             s.label = reg.answer;
@@ -215,7 +229,6 @@ fn sink_one(
             Delta::Delete(s)
         }
     };
-    let (before_ins, before_del) = (reg.results.len(), reg.deleted.len());
     sink_result(
         opts,
         &mut reg.dedup,
@@ -223,14 +236,6 @@ fn sink_one(
         &mut reg.deleted,
         tagged,
     );
-    if let Some((id, inserts, deletes)) = collect {
-        if reg.results.len() > before_ins {
-            inserts.push((id, reg.results.last().expect("just pushed").clone()));
-        }
-        if reg.deleted.len() > before_del {
-            deletes.push((id, reg.deleted.last().expect("just pushed").clone()));
-        }
-    }
 }
 
 /// Purges expired sink-dedup intervals (mirrors the single-query engine's

@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! cargo run --example multiquery
+//! SGQ_WORKERS=4 cargo run --example multiquery   # parallel epoch sweep
 //! ```
 
 use s_graffito::prelude::*;
 
 fn main() {
     let window = WindowSpec::sliding(24);
-    let mut host = MultiQueryEngine::new();
+    // `EngineOptions::workers` (default: the `SGQ_WORKERS` environment
+    // variable, else 1) runs each schedule level's ready operators on a
+    // worker pool. Results are identical at any setting — parallelism is
+    // an executor property, not a semantic one.
+    let opts = EngineOptions::default();
+    let mut host = MultiQueryEngine::with_options(opts);
+    println!("epoch sweep workers: {}", opts.workers);
 
     // Alice watches who can reach whom through follows chains.
     let alice = host.register(&SgqQuery::new(
@@ -59,7 +66,15 @@ fn main() {
         }
     }
 
-    // Each query drains its own subscription independently.
+    // High-throughput feeds skip `process`'s per-call (QueryId, Sgt) pair
+    // building entirely: drain-only ingestion, then a cursor per
+    // subscription whenever the consumer actually wants results.
+    host.ingest_batch(&[Sge::raw(9, 1, follows, 8), Sge::raw(3, 4, posts, 9)]);
+    for (q, who) in [(alice, "alice"), (bob, "bob")] {
+        println!("{who} drains {} results", host.drain(q).len());
+    }
+
+    // Each query keeps its full emission log independently.
     println!(
         "\nalice has {} results, bob has {}",
         host.results(alice).len(),

@@ -97,6 +97,13 @@ fn opts(with_deletes: bool) -> EngineOptions {
     }
 }
 
+fn opts_workers(with_deletes: bool, workers: usize) -> EngineOptions {
+    EngineOptions {
+        workers,
+        ..opts(with_deletes)
+    }
+}
+
 /// Drives `ops` per-tuple through a dedicated engine.
 fn run_tuple(query: &SgqQuery, ops: &[(Sge, bool)], with_deletes: bool) -> Engine {
     let mut e = Engine::from_query_with(query, opts(with_deletes));
@@ -119,7 +126,17 @@ fn run_batched(
     cuts: &[usize],
     with_deletes: bool,
 ) -> Engine {
-    let mut e = Engine::from_query_with(query, opts(with_deletes));
+    run_batched_with(query, ops, cuts, opts(with_deletes))
+}
+
+/// `run_batched` with explicit engine options (the worker-count axis).
+fn run_batched_with(
+    query: &SgqQuery,
+    ops: &[(Sge, bool)],
+    cuts: &[usize],
+    options: EngineOptions,
+) -> Engine {
+    let mut e = Engine::from_query_with(query, options);
     let mut batch: Vec<Sge> = Vec::new();
     for (i, &(sge, del)) in ops.iter().enumerate() {
         if del {
@@ -251,6 +268,118 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Parallel-epoch determinism: the level-scheduled executor must produce
+// **bit-identical** result logs — not merely equal coverage — and
+// identical deterministic ExecStats counters at every worker count. Two
+// of the tested plans have multi-node levels (two WSCANs at level 0), so
+// `workers = 4` genuinely exercises the worker-pool dispatch and its
+// ascending-node-order merge.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engine_parallel_identical_append_only(
+        evs in events(60, false),
+        cuts in prop::collection::vec(0usize..60, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PLANS[plan_idx]);
+        let ops = materialize(&evs, &label_vec(&q));
+        let serial = run_batched_with(&q, &ops, &cuts, opts_workers(false, 1));
+        let parallel = run_batched_with(&q, &ops, &cuts, opts_workers(false, 4));
+        check_bit_identical(&serial, &parallel)?;
+    }
+
+    #[test]
+    fn engine_parallel_identical_with_deletions(
+        evs in events(50, true),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PLANS[plan_idx]);
+        let ops = materialize(&evs, &label_vec(&q));
+        let serial = run_batched_with(&q, &ops, &cuts, opts_workers(true, 1));
+        let parallel = run_batched_with(&q, &ops, &cuts, opts_workers(true, 4));
+        check_bit_identical(&serial, &parallel)?;
+    }
+
+    #[test]
+    fn multiquery_parallel_identical(
+        evs in events(50, false),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+    ) {
+        let queries: Vec<SgqQuery> = PLANS.iter().map(|p| query(p)).collect();
+        let mut serial = MultiQueryEngine::with_options(opts_workers(false, 1));
+        let mut parallel = MultiQueryEngine::with_options(opts_workers(false, 4));
+        // A third host driven through the drain-only ingestion path: no
+        // `(QueryId, Sgt)` pair building, same per-query logs.
+        let mut drained = MultiQueryEngine::with_options(opts_workers(false, 4));
+        let serial_ids: Vec<QueryId> = queries.iter().map(|q| serial.register(q)).collect();
+        let parallel_ids: Vec<QueryId> = queries.iter().map(|q| parallel.register(q)).collect();
+        let drained_ids: Vec<QueryId> = queries.iter().map(|q| drained.register(q)).collect();
+
+        let labels: Vec<Label> = ["a", "b", "c"]
+            .iter()
+            .map(|n| serial.labels().get(n).unwrap_or(Label(u32::MAX)))
+            .collect();
+        let ops = materialize(&evs, &labels);
+        let mut batch: Vec<Sge> = Vec::new();
+        let mut flush = |batch: &mut Vec<Sge>| {
+            let from_process = serial.process_batch(batch);
+            let from_parallel = parallel.process_batch(batch);
+            drained.ingest_batch(batch);
+            batch.clear();
+            // The collected pairs are themselves deterministic.
+            from_process == from_parallel
+        };
+        for (i, &(sge, _)) in ops.iter().enumerate() {
+            batch.push(sge);
+            if cuts.contains(&i) {
+                prop_assert!(flush(&mut batch), "collected pairs diverged");
+            }
+        }
+        prop_assert!(flush(&mut batch), "collected pairs diverged");
+
+        for ((si, pi), di) in serial_ids.iter().zip(&parallel_ids).zip(&drained_ids) {
+            prop_assert_eq!(serial.results(*si), parallel.results(*pi));
+            prop_assert_eq!(serial.deleted_results(*si), parallel.deleted_results(*pi));
+            prop_assert_eq!(serial.results(*si), drained.results(*di), "drain-only path");
+            // Drain cursors see everything exactly once.
+            prop_assert_eq!(drained.drain(*di).len(), drained.results(*di).len());
+            prop_assert_eq!(drained.drain(*di).len(), 0);
+        }
+        prop_assert_eq!(
+            serial.exec_stats().determinism_fingerprint(),
+            parallel.exec_stats().determinism_fingerprint()
+        );
+        prop_assert_eq!(
+            serial.exec_stats().determinism_fingerprint(),
+            drained.exec_stats().determinism_fingerprint()
+        );
+    }
+}
+
+/// Bit-identical engine comparison: result logs compare as `Vec<Sgt>`
+/// equality (order included) and executor counters on the deterministic
+/// fingerprint (emission counts, dispatch counts, schedule shape).
+fn check_bit_identical(serial: &Engine, parallel: &Engine) -> Result<(), TestCaseError> {
+    prop_assert_eq!(serial.results(), parallel.results(), "insert log");
+    prop_assert_eq!(
+        serial.deleted_results(),
+        parallel.deleted_results(),
+        "delete log"
+    );
+    prop_assert_eq!(
+        serial.exec_stats().determinism_fingerprint(),
+        parallel.exec_stats().determinism_fingerprint(),
+        "executor counters"
+    );
+    Ok(())
 }
 
 /// The EDB labels `a`, `b`, `c` in `q`'s namespace (indexable by the
