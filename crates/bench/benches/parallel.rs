@@ -27,18 +27,13 @@
 //! {1, 4}, equivalence assertions still run, no JSON written.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use sgq_bench::Scale;
+use sgq_bench::{window_variant_fleet, Scale, VARIANT_DAYS};
 use sgq_core::engine::EngineOptions;
 use sgq_core::metrics::ExecStats;
-use sgq_datagen::workloads::{self, Dataset};
+use sgq_datagen::workloads::Dataset;
 use sgq_multiquery::MultiQueryEngine;
-use sgq_query::SgqQuery;
 use std::time::{Duration, Instant};
 
-/// Window sizes (in simulated "days") of the hosted variants of each
-/// query; all slide by one day, so the host ticks daily like the paper's
-/// default window.
-const VARIANT_DAYS: [u64; 4] = [18, 22, 26, 30];
 /// Ingestion batch size (the acceptance point batch ≥ 256).
 const BATCH: usize = 256;
 /// Timed passes per configuration; best is reported.
@@ -72,17 +67,6 @@ fn opts(workers: usize) -> EngineOptions {
     }
 }
 
-/// The window-variant fleet of query `n`: one registration per entry of
-/// [`VARIANT_DAYS`]. Distinct window sizes make the plans structurally
-/// distinct, so the shared dataflow holds `VARIANTS` disjoint operator
-/// chains — the level width the pool sweeps.
-fn fleet(n: usize, ds: Dataset, scale: &Scale) -> Vec<SgqQuery> {
-    VARIANT_DAYS
-        .iter()
-        .map(|&days| SgqQuery::new(workloads::query(n, ds), scale.window(days, 1, 1)))
-        .collect()
-}
-
 struct Run {
     secs: f64,
     edges: usize,
@@ -98,7 +82,7 @@ fn run_fleet(
     workers: usize,
 ) -> Run {
     let mut host = MultiQueryEngine::with_options(opts(workers));
-    let ids: Vec<_> = fleet(n, ds, scale)
+    let ids: Vec<_> = window_variant_fleet(n, ds, scale)
         .iter()
         .map(|q| host.register(q))
         .collect();

@@ -41,6 +41,25 @@
 //! Level computation relies on the lowering invariant that children are
 //! created before parents: every edge points from a lower node id to a
 //! higher one, so one ascending pass settles all depths.
+//!
+//! ## Label-sharded execution
+//!
+//! Per-level dispatch still barriers the whole graph at every level: the
+//! narrow operators of one plan wait for the widest level of another.
+//! With [`EngineOptions::shards`] > 1 the WSCAN leaves are additionally
+//! partitioned **by edge label** into shard groups, and each shard's
+//! **shard-subgraph** — the closure of operators reachable *only* from
+//! its labels, computed over the same pruned successor lists the schedule
+//! rebuild maintains — executes a whole epoch (all of its levels, no
+//! inter-shard barrier) as one `ShardJob` on the worker pool. Operators
+//! whose inputs span shards are explicit **merge points**: they sit at
+//! known levels, so after the shard jobs complete the scheduler thread
+//! replays the recorded shard emissions and executes the merge points
+//! interleaved in the serial schedule order (levels ascending, node ids
+//! ascending within a level). Sink call order, inbox arrival orders, and
+//! the deterministic [`ExecStats`] counters are therefore **bit-identical
+//! at any `(shards, workers)` combination** — the sharding-determinism
+//! proptests and the CI matrix enforce exactly that.
 
 use crate::algebra::SgaExpr;
 use crate::engine::{DispatchMode, EngineOptions, PathImpl, PatternImpl};
@@ -49,8 +68,9 @@ use crate::physical::pattern::{CompiledPattern, PatternOp};
 use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
 use crate::physical::wcoj::WcojPatternOp;
 use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, DeltaBatch, PhysicalOp};
-use crate::pool::{LevelJob, WorkerPool};
+use crate::pool::{LevelJob, PurgeJob, ShardJob, ShardPlan, WorkerPool};
 use sgq_types::{FxHashMap, FxHashSet, Label, SharedDeltaBatch, Timestamp};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Minimum total deltas queued across a level's ready nodes before the
@@ -59,6 +79,14 @@ use std::time::Instant;
 /// the level runs inline. Purely a performance gate — results are
 /// identical either way, so any value preserves determinism.
 const PARALLEL_MIN_DELTAS: u64 = 16;
+
+/// One completed shard job's replay state: the shard topology plus a
+/// cursor over its recorded emissions, consumed strictly in (level, id)
+/// order by the merge replay.
+type ShardReplay = (
+    Arc<ShardPlan>,
+    std::iter::Peekable<std::vec::IntoIter<(usize, SharedDeltaBatch)>>,
+);
 
 /// A node in the physical dataflow: an operator plus its fan-out edges
 /// `(successor node, input port)`.
@@ -106,6 +134,16 @@ pub struct Dataflow {
     ready: Vec<Vec<usize>>,
     /// Whether the level schedule must be rebuilt before the next sweep.
     schedule_dirty: bool,
+    /// Shard owning each node when label sharding is enabled
+    /// (`opts.shards > 1`): `Some(s)` iff the node is reachable **only**
+    /// from shard `s`'s WSCAN labels, `None` for cross-shard merge points.
+    /// Parallel to `nodes`; empty when sharding is disabled. Rebuilt with
+    /// the level schedule on `lower`/`retire`/`take_op`.
+    shard_of: Vec<Option<usize>>,
+    /// Per-shard execution plans (member nodes in topological order plus
+    /// in-shard fan-out), indexed by shard id; empty when sharding is
+    /// disabled. `Arc`-shared into each epoch's [`ShardJob`]s.
+    shard_plans: Vec<Arc<ShardPlan>>,
     /// Worker threads for parallel level dispatch, spawned lazily on the
     /// first level wide enough to use them (`None` until then, and always
     /// `None` when `opts.workers <= 1`).
@@ -129,6 +167,8 @@ impl Dataflow {
             levels: Vec::new(),
             ready: Vec::new(),
             schedule_dirty: false,
+            shard_of: Vec::new(),
+            shard_plans: Vec::new(),
             pool: None,
             stats: ExecStats::default(),
         }
@@ -393,7 +433,95 @@ impl Dataflow {
         // extends as needed, carrying existing allocations over.
         debug_assert!(ready.iter().all(Vec::is_empty), "rebuild between epochs");
         ready.resize_with(depth, Vec::new);
+        self.rebuild_shards();
         self.schedule_dirty = false;
+    }
+
+    /// Rebuilds the label-shard decomposition alongside the level schedule
+    /// (no-op when `opts.shards <= 1`). Runs on every `lower`/`retire`/
+    /// `take_op`, so shard closures survive query registration churn the
+    /// same way the level schedule does.
+    ///
+    /// Live source labels are assigned to shard groups round-robin in
+    /// ascending label order (deterministic for a given graph). Each
+    /// node's **shard mask** then accumulates every shard whose WSCANs
+    /// reach it — one ascending pass over the pruned successor lists
+    /// settles all masks, by the same lowering invariant the level pass
+    /// uses (edges point from lower node ids to higher ones). Single-bit
+    /// nodes form the shard-subgraphs; multi-bit nodes are the explicit
+    /// cross-shard merge points the scheduler thread executes during the
+    /// ordered replay. Which shard a label lands in never affects results
+    /// (any partition yields the same serial-order replay), only load
+    /// balance.
+    fn rebuild_shards(&mut self) {
+        self.shard_plans.clear();
+        self.shard_of.clear();
+        if self.opts.shards <= 1 {
+            return;
+        }
+        // The mask is a u64, so shard groups cap at 64 — far beyond any
+        // host's core count, and label counts beyond that simply wrap.
+        let nshards = self.opts.shards.min(64);
+        let mut labels: Vec<Label> = self.sources.keys().copied().collect();
+        labels.sort_unstable();
+        let mut mask = vec![0u64; self.nodes.len()];
+        for (i, label) in labels.iter().enumerate() {
+            let bit = 1u64 << (i % nshards);
+            for &n in &self.sources[label] {
+                mask[n] |= bit;
+            }
+        }
+        for n in 0..self.nodes.len() {
+            if self.retired[n] || mask[n] == 0 {
+                continue;
+            }
+            for &(succ, _) in &self.nodes[n].succs {
+                mask[succ] |= mask[n];
+            }
+        }
+        self.shard_of = mask
+            .iter()
+            .map(|&m| (m.count_ones() == 1).then(|| m.trailing_zeros() as usize))
+            .collect();
+        // Member lists in (level, id) order — iterating the freshly built
+        // levels yields exactly that, and it is a topological order of
+        // each shard-subgraph (edges only ever cross to higher levels).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        for level in &self.levels {
+            for &n in level {
+                if let Some(s) = self.shard_of[n] {
+                    members[s].push(n);
+                }
+            }
+        }
+        for nodes in members {
+            // Shards left empty by the label wrap stay as empty plans so
+            // plan indices keep matching shard ids.
+            let mut local: FxHashMap<usize, usize> = FxHashMap::default();
+            for (i, &n) in nodes.iter().enumerate() {
+                local.insert(n, i);
+            }
+            let levels = nodes.iter().map(|&n| self.level_of[n]).collect();
+            let succs = nodes
+                .iter()
+                .map(|&n| {
+                    self.nodes[n]
+                        .succs
+                        .iter()
+                        // A successor inside `local` shares this shard (a
+                        // successor's mask is a superset of the producer's,
+                        // so a single-bit successor has the same bit);
+                        // everything else is a merge point, fed at replay.
+                        .filter_map(|&(succ, port)| local.get(&succ).map(|&ls| (ls, port)))
+                        .collect()
+                })
+                .collect();
+            self.shard_plans.push(Arc::new(ShardPlan {
+                nodes,
+                levels,
+                succs,
+            }));
+        }
     }
 
     /// Number of levels in the current schedule (the epoch's critical-path
@@ -414,6 +542,34 @@ impl Dataflow {
     pub fn level_of(&self, n: usize) -> usize {
         debug_assert!(!self.schedule_dirty && !self.retired[n]);
         self.level_of[n]
+    }
+
+    /// Member operators per shard-subgraph, indexed by shard id — the
+    /// shard decomposition's shape. Empty when sharding is disabled
+    /// (`opts.shards <= 1`); merge points belong to no shard and are not
+    /// counted.
+    pub fn shard_widths(&self) -> Vec<usize> {
+        debug_assert!(!self.schedule_dirty);
+        self.shard_plans.iter().map(|p| p.nodes.len()).collect()
+    }
+
+    /// The shard owning node `n`: `None` for cross-shard merge points and
+    /// whenever sharding is disabled.
+    pub fn shard_of(&self, n: usize) -> Option<usize> {
+        debug_assert!(!self.schedule_dirty);
+        self.shard_of.get(n).copied().flatten()
+    }
+
+    /// Live operators whose inputs span shards (the explicit merge points
+    /// executed on the scheduler thread). Zero when sharding is disabled.
+    pub fn merge_point_count(&self) -> usize {
+        debug_assert!(!self.schedule_dirty);
+        if self.shard_plans.is_empty() {
+            return 0;
+        }
+        (0..self.nodes.len())
+            .filter(|&n| !self.retired[n] && self.shard_of[n].is_none())
+            .count()
     }
 
     /// Pushes one input delta to every WSCAN reading `label` and runs a
@@ -579,6 +735,9 @@ impl Dataflow {
     /// worker count.
     fn run_epoch(&mut self, now: Timestamp, mut sink: impl FnMut(usize, &DeltaBatch)) {
         debug_assert!(!self.schedule_dirty);
+        if self.try_run_epoch_sharded(now, &mut sink) {
+            return;
+        }
         for lvl in 0..self.ready.len() {
             if self.ready[lvl].is_empty() {
                 continue;
@@ -621,6 +780,237 @@ impl Dataflow {
             nodes.clear();
             self.ready[lvl] = nodes; // keep the allocation
         }
+    }
+
+    /// Routes the epoch through the shard-subgraph executor when label
+    /// sharding is enabled and the epoch is worth it: at least two shards
+    /// hold ready work (otherwise there is nothing to overlap) and the
+    /// seeded delta volume clears [`PARALLEL_MIN_DELTAS`] (trickle epochs
+    /// stay on the plain level sweep). Pure dispatch policy — both paths
+    /// produce bit-identical observable effects — so any gate preserves
+    /// determinism. Returns whether the sharded path ran.
+    fn try_run_epoch_sharded(
+        &mut self,
+        now: Timestamp,
+        sink: &mut impl FnMut(usize, &DeltaBatch),
+    ) -> bool {
+        if self.shard_plans.is_empty() || self.opts.dispatch != DispatchMode::Epoch {
+            return false;
+        }
+        let mut active = 0u64;
+        let mut deltas = 0u64;
+        for lvl in &self.ready {
+            for &n in lvl {
+                if let Some(s) = self.shard_of[n] {
+                    active |= 1u64 << s;
+                }
+                deltas += self.inboxes[n]
+                    .iter()
+                    .map(|(_, b)| b.len() as u64)
+                    .sum::<u64>();
+            }
+        }
+        if active.count_ones() < 2 || deltas < PARALLEL_MIN_DELTAS {
+            return false;
+        }
+        self.run_epoch_sharded(now, sink);
+        true
+    }
+
+    /// The shard-subgraph epoch executor. Phase 1 moves every active
+    /// shard's operators and inboxes into a [`ShardJob`] and runs the
+    /// jobs — each sweeps **all of its levels** internally, with no
+    /// inter-shard barrier — on the worker pool (inline when `workers <=
+    /// 1`). Phase 2, the **merge replay** on the scheduler thread, walks
+    /// the global schedule: per level, recorded shard emissions and ready
+    /// merge points interleave in ascending node order, emissions feed
+    /// the cross-shard inboxes and the sink, and merge points execute in
+    /// place. That is exactly the serial sweep's publish order, so sink
+    /// call order, every inbox arrival order, and the deterministic
+    /// counters are bit-identical at any `(shards, workers)` combination.
+    ///
+    /// A merge point's successors are themselves merge points (a
+    /// successor's shard mask is a superset of its producer's, so a
+    /// multi-shard producer makes every transitive successor
+    /// multi-shard), which is why the replay never has to touch shard
+    /// state again after phase 1.
+    fn run_epoch_sharded(&mut self, now: Timestamp, sink: &mut impl FnMut(usize, &DeltaBatch)) {
+        let depth = self.ready.len();
+        // Phase 1: peel shard members off the ready lists (merge points
+        // keep their entries for the replay) and assemble one job per
+        // shard with work.
+        let mut shard_has_work = vec![false; self.shard_plans.len()];
+        for lvl in 0..depth {
+            self.ready[lvl].retain(|&n| match self.shard_of[n] {
+                Some(s) => {
+                    shard_has_work[s] = true;
+                    false
+                }
+                None => true,
+            });
+        }
+        let mut jobs: Vec<ShardJob> = Vec::new();
+        for (s, plan) in self.shard_plans.iter().enumerate() {
+            if !shard_has_work[s] {
+                continue;
+            }
+            let mut ops = Vec::with_capacity(plan.nodes.len());
+            let mut inboxes = Vec::with_capacity(plan.nodes.len());
+            for &n in &plan.nodes {
+                // Box<Tombstone> is a ZST box: no allocation per swap.
+                ops.push(std::mem::replace(
+                    &mut self.nodes[n].op,
+                    Box::new(Tombstone),
+                ));
+                inboxes.push(std::mem::take(&mut self.inboxes[n]));
+            }
+            // Hand the job a slice of the recycled-buffer pool so member
+            // outputs reuse allocations like the serial sweep does.
+            let mut spare = Vec::new();
+            while spare.len() < plan.nodes.len() {
+                match self.spare.pop() {
+                    Some(b) => spare.push(b),
+                    None => break,
+                }
+            }
+            jobs.push(ShardJob {
+                idx: jobs.len(),
+                plan: Arc::clone(plan),
+                ops,
+                inboxes,
+                spare,
+                now,
+                emissions: Vec::new(),
+                ready_per_level: vec![0; depth],
+                invocations: 0,
+                dispatched: 0,
+                emitted: 0,
+                fanout: 0,
+                panic: None,
+            });
+        }
+        self.stats.shard_epochs += 1;
+        self.stats.shard_subgraph_runs += jobs.len() as u64;
+        let started = Instant::now();
+        let done = if self.opts.workers > 1 && jobs.len() > 1 {
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(self.opts.workers));
+            }
+            self.pool
+                .as_ref()
+                .expect("pool just ensured")
+                .run_shards(jobs)
+        } else {
+            for job in &mut jobs {
+                job.run();
+            }
+            jobs
+        };
+        self.stats.shard_nanos += started.elapsed().as_nanos() as u64;
+        // Merge pass 1: restore every operator and inbox allocation and
+        // accumulate counters before anything can unwind, so a panicking
+        // operator leaves the arena structurally intact.
+        let mut shard_ready = vec![0u64; depth];
+        let mut replays: Vec<ShardReplay> = Vec::with_capacity(done.len());
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for mut job in done {
+            for (i, &n) in job.plan.nodes.iter().enumerate() {
+                self.nodes[n].op = std::mem::replace(&mut job.ops[i], Box::new(Tombstone));
+                self.inboxes[n] = std::mem::take(&mut job.inboxes[i]);
+            }
+            while let Some(b) = job.spare.pop() {
+                self.recycle(b);
+            }
+            self.stats.operator_invocations += job.invocations;
+            self.stats.deltas_dispatched += job.dispatched;
+            self.stats.deltas_emitted += job.emitted;
+            self.stats.fanout_deliveries += job.fanout;
+            for (lvl, &c) in job.ready_per_level.iter().enumerate() {
+                shard_ready[lvl] += c as u64;
+            }
+            if let Some(p) = job.panic.take() {
+                panic.get_or_insert(p);
+            } else {
+                replays.push((job.plan, job.emissions.into_iter().peekable()));
+            }
+        }
+        if let Some(p) = panic {
+            // Abandon the epoch cleanly before unwinding (see
+            // `run_level_parallel`): drop every pending delivery so a
+            // host that catches the panic cannot replay half an epoch.
+            for lvl in 0..depth {
+                self.ready[lvl].clear();
+            }
+            for inbox in &mut self.inboxes {
+                inbox.clear();
+            }
+            std::panic::resume_unwind(p);
+        }
+        // Phase 2: the merge replay, in the serial schedule order.
+        let mut work: Vec<(usize, Option<SharedDeltaBatch>)> = Vec::new();
+        for (lvl, &ready_in_shards) in shard_ready.iter().enumerate() {
+            work.clear();
+            for (plan, emissions) in replays.iter_mut() {
+                while let Some(&(local, _)) = emissions.peek() {
+                    if plan.levels[local] != lvl {
+                        break;
+                    }
+                    let (local, batch) = emissions.next().expect("peeked");
+                    work.push((plan.nodes[local], Some(batch)));
+                }
+            }
+            let mut resid = std::mem::take(&mut self.ready[lvl]);
+            let width = ready_in_shards as usize + resid.len();
+            if width == 0 {
+                debug_assert!(work.is_empty(), "emission implies a ready node");
+                self.ready[lvl] = resid;
+                continue;
+            }
+            self.stats.levels_run += 1;
+            self.stats.max_level_width = self.stats.max_level_width.max(width);
+            for &n in &resid {
+                work.push((n, None));
+            }
+            resid.clear();
+            self.ready[lvl] = resid; // keep the allocation
+                                     // A node appears at most once (shard emission XOR merge
+                                     // point), so ascending node order is a total order.
+            work.sort_unstable_by_key(|&(n, _)| n);
+            for (n, batch) in work.drain(..) {
+                match batch {
+                    Some(batch) => self.replay_emission(n, batch, sink),
+                    None => self.run_node(n, now, sink),
+                }
+            }
+        }
+    }
+
+    /// Replays one shard emission on the scheduler thread: deliver to the
+    /// cross-shard (merge point) successors — the in-shard fan-out already
+    /// happened inside the job — and report the batch to `sink`, exactly
+    /// as [`Dataflow::publish`] would have at this node's schedule slot.
+    fn replay_emission(
+        &mut self,
+        n: usize,
+        batch: SharedDeltaBatch,
+        sink: &mut impl FnMut(usize, &DeltaBatch),
+    ) {
+        // `deltas_emitted` and the in-shard `fanout_deliveries` were
+        // counted by the job; only the merge deliveries remain.
+        for i in 0..self.nodes[n].succs.len() {
+            let (succ, port) = self.nodes[n].succs[i];
+            if self.shard_of[succ].is_some() {
+                continue; // delivered inside the shard job
+            }
+            if self.inboxes[succ].is_empty() {
+                self.ready[self.level_of[succ]].push(succ);
+            }
+            self.inboxes[succ].push((port, batch.clone()));
+            self.stats.fanout_deliveries += 1;
+            self.stats.cross_shard_deliveries += 1;
+        }
+        sink(n, &batch);
+        self.recycle_shared(batch);
     }
 
     /// Runs one ready node on the calling thread: consume inbox segments,
@@ -769,6 +1159,16 @@ impl Dataflow {
     /// `now` is the event-time watermark continuation deltas are delivered
     /// under — the caller's *current* time, which lags `watermark` when
     /// several crossed boundaries are purged before time advances.
+    ///
+    /// With `workers > 1`, direct-approach reclamation runs on the worker
+    /// pool: direct purges emit no continuations and touch only their own
+    /// state, so **maximal runs of consecutive direct operators** between
+    /// timely (continuation-emitting) ones are embarrassingly parallel.
+    /// Each run flushes — a barrier — before the next timely operator
+    /// purges, so every continuation cascade still observes exactly the
+    /// operator states the serial walk would have (reclamation order
+    /// *within* a run is unobservable: expired state is skipped by
+    /// interval intersection either way).
     pub fn purge(
         &mut self,
         watermark: Timestamp,
@@ -776,10 +1176,39 @@ impl Dataflow {
         reclaim_all: bool,
         mut sink: impl FnMut(usize, &DeltaBatch),
     ) {
+        self.ensure_schedule();
+        let parallel = self.opts.workers > 1 && reclaim_all;
+        let mut pending: Vec<PurgeJob> = Vec::new();
         for n in 0..self.nodes.len() {
             if self.retired[n] || (!reclaim_all && !self.nodes[n].op.needs_timely_purge()) {
                 continue;
             }
+            if parallel && !self.nodes[n].op.needs_timely_purge() {
+                // Work gate: an operator holding no state has nothing to
+                // reclaim — run its (no-op) purge inline rather than pay
+                // a pool round-trip per slide for it.
+                if self.nodes[n].op.state_size() == 0 {
+                    let mut outs = self.spare.pop().unwrap_or_default();
+                    self.nodes[n].op.purge(watermark, outs.as_mut_vec());
+                    debug_assert!(outs.is_empty(), "stateless purge emitted");
+                    self.recycle(outs);
+                    continue;
+                }
+                let op = std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone));
+                pending.push(PurgeJob {
+                    idx: pending.len(),
+                    node: n,
+                    op,
+                    watermark,
+                    out: Vec::new(),
+                    panic: None,
+                });
+                continue;
+            }
+            // A timely operator: flush the pending direct run first (its
+            // continuations may cascade into operators the run borrowed),
+            // then purge serially and propagate the continuations.
+            self.flush_purge_jobs(&mut pending, now, &mut sink);
             let mut outs = self.spare.pop().unwrap_or_default();
             self.nodes[n].op.purge(watermark, outs.as_mut_vec());
             if outs.is_empty() {
@@ -789,6 +1218,63 @@ impl Dataflow {
                 // movement) propagate as one epoch from their origin.
                 self.emit_from(n, outs, now, &mut sink);
             }
+        }
+        self.flush_purge_jobs(&mut pending, now, &mut sink);
+    }
+
+    /// Runs a pending batch of direct-approach reclamations on the worker
+    /// pool (inline for a single job) and restores the operators. Every
+    /// operator is back in the arena before a captured panic resumes.
+    fn flush_purge_jobs(
+        &mut self,
+        pending: &mut Vec<PurgeJob>,
+        now: Timestamp,
+        sink: &mut impl FnMut(usize, &DeltaBatch),
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut jobs = std::mem::take(pending);
+        let done = if jobs.len() > 1 {
+            self.stats.parallel_purge_ops += jobs.len() as u64;
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(self.opts.workers));
+            }
+            self.pool
+                .as_ref()
+                .expect("pool just ensured")
+                .run_purges(jobs)
+        } else {
+            for job in &mut jobs {
+                job.run();
+            }
+            jobs
+        };
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut outs: Vec<(usize, Vec<Delta>)> = Vec::new();
+        for mut job in done {
+            self.nodes[job.node].op = job.op;
+            if let Some(p) = job.panic.take() {
+                panic.get_or_insert(p);
+            } else if !job.out.is_empty() {
+                outs.push((job.node, job.out));
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        // Direct-approach purges never emit (that is what makes the run
+        // order-free); if an operator ever starts to, propagate in node
+        // order rather than lose results — and fail the debug build so
+        // the operator gets reclassified as timely.
+        debug_assert!(
+            outs.is_empty(),
+            "direct-approach purge emitted continuations"
+        );
+        for (n, out) in outs {
+            let mut batch = self.spare.pop().unwrap_or_default();
+            *batch.as_mut_vec() = out;
+            self.emit_from(n, batch, now, &mut *sink);
         }
     }
 }
@@ -917,9 +1403,13 @@ mod tests {
         // One shared stream, two window variants: level 0 is two WSCANs
         // wide, so workers = 3 exercises the pool; outputs must be
         // bit-identical to the serial sweep (same epoch, same graph).
+        // Sharding pinned off: this test asserts on the *level*-parallel
+        // dispatch, which the sharded path would otherwise absorb when
+        // the suite runs under SGQ_SHARDS > 1.
         let build = |workers: usize| {
             let mut flow = Dataflow::new(EngineOptions {
                 workers,
+                shards: 1,
                 ..Default::default()
             });
             let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
@@ -961,6 +1451,125 @@ mod tests {
         );
         assert!(p_stats.parallel_levels > 0, "the pool actually ran");
         assert!(s_stats.parallel_levels == 0, "serial sweep stays serial");
+    }
+
+    #[test]
+    fn shard_closures_partition_by_label() {
+        let mut flow = Dataflow::new(EngineOptions {
+            shards: 2,
+            ..Default::default()
+        });
+        let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let root = flow.lower(&p.expr);
+        // Two labels round-robin into two shards: each WSCAN is the sole
+        // member of its shard, and the PATTERN (fed by both) is the one
+        // merge point.
+        assert_eq!(flow.shard_widths(), vec![1, 1]);
+        assert_eq!(flow.merge_point_count(), 1);
+        assert_eq!(flow.shard_of(root), None, "the join spans both shards");
+        let sharded: Vec<usize> = (0..flow.len())
+            .filter(|&n| flow.shard_of(n).is_some())
+            .collect();
+        assert_eq!(sharded.len(), 2);
+        assert_ne!(
+            flow.shard_of(sharded[0]),
+            flow.shard_of(sharded[1]),
+            "distinct labels land in distinct shards"
+        );
+    }
+
+    #[test]
+    fn shard_closures_rebuild_on_retire() {
+        // Shard assignment must survive register/deregister churn exactly
+        // like the level schedule: retiring one plan's private operators
+        // rebuilds the closures over the pruned successor lists.
+        let mut flow = Dataflow::new(EngineOptions {
+            shards: 2,
+            ..Default::default()
+        });
+        let p1 = plan("Ans(x, y) <- a(x, z), b(z, y).");
+        let p2 = plan("Ans(x, y) <- a+(x, y).");
+        let _ = flow.lower(&p1.expr);
+        let r2 = flow.lower(&p2.expr);
+        // `a` feeds both plans; `a`'s shard holds its WSCAN + the PATH
+        // (reachable from `a` alone), `b`'s shard holds one WSCAN.
+        assert_eq!(flow.shard_widths().iter().sum::<usize>(), 3);
+        assert_eq!(flow.merge_point_count(), 1);
+        assert!(flow.shard_of(r2).is_some(), "single-label PATH is sharded");
+        // Retire only plan 1's exclusive nodes (`a`'s WSCAN is shared
+        // with plan 2 and must survive — the multi-query host refcounts
+        // exactly this way).
+        let keep = flow.nodes_of(&p2.expr);
+        let dead: FxHashSet<usize> = flow
+            .nodes_of(&p1.expr)
+            .into_iter()
+            .filter(|n| !keep.contains(n))
+            .collect();
+        flow.retire(&dead);
+        // Only plan 2 remains: one label, one shard populated, no merges.
+        assert_eq!(flow.shard_widths().iter().sum::<usize>(), 2);
+        assert_eq!(flow.merge_point_count(), 0);
+        assert!(!flow.is_retired(r2));
+    }
+
+    #[test]
+    fn sharded_sweep_matches_serial_results() {
+        // The same epoch as `parallel_sweep_matches_serial_results`, run
+        // at (shards, workers) ∈ {(1,1), (2,1), (2,3)}: emission streams
+        // and determinism fingerprints must be bit-identical, and the
+        // sharded configurations must actually take the sharded path.
+        let run = |shards: usize, workers: usize| {
+            let mut flow = Dataflow::new(EngineOptions {
+                shards,
+                workers,
+                ..Default::default()
+            });
+            let p = plan("Ans(x, y) <- a(x, z), b(z, y).");
+            let _root = flow.lower(&p.expr);
+            let a = p.labels.get("a").unwrap();
+            let b = p.labels.get("b").unwrap();
+            let mut emitted: Vec<(usize, Delta)> = Vec::new();
+            let epoch: Vec<(Label, Delta)> = (0..40u64)
+                .map(|i| {
+                    let l = if i % 2 == 0 { a } else { b };
+                    (
+                        l,
+                        Delta::Insert(sgq_types::Sgt::edge(
+                            sgq_types::VertexId(i % 5),
+                            sgq_types::VertexId((i + 1) % 5),
+                            l,
+                            sgq_types::Interval::new(0, 10),
+                        )),
+                    )
+                })
+                .collect();
+            flow.ingest_epoch(epoch, 0, |n, batch| {
+                for d in batch.iter() {
+                    emitted.push((n, d.clone()));
+                }
+            });
+            (emitted, flow.exec_stats())
+        };
+        let (serial, s_stats) = run(1, 1);
+        let (sharded, h_stats) = run(2, 1);
+        let (both, b_stats) = run(2, 3);
+        assert_eq!(serial, sharded, "sharded emission stream diverged");
+        assert_eq!(serial, both, "sharded+pooled emission stream diverged");
+        assert_eq!(
+            s_stats.determinism_fingerprint(),
+            h_stats.determinism_fingerprint()
+        );
+        assert_eq!(
+            s_stats.determinism_fingerprint(),
+            b_stats.determinism_fingerprint()
+        );
+        assert_eq!(s_stats.shard_epochs, 0, "unsharded run stays unsharded");
+        assert!(h_stats.shard_epochs > 0, "the sharded path actually ran");
+        assert_eq!(h_stats.shard_subgraph_runs, 2, "both shards had work");
+        assert!(
+            h_stats.cross_shard_deliveries > 0,
+            "the join merged across shards"
+        );
     }
 
     #[test]

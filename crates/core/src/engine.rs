@@ -98,6 +98,22 @@ pub struct EngineOptions {
     /// variable, which is how CI runs the whole suite at several worker
     /// counts without touching test code.
     pub workers: usize,
+    /// Label shards for the shard-subgraph executor. `1` (the default)
+    /// disables sharding: every epoch runs the plain level-ordered sweep.
+    /// Values > 1 partition the WSCAN leaves by edge label into that many
+    /// shard groups; each shard's reachable-only-from-its-labels operator
+    /// closure (its **shard-subgraph**) executes a whole epoch — all of
+    /// its levels, with no inter-shard barrier — as one unit on the worker
+    /// pool, and operators whose inputs span shards become explicit merge
+    /// points replayed on the scheduler thread in the serial schedule
+    /// order. Result logs and deterministic [`ExecStats`] counters are
+    /// **bit-identical at any `(shards, workers)` combination** (asserted
+    /// by the sharding-determinism proptests and the CI matrix). The
+    /// default honours the `SGQ_SHARDS` environment variable; counts are
+    /// capped at 64 (the shard-mask width).
+    ///
+    /// [`ExecStats`]: crate::metrics::ExecStats
+    pub shards: usize,
 }
 
 impl Default for EngineOptions {
@@ -110,6 +126,7 @@ impl Default for EngineOptions {
             purge_period: None,
             dispatch: DispatchMode::Epoch,
             workers: default_workers(),
+            shards: default_shards(),
         }
     }
 }
@@ -117,7 +134,18 @@ impl Default for EngineOptions {
 /// The default worker count: `SGQ_WORKERS` when set to a positive integer,
 /// else 1 (serial).
 pub fn default_workers() -> usize {
-    std::env::var("SGQ_WORKERS")
+    positive_env("SGQ_WORKERS")
+}
+
+/// The default shard count: `SGQ_SHARDS` when set to a positive integer,
+/// else 1 (unsharded). How CI runs the whole suite at several shard
+/// counts without touching test code.
+pub fn default_shards() -> usize {
+    positive_env("SGQ_SHARDS")
+}
+
+fn positive_env(var: &str) -> usize {
+    std::env::var(var)
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .filter(|&w| w >= 1)
@@ -473,6 +501,18 @@ impl Engine {
     /// Total operator state entries (for Δ-PATH / join-state metrics).
     pub fn state_size(&self) -> usize {
         self.flow.state_size()
+    }
+
+    /// Member operators per shard-subgraph, indexed by shard id (empty
+    /// when sharding is disabled — see [`EngineOptions::shards`]).
+    pub fn shard_widths(&self) -> Vec<usize> {
+        self.flow.shard_widths()
+    }
+
+    /// Operators whose inputs span shards (the explicit merge points);
+    /// zero when sharding is disabled.
+    pub fn merge_point_count(&self) -> usize {
+        self.flow.merge_point_count()
     }
 
     /// Operator names in the dataflow (diagnostics).

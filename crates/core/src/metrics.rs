@@ -47,6 +47,26 @@ pub struct ExecStats {
     /// Wall-clock nanoseconds of `level_nanos` spent in pool-dispatched
     /// levels. Timing, never deterministic.
     pub parallel_nanos: u64,
+    /// Epochs executed through the label-sharded path (shard-subgraph
+    /// jobs plus the scheduler-thread merge replay). Depends on
+    /// `EngineOptions::shards` — **not** part of the determinism contract.
+    pub shard_epochs: u64,
+    /// Shard-subgraph jobs run across all sharded epochs (the shard
+    /// occupancy numerator). Not part of the determinism contract.
+    pub shard_subgraph_runs: u64,
+    /// Batch deliveries that crossed a shard boundary — i.e. arrived at an
+    /// explicit merge point during the scheduler-thread replay. A subset
+    /// of `fanout_deliveries`; varies with the shard count, so not part of
+    /// the determinism contract.
+    pub cross_shard_deliveries: u64,
+    /// Wall-clock nanoseconds spent running shard-subgraph jobs (phase 1
+    /// of a sharded epoch, before the merge replay). Timing, never
+    /// deterministic.
+    pub shard_nanos: u64,
+    /// Direct-approach operator reclamations dispatched onto the worker
+    /// pool by the parallel purge. Depends on `EngineOptions::workers`,
+    /// so not part of the determinism contract.
+    pub parallel_purge_ops: u64,
 }
 
 impl ExecStats {
@@ -86,10 +106,30 @@ impl ExecStats {
         (self.mean_parallel_width() / workers as f64).min(1.0)
     }
 
-    /// The counters guaranteed identical across worker counts for the same
-    /// input — what the parallel-determinism tests compare. Excludes the
-    /// pool-shape counters (`parallel_*`) and wall-clock timings, which
-    /// legitimately vary with `EngineOptions::workers`.
+    /// Mean shard-subgraph jobs per sharded epoch — the inter-shard
+    /// parallelism the label partition actually exposed.
+    pub fn mean_shard_width(&self) -> f64 {
+        if self.shard_epochs == 0 {
+            return 0.0;
+        }
+        self.shard_subgraph_runs as f64 / self.shard_epochs as f64
+    }
+
+    /// Fraction of the configured shard slots a sharded epoch kept busy on
+    /// average (`mean_shard_width / shards`, capped at 1.0).
+    pub fn shard_occupancy(&self, shards: usize) -> f64 {
+        if shards == 0 {
+            return 0.0;
+        }
+        (self.mean_shard_width() / shards as f64).min(1.0)
+    }
+
+    /// The counters guaranteed identical across worker **and shard** counts
+    /// for the same input — what the parallel- and sharding-determinism
+    /// tests compare. Excludes the pool-shape counters (`parallel_*`), the
+    /// shard-shape counters (`shard_*`, `cross_shard_deliveries`,
+    /// `parallel_purge_ops`) and wall-clock timings, which legitimately
+    /// vary with `EngineOptions::workers` / `EngineOptions::shards`.
     pub fn determinism_fingerprint(&self) -> [u64; 9] {
         [
             self.epochs,
@@ -199,6 +239,33 @@ mod tests {
         t.parallel_node_runs = 0;
         t.parallel_nanos = 0;
         t.level_nanos = 999;
+        assert_eq!(s.determinism_fingerprint(), t.determinism_fingerprint());
+    }
+
+    #[test]
+    fn shard_ratios_and_fingerprint() {
+        let s = ExecStats {
+            epochs: 6,
+            shard_epochs: 4,
+            shard_subgraph_runs: 10,
+            cross_shard_deliveries: 7,
+            shard_nanos: 500,
+            parallel_purge_ops: 3,
+            ..Default::default()
+        };
+        assert!((s.mean_shard_width() - 2.5).abs() < 1e-9);
+        assert!((s.shard_occupancy(4) - 0.625).abs() < 1e-9);
+        assert_eq!(s.shard_occupancy(0), 0.0);
+        assert_eq!(ExecStats::default().mean_shard_width(), 0.0);
+        // Shard shape, purge dispatch, and timings are excluded from the
+        // fingerprint: runs differing only in shard count fingerprint
+        // identically.
+        let mut t = s;
+        t.shard_epochs = 0;
+        t.shard_subgraph_runs = 0;
+        t.cross_shard_deliveries = 0;
+        t.shard_nanos = 0;
+        t.parallel_purge_ops = 0;
         assert_eq!(s.determinism_fingerprint(), t.determinism_fingerprint());
     }
 

@@ -1,25 +1,37 @@
-//! A small persistent worker pool for the level-scheduled epoch sweep.
+//! A small persistent worker pool for the level-scheduled epoch sweep,
+//! shard-subgraph execution, and parallel state reclamation.
 //!
-//! The dataflow executor ([`crate::dataflow::Dataflow`]) processes an
-//! epoch level by level; nodes inside one level never exchange data, so
-//! their operator runs are embarrassingly parallel. This module provides
-//! the thread machinery: a fixed set of `std` threads consuming
-//! [`LevelJob`]s from one shared queue and handing them back on a
-//! completion channel. Threads are spawned once — lazily, on the first
-//! level wide enough to dispatch — and live until the owning dataflow is
-//! dropped, so the per-level cost is a channel round-trip, not a thread
-//! spawn. No external dependencies: `std::sync::mpsc` plus a mutex-guarded
-//! receiver is the whole scheduler.
+//! The dataflow executor ([`crate::dataflow::Dataflow`]) has three kinds
+//! of embarrassingly parallel work, each shipped to the pool as one
+//! [`PoolJob`] variant:
+//!
+//! * [`LevelJob`] — one node's operator runs for the current schedule
+//!   level (nodes inside a level never exchange data);
+//! * [`ShardJob`] — one **shard-subgraph's whole epoch**: every level of
+//!   the operator closure reachable only from one label shard's WSCANs,
+//!   swept internally with no inter-shard barrier (shards never exchange
+//!   data — only explicit merge points do, and those stay on the
+//!   scheduler thread);
+//! * [`PurgeJob`] — one direct-approach operator's state reclamation
+//!   (no continuations, so order-free).
+//!
+//! This module provides the thread machinery: a fixed set of `std`
+//! threads consuming jobs from one shared queue and handing them back on
+//! a completion channel. Threads are spawned once — lazily, on the first
+//! dispatch — and live until the owning dataflow is dropped, so the
+//! per-dispatch cost is a channel round-trip, not a thread spawn. No
+//! external dependencies: `std::sync::mpsc` plus a mutex-guarded receiver
+//! is the whole scheduler.
 //!
 //! Determinism is the caller's contract, and the pool is designed not to
-//! break it: a job carries everything its node needs (the operator, moved
-//! out of the arena for the level; the consumed inbox segments; an output
-//! buffer), workers never touch shared executor state, and the caller
-//! merges completed jobs back in ascending node order regardless of which
+//! break it: a job carries everything it needs (operators, moved out of
+//! the arena for the dispatch; consumed inbox segments; output buffers),
+//! workers never touch shared executor state, and the caller merges
+//! completed jobs back in ascending `idx` order regardless of which
 //! worker finished first. Completion *order* is the only nondeterministic
 //! thing here, and it is erased by the indexed merge.
 
-use crate::physical::{DeltaBatch, PhysicalOp, SharedDeltaBatch};
+use crate::physical::{Delta, DeltaBatch, PhysicalOp, SharedDeltaBatch};
 use sgq_types::Timestamp;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -72,20 +84,189 @@ impl LevelJob {
     }
 }
 
-/// A fixed-size pool of worker threads executing [`LevelJob`]s.
+/// The immutable topology of one shard-subgraph: the operator closure
+/// reachable only from one label shard's WSCANs, precomputed at schedule
+/// rebuild and shared into every epoch's [`ShardJob`] by `Arc`.
+///
+/// Membership is stored in **(level, node-id) order** — a topological
+/// order of the subgraph (every dataflow edge crosses to a strictly
+/// higher level), so one ascending pass over `nodes` is a complete epoch
+/// sweep of the shard, and the per-node processing order matches the
+/// global serial schedule restricted to the shard.
+pub(crate) struct ShardPlan {
+    /// Member node ids, in (level, id) order.
+    pub nodes: Vec<usize>,
+    /// Global schedule level of each member (parallel to `nodes`).
+    pub levels: Vec<usize>,
+    /// **In-shard** successor edges of each member as `(local index,
+    /// port)` pairs (parallel to `nodes`). Cross-shard edges are omitted:
+    /// they terminate at merge points, which the scheduler thread feeds
+    /// during the ordered replay.
+    pub succs: Vec<Vec<(usize, usize)>>,
+}
+
+/// One shard-subgraph's **whole epoch**, shipped to a worker thread and
+/// back: all member operators (moved out of the arena), their inbox
+/// segments, and the shard topology. The internal sweep delivers
+/// in-shard fan-out locally and records every emission batch; the caller
+/// replays the recorded emissions on the scheduler thread in global
+/// schedule order, which is where cross-shard (merge-point) deliveries
+/// and sink calls happen — so observable effects are exactly the serial
+/// sweep's.
+pub(crate) struct ShardJob {
+    /// Dispatch slot (ascending shard order); erases completion-order
+    /// nondeterminism at the merge.
+    pub idx: usize,
+    /// The shard's topology (shared, rebuilt only on graph changes).
+    pub plan: Arc<ShardPlan>,
+    /// Member operators, parallel to `plan.nodes`.
+    pub ops: Vec<Box<dyn PhysicalOp>>,
+    /// Member inboxes, parallel to `plan.nodes`: epoch seeds on entry,
+    /// plus in-shard deliveries made during the internal sweep.
+    pub inboxes: Vec<Vec<(usize, SharedDeltaBatch)>>,
+    /// Recycled output buffers drawn from the dataflow's spare pool;
+    /// unconsumed ones travel home for re-pooling at the merge.
+    pub spare: Vec<DeltaBatch>,
+    /// The epoch's opening event-time watermark.
+    pub now: Timestamp,
+    /// Every member emission as `(local index, batch)`, in execution
+    /// (level, id) order — the scheduler's replay input.
+    pub emissions: Vec<(usize, SharedDeltaBatch)>,
+    /// Ready (executed) member count per global schedule level, for the
+    /// deterministic `levels_run` / `max_level_width` accounting.
+    pub ready_per_level: Vec<u32>,
+    /// `on_batch` calls performed (merged into `ExecStats`).
+    pub invocations: u64,
+    /// Deltas handed to member operators (merged into `ExecStats`).
+    pub dispatched: u64,
+    /// Deltas emitted by member operators (merged into `ExecStats`).
+    pub emitted: u64,
+    /// In-shard batch deliveries (merged into `fanout_deliveries`).
+    pub fanout: u64,
+    /// A panic raised by a member operator, carried home for resumption.
+    pub panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ShardJob {
+    /// Sweeps the shard-subgraph once: members in (level, id) order, each
+    /// consuming its inbox segments in arrival order and fanning its
+    /// output batch out to in-shard successors. Because membership order
+    /// is topological and shards never exchange data, this is the global
+    /// serial sweep restricted to the shard — per-member inputs, and
+    /// hence the recorded emissions, are bit-identical to it.
+    pub fn run(&mut self) {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..self.plan.nodes.len() {
+                if self.inboxes[i].is_empty() {
+                    continue;
+                }
+                self.ready_per_level[self.plan.levels[i]] += 1;
+                let mut segs = std::mem::take(&mut self.inboxes[i]);
+                let mut out = self.spare.pop().unwrap_or_default();
+                for (port, batch) in segs.drain(..) {
+                    self.dispatched += batch.len() as u64;
+                    self.invocations += 1;
+                    self.ops[i].on_batch(port, &batch, self.now, &mut out);
+                }
+                self.inboxes[i] = segs; // keep the allocation
+                if out.is_empty() {
+                    self.spare.push(out);
+                    continue;
+                }
+                self.emitted += out.len() as u64;
+                let shared = out.into_shared();
+                for &(succ, port) in &self.plan.succs[i] {
+                    self.inboxes[succ].push((port, shared.clone()));
+                    self.fanout += 1;
+                }
+                self.emissions.push((i, shared));
+            }
+        }));
+        if let Err(payload) = result {
+            self.panic = Some(payload);
+        }
+    }
+}
+
+/// One direct-approach operator's state reclamation, shipped to a worker
+/// thread and back. Direct operators skip expired state by interval
+/// intersection and emit **no** continuations from `purge`, so
+/// reclamations are independent of each other; `out` exists only to
+/// assert that invariant at the merge.
+pub(crate) struct PurgeJob {
+    /// Dispatch slot (ascending node order).
+    pub idx: usize,
+    /// Node id in the dataflow arena.
+    pub node: usize,
+    /// The operator, moved out of its arena slot for the reclamation.
+    pub op: Box<dyn PhysicalOp>,
+    /// The watermark state must be expired at to be reclaimed.
+    pub watermark: Timestamp,
+    /// Continuation output — empty for every direct-approach operator
+    /// (asserted by the caller); carried so a hypothetical emitting
+    /// operator would fail loudly instead of losing results.
+    pub out: Vec<Delta>,
+    /// A panic raised by the operator, carried home for resumption.
+    pub panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl PurgeJob {
+    /// Reclaims the operator's expired state on whichever thread owns the
+    /// job.
+    pub fn run(&mut self) {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.op.purge(self.watermark, &mut self.out);
+        }));
+        if let Err(payload) = result {
+            self.panic = Some(payload);
+        }
+    }
+}
+
+/// The unit of pool dispatch: every parallel work kind the executor
+/// ships. One queue serves all three, so a single persistent pool covers
+/// level sweeps, shard-subgraph epochs, and purge reclamation.
+pub(crate) enum PoolJob {
+    /// One node's operator runs for the current level.
+    Level(LevelJob),
+    /// One shard-subgraph's whole epoch.
+    Shard(ShardJob),
+    /// One direct-approach operator's state reclamation.
+    Purge(PurgeJob),
+}
+
+impl PoolJob {
+    fn run(&mut self) {
+        match self {
+            PoolJob::Level(j) => j.run(),
+            PoolJob::Shard(j) => j.run(),
+            PoolJob::Purge(j) => j.run(),
+        }
+    }
+
+    fn idx(&self) -> usize {
+        match self {
+            PoolJob::Level(j) => j.idx,
+            PoolJob::Shard(j) => j.idx,
+            PoolJob::Purge(j) => j.idx,
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads executing [`PoolJob`]s.
 pub(crate) struct WorkerPool {
     /// `Some` while the pool accepts work; taken on drop to close the
     /// queue and let workers drain out.
-    job_tx: Option<Sender<LevelJob>>,
-    done_rx: Receiver<LevelJob>,
+    job_tx: Option<Sender<PoolJob>>,
+    done_rx: Receiver<PoolJob>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Spawns `workers` threads blocked on an empty job queue.
     pub fn new(workers: usize) -> WorkerPool {
-        let (job_tx, job_rx) = channel::<LevelJob>();
-        let (done_tx, done_rx) = channel::<LevelJob>();
+        let (job_tx, job_rx) = channel::<PoolJob>();
+        let (done_tx, done_rx) = channel::<PoolJob>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -95,8 +276,8 @@ impl WorkerPool {
                     .name(format!("sgq-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only for the dequeue, never
-                        // for the operator run, so idle workers can grab
-                        // the next job while this one computes.
+                        // for the job run, so idle workers can grab the
+                        // next job while this one computes.
                         let job = { job_rx.lock().expect("job queue lock").recv() };
                         match job {
                             Ok(mut job) => {
@@ -118,13 +299,13 @@ impl WorkerPool {
         }
     }
 
-    /// Dispatches one level's jobs and blocks until every one completed,
-    /// returning them ordered by their `idx` slot (ascending node order)
-    /// — completion order never leaks to the caller.
-    pub fn run_level(&self, jobs: Vec<LevelJob>) -> Vec<LevelJob> {
+    /// Dispatches a batch of jobs and blocks until every one completed,
+    /// returning them ordered by their `idx` slot — completion order
+    /// never leaks to the caller.
+    fn run_jobs(&self, jobs: Vec<PoolJob>) -> Vec<PoolJob> {
         let n = jobs.len();
         let tx = self.job_tx.as_ref().expect("pool is live until drop");
-        let mut done: Vec<Option<LevelJob>> = Vec::new();
+        let mut done: Vec<Option<PoolJob>> = Vec::new();
         done.resize_with(n, || None);
         for job in jobs {
             tx.send(job).expect("worker threads outlive the pool");
@@ -134,12 +315,48 @@ impl WorkerPool {
                 .done_rx
                 .recv()
                 .expect("worker threads outlive the pool");
-            let slot = job.idx;
+            let slot = job.idx();
             debug_assert!(done[slot].is_none(), "duplicate completion slot");
             done[slot] = Some(job);
         }
         done.into_iter()
             .map(|j| j.expect("every dispatched job completes"))
+            .collect()
+    }
+
+    /// Dispatches one level's node jobs, returning them in ascending
+    /// `idx` (node) order.
+    pub fn run_level(&self, jobs: Vec<LevelJob>) -> Vec<LevelJob> {
+        self.run_jobs(jobs.into_iter().map(PoolJob::Level).collect())
+            .into_iter()
+            .map(|j| match j {
+                PoolJob::Level(j) => j,
+                _ => unreachable!("level dispatch returns level jobs"),
+            })
+            .collect()
+    }
+
+    /// Dispatches one epoch's shard-subgraph jobs, returning them in
+    /// ascending `idx` (shard) order.
+    pub fn run_shards(&self, jobs: Vec<ShardJob>) -> Vec<ShardJob> {
+        self.run_jobs(jobs.into_iter().map(PoolJob::Shard).collect())
+            .into_iter()
+            .map(|j| match j {
+                PoolJob::Shard(j) => j,
+                _ => unreachable!("shard dispatch returns shard jobs"),
+            })
+            .collect()
+    }
+
+    /// Dispatches a run of purge reclamations, returning them in
+    /// ascending `idx` (node) order.
+    pub fn run_purges(&self, jobs: Vec<PurgeJob>) -> Vec<PurgeJob> {
+        self.run_jobs(jobs.into_iter().map(PoolJob::Purge).collect())
+            .into_iter()
+            .map(|j| match j {
+                PoolJob::Purge(j) => j,
+                _ => unreachable!("purge dispatch returns purge jobs"),
+            })
             .collect()
     }
 }

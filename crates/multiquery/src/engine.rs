@@ -220,6 +220,19 @@ impl MultiQueryEngine {
         self.flow.state_size()
     }
 
+    /// Member operators per shard-subgraph in the shared dataflow,
+    /// indexed by shard id (empty when sharding is disabled). Rebuilt on
+    /// every register/deregister alongside the level schedule.
+    pub fn shard_widths(&self) -> Vec<usize> {
+        self.flow.shard_widths()
+    }
+
+    /// Operators whose inputs span shards (the explicit merge points);
+    /// zero when sharding is disabled.
+    pub fn merge_point_count(&self) -> usize {
+        self.flow.merge_point_count()
+    }
+
     /// Current event time.
     pub fn now(&self) -> Timestamp {
         self.now
@@ -561,9 +574,14 @@ impl MultiQueryEngine {
         }
         let expr = reg.expr.clone();
         let (opts, now) = (self.opts, self.now);
-        // Replay serially: determinism makes any worker count equivalent,
-        // and a throwaway one-shot dataflow should not spawn a pool.
-        let mut replay = Dataflow::new(EngineOptions { workers: 1, ..opts });
+        // Replay serially and unsharded: determinism makes any (shards,
+        // workers) configuration equivalent, and a throwaway one-shot
+        // dataflow should not spawn a pool or build shard plans.
+        let mut replay = Dataflow::new(EngineOptions {
+            workers: 1,
+            shards: 1,
+            ..opts
+        });
         let replay_root = replay.lower(&expr);
         {
             // The whole retained window replays as one epoch (dedicated

@@ -20,6 +20,15 @@
 //!   [`drain`](MultiQueryEngine::drain)), and shared purge/slide
 //!   bookkeeping (the host ticks at the gcd of all registered ticks).
 //!
+//! The host inherits the executor's full parallelism contract: with
+//! `EngineOptions::workers` / `EngineOptions::shards` > 1 the shared
+//! dataflow runs level-pooled and label-sharded epochs, and because
+//! shard closures are rebuilt on every `lower`/`retire` — exactly like
+//! the level schedule — registration churn never perturbs determinism:
+//! per-query result logs and executor fingerprints are bit-identical at
+//! any `(shards, workers)` combination, including across mid-stream
+//! deregister/re-register (asserted by `tests/sharding_equivalence.rs`).
+//!
 //! ## Quick start
 //!
 //! ```
