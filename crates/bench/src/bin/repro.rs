@@ -5,19 +5,28 @@
 //! cargo run -p sgq-bench --release --bin repro              # everything
 //! cargo run -p sgq-bench --release --bin repro table2       # one experiment
 //! cargo run -p sgq-bench --release --bin repro all 0.5      # half scale
+//! cargo run -p sgq-bench --release --bin repro --stats table2
 //! ```
 //!
 //! Experiments: `table2`, `fig10a`, `fig10b`, `fig11`, `fig12`, `fig13`,
-//! `fig14`, `table3`, `all`.
+//! `fig14`, `table3`, `all`. With `--stats`, an extra section re-runs
+//! Q1–Q7 under `ObsLevel::Timing`, prints the extended per-query stats
+//! (p50/p99/p99.9 slide latency, peak state) with an explain-analyze of
+//! Q4's lowered plan, and writes the per-operator metrics snapshots to
+//! `METRICS_repro.jsonl`.
 
-use sgq_bench::{row, run_plan, run_query, Scale, System};
+use sgq_bench::{latency_fields, row, run_plan, run_query, run_query_obs, Scale, System};
+use sgq_core::engine::{Engine, EngineOptions};
+use sgq_core::obs::ObsLevel;
 use sgq_core::planner::plan_canonical;
 use sgq_core::rewrite;
-use sgq_datagen::workloads::{self, Dataset};
+use sgq_datagen::{resolve, workloads, workloads::Dataset};
 use sgq_query::SgqQuery;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
     let what = args.first().map(String::as_str).unwrap_or("all");
     let factor: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let scale = Scale::repro().scaled(factor);
@@ -52,6 +61,61 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if stats {
+        stats_report(scale);
+    }
+}
+
+/// `--stats`: Q1–Q7 on both datasets under `ObsLevel::Timing` — the
+/// extended latency/state row per query, an explain-analyze of Q4's
+/// lowered plan with its live counters, and every run's per-operator
+/// metrics snapshot written as JSONL.
+fn stats_report(scale: Scale) {
+    println!("## Per-query stats (ObsLevel::Timing, |W|=30d, β=1d)\n");
+    let window = scale.default_window();
+    let mut jsonl = String::new();
+    for ds in [Dataset::So, Dataset::Snb] {
+        let raw = scale.stream(ds);
+        println!("{}:", ds.name());
+        for n in 1..=7 {
+            let (stats, snap) = run_query_obs(n, ds, &raw, window, ObsLevel::Timing);
+            let profile = stats.latency_profile();
+            println!(
+                "Q{n:<5} p50/p99/p99.9 = {:.4}/{:.4}/{:.4} s   peak_state = {:<8} state_now = {}",
+                profile.percentile(0.50).as_secs_f64(),
+                profile.percentile(0.99).as_secs_f64(),
+                profile.percentile(0.999).as_secs_f64(),
+                stats.peak_state,
+                snap.state_entries,
+            );
+            jsonl.push_str(&format!(
+                "{{\"record\":\"run\",\"dataset\":\"{}\",\"query\":\"Q{n}\", {}}}\n",
+                ds.name(),
+                latency_fields(&stats)
+            ));
+            jsonl.push_str(&snap.to_jsonl());
+        }
+        println!();
+    }
+    // One lowered tree with live counters, for the showcase query of the
+    // plan-space figures.
+    let raw = scale.stream(Dataset::So);
+    let program = workloads::query(4, Dataset::So);
+    let stream = resolve(&raw, program.labels());
+    let query = SgqQuery::new(program, window);
+    let mut engine = Engine::from_query_with(
+        &query,
+        EngineOptions {
+            materialize_paths: false,
+            obs: ObsLevel::Timing,
+            ..Default::default()
+        },
+    );
+    engine.run(&stream);
+    println!("SO Q4 explain-analyze:\n{}", engine.explain_analyze());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_repro.jsonl");
+    std::fs::write(path, &jsonl).expect("write METRICS_repro.jsonl");
+    println!("wrote {path}");
 }
 
 /// Table 2: SGA vs DD throughput/tail-latency, Q1–Q7, SO & SNB,

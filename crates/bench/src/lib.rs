@@ -13,6 +13,7 @@
 
 use sgq_core::engine::{Engine, EngineOptions, PathImpl};
 use sgq_core::metrics::RunStats;
+use sgq_core::obs::{MetricsSnapshot, ObsLevel};
 use sgq_core::planner::Plan;
 use sgq_datagen::{resolve, snb_stream, so_stream, workloads, RawStream, SnbConfig, SoConfig};
 use sgq_dd::DdEngine;
@@ -179,6 +180,49 @@ pub fn run_program(
             dd.run(&stream)
         }
     }
+}
+
+/// Runs query `Qn` on the SGA engine at an explicit observability level,
+/// returning run stats plus the post-run metrics snapshot. Unlike
+/// [`run_query`], the level is pinned rather than read from `SGQ_OBS`,
+/// so benches comparing levels are environment-independent.
+pub fn run_query_obs(
+    n: usize,
+    ds: Dataset,
+    raw: &RawStream,
+    window: WindowSpec,
+    obs: ObsLevel,
+) -> (RunStats, MetricsSnapshot) {
+    let program = workloads::query(n, ds);
+    let stream = resolve(raw, program.labels());
+    let opts = EngineOptions {
+        materialize_paths: false,
+        obs,
+        ..Default::default()
+    };
+    let query = SgqQuery::new(program, window);
+    let mut engine = Engine::from_query_with(&query, opts);
+    let stats = engine.run(&stream);
+    let snapshot = engine.metrics_snapshot();
+    (stats, snapshot)
+}
+
+/// The extended latency/state JSON fields shared by bench rows and
+/// `repro --stats`: p50/p99/p99.9 slide latency (seconds) and the peak
+/// retained state entries. Returned as a fragment (no braces) so callers
+/// splice it into their own row objects.
+pub fn latency_fields(stats: &RunStats) -> String {
+    let profile = stats.latency_profile();
+    format!(
+        concat!(
+            "\"p50_s\": {:.6}, \"p99_s\": {:.6}, ",
+            "\"p999_s\": {:.6}, \"peak_state\": {}"
+        ),
+        profile.percentile(0.50).as_secs_f64(),
+        profile.percentile(0.99).as_secs_f64(),
+        profile.percentile(0.999).as_secs_f64(),
+        stats.peak_state
+    )
 }
 
 /// Runs an explicit (rewritten) plan over a raw stream.

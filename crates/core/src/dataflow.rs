@@ -64,6 +64,7 @@
 use crate::algebra::SgaExpr;
 use crate::engine::{DispatchMode, EngineOptions, PathImpl, PatternImpl};
 use crate::metrics::ExecStats;
+use crate::obs::{fmt_nanos, ObsLevel, OpStats, OperatorSnapshot, TraceEvent, TraceSink};
 use crate::physical::pattern::{CompiledPattern, PatternOp};
 use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
 use crate::physical::wcoj::WcojPatternOp;
@@ -149,6 +150,19 @@ pub struct Dataflow {
     /// `None` when `opts.workers <= 1`).
     pool: Option<WorkerPool>,
     stats: ExecStats,
+    /// Per-node observability stats (parallel to `nodes`); written only at
+    /// [`ObsLevel::Counters`] and above, never part of the determinism
+    /// fingerprint.
+    op_stats: Vec<OpStats>,
+    /// Scratch log of `(node, batch_nanos)` samples accumulated since the
+    /// last [`Dataflow::take_epoch_profile`] drain; filled only when
+    /// `profile_epochs` is set *and* the level is [`ObsLevel::Timing`].
+    epoch_profile: Vec<(usize, u64)>,
+    /// Whether per-node timing samples are logged into `epoch_profile`
+    /// (opted into by hosts that attribute cost per query).
+    profile_epochs: bool,
+    /// Structured lifecycle-event sink, when installed.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Dataflow {
@@ -171,6 +185,10 @@ impl Dataflow {
             shard_plans: Vec::new(),
             pool: None,
             stats: ExecStats::default(),
+            op_stats: Vec::new(),
+            epoch_profile: Vec::new(),
+            profile_epochs: false,
+            trace: None,
         }
     }
 
@@ -376,6 +394,7 @@ impl Dataflow {
         });
         self.retired.push(false);
         self.inboxes.push(Vec::new());
+        self.op_stats.push(OpStats::default());
         self.schedule_dirty = true;
         self.nodes.len() - 1
     }
@@ -634,7 +653,22 @@ impl Dataflow {
         self.stats.epochs += 1;
         self.stats.input_deltas += delivered as u64;
         self.stats.max_epoch_input = self.stats.max_epoch_input.max(delivered);
+        // An installed sink opts into epoch open/close timing regardless of
+        // the `ObsLevel` — tracing is already a per-epoch cost commitment.
+        let started = self.trace.is_some().then(Instant::now);
+        self.emit_trace(TraceEvent::EpochOpen {
+            epoch: self.stats.epochs,
+            now,
+            input_deltas: delivered,
+        });
         self.run_epoch(now, sink);
+        if let Some(started) = started {
+            let nanos = started.elapsed().as_nanos() as u64;
+            self.emit_trace(TraceEvent::EpochClose {
+                epoch: self.stats.epochs,
+                nanos,
+            });
+        }
         delivered
     }
 
@@ -763,6 +797,14 @@ impl Dataflow {
                     .map(|(_, b)| b.len() as u64)
                     .sum::<u64>()
                     >= PARALLEL_MIN_DELTAS;
+            if self.trace.is_some() {
+                self.emit_trace(TraceEvent::LevelDispatch {
+                    epoch: self.stats.epochs,
+                    level: lvl,
+                    width: nodes.len(),
+                    parallel,
+                });
+            }
             if parallel {
                 self.run_level_parallel(&nodes, now, &mut sink);
             } else {
@@ -850,19 +892,26 @@ impl Dataflow {
             });
         }
         let mut jobs: Vec<ShardJob> = Vec::new();
+        let tracing = self.trace.is_some();
+        let mut dispatches: Vec<TraceEvent> = Vec::new();
         for (s, plan) in self.shard_plans.iter().enumerate() {
             if !shard_has_work[s] {
                 continue;
             }
             let mut ops = Vec::with_capacity(plan.nodes.len());
             let mut inboxes = Vec::with_capacity(plan.nodes.len());
+            let mut seeded = 0u64;
             for &n in &plan.nodes {
                 // Box<Tombstone> is a ZST box: no allocation per swap.
                 ops.push(std::mem::replace(
                     &mut self.nodes[n].op,
                     Box::new(Tombstone),
                 ));
-                inboxes.push(std::mem::take(&mut self.inboxes[n]));
+                let inbox = std::mem::take(&mut self.inboxes[n]);
+                if tracing {
+                    seeded += inbox.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+                }
+                inboxes.push(inbox);
             }
             // Hand the job a slice of the recycled-buffer pool so member
             // outputs reuse allocations like the serial sweep does.
@@ -872,6 +921,14 @@ impl Dataflow {
                     Some(b) => spare.push(b),
                     None => break,
                 }
+            }
+            if tracing {
+                dispatches.push(TraceEvent::ShardJob {
+                    epoch: self.stats.epochs,
+                    shard: s,
+                    members: plan.nodes.len(),
+                    seeded,
+                });
             }
             jobs.push(ShardJob {
                 idx: jobs.len(),
@@ -886,8 +943,17 @@ impl Dataflow {
                 dispatched: 0,
                 emitted: 0,
                 fanout: 0,
+                node_obs: if self.opts.obs.counting() {
+                    vec![OpStats::default(); plan.nodes.len()]
+                } else {
+                    Vec::new()
+                },
+                timed: self.opts.obs.timing(),
                 panic: None,
             });
+        }
+        for ev in dispatches {
+            self.emit_trace(ev);
         }
         self.stats.shard_epochs += 1;
         self.stats.shard_subgraph_runs += jobs.len() as u64;
@@ -925,6 +991,20 @@ impl Dataflow {
             self.stats.deltas_dispatched += job.dispatched;
             self.stats.deltas_emitted += job.emitted;
             self.stats.fanout_deliveries += job.fanout;
+            if !job.node_obs.is_empty() {
+                // Per-shard attribution came free: the job owned its
+                // member operators, so these samples are exact.
+                for (i, os) in job.node_obs.iter().enumerate() {
+                    if os.is_zero() {
+                        continue;
+                    }
+                    let n = job.plan.nodes[i];
+                    self.op_stats[n].absorb(os);
+                    if self.profile_epochs && os.batch_nanos > 0 {
+                        self.epoch_profile.push((n, os.batch_nanos));
+                    }
+                }
+            }
             for (lvl, &c) in job.ready_per_level.iter().enumerate() {
                 shard_ready[lvl] += c as u64;
             }
@@ -947,6 +1027,8 @@ impl Dataflow {
             std::panic::resume_unwind(p);
         }
         // Phase 2: the merge replay, in the serial schedule order.
+        let mut replayed = 0usize;
+        let mut merges = 0usize;
         let mut work: Vec<(usize, Option<SharedDeltaBatch>)> = Vec::new();
         for (lvl, &ready_in_shards) in shard_ready.iter().enumerate() {
             work.clear();
@@ -978,10 +1060,23 @@ impl Dataflow {
             work.sort_unstable_by_key(|&(n, _)| n);
             for (n, batch) in work.drain(..) {
                 match batch {
-                    Some(batch) => self.replay_emission(n, batch, sink),
-                    None => self.run_node(n, now, sink),
+                    Some(batch) => {
+                        replayed += 1;
+                        self.replay_emission(n, batch, sink);
+                    }
+                    None => {
+                        merges += 1;
+                        self.run_node(n, now, sink);
+                    }
                 }
             }
+        }
+        if tracing {
+            self.emit_trace(TraceEvent::MergeReplay {
+                epoch: self.stats.epochs,
+                replayed,
+                merges,
+            });
         }
     }
 
@@ -1018,22 +1113,42 @@ impl Dataflow {
     fn run_node(&mut self, n: usize, now: Timestamp, sink: &mut impl FnMut(usize, &DeltaBatch)) {
         let mut segs = std::mem::take(&mut self.inboxes[n]);
         let mut out = self.spare.pop().unwrap_or_default();
+        // The serial hot path stays clock-free below `ObsLevel::Timing`.
+        let obs = self.opts.obs;
+        let started = obs.timing().then(Instant::now);
+        let mut invocations = 0u64;
+        let mut dispatched = 0u64;
         for (port, batch) in segs.drain(..) {
-            self.stats.deltas_dispatched += batch.len() as u64;
+            dispatched += batch.len() as u64;
             if self.opts.dispatch == DispatchMode::Tuple {
                 // Reference executor: one `on_delta` call per tuple
                 // (inline emissions, no batch-aware inner loops).
-                self.stats.operator_invocations += batch.len() as u64;
+                invocations += batch.len() as u64;
                 for d in batch.iter() {
                     self.nodes[n]
                         .op
                         .on_delta(port, d.clone(), now, out.as_mut_vec());
                 }
             } else {
-                self.stats.operator_invocations += 1;
+                invocations += 1;
                 self.nodes[n].op.on_batch(port, &batch, now, &mut out);
             }
             self.recycle_shared(batch);
+        }
+        self.stats.deltas_dispatched += dispatched;
+        self.stats.operator_invocations += invocations;
+        if obs.counting() {
+            let os = &mut self.op_stats[n];
+            os.invocations += invocations;
+            os.deltas_in += dispatched;
+            os.deltas_out += out.len() as u64;
+            if let Some(started) = started {
+                let nanos = started.elapsed().as_nanos() as u64;
+                os.batch_nanos += nanos;
+                if self.profile_epochs {
+                    self.epoch_profile.push((n, nanos));
+                }
+            }
         }
         self.inboxes[n] = segs; // keep the allocation
         if out.is_empty() {
@@ -1066,6 +1181,8 @@ impl Dataflow {
                 now,
                 invocations: 0,
                 dispatched: 0,
+                timed: self.opts.obs.timing(),
+                nanos: 0,
                 panic: None,
             });
         }
@@ -1092,6 +1209,16 @@ impl Dataflow {
             self.inboxes[job.node] = job.segs; // keep the allocation
             self.stats.operator_invocations += job.invocations;
             self.stats.deltas_dispatched += job.dispatched;
+            if self.opts.obs.counting() {
+                let os = &mut self.op_stats[job.node];
+                os.invocations += job.invocations;
+                os.deltas_in += job.dispatched;
+                os.deltas_out += job.out.len() as u64;
+                os.batch_nanos += job.nanos;
+                if self.profile_epochs && job.nanos > 0 {
+                    self.epoch_profile.push((job.node, job.nanos));
+                }
+            }
             if let Some(p) = job.panic.take() {
                 panic.get_or_insert(p);
             } else {
@@ -1178,11 +1305,14 @@ impl Dataflow {
     ) {
         self.ensure_schedule();
         let parallel = self.opts.workers > 1 && reclaim_all;
+        let purge_started = self.trace.is_some().then(Instant::now);
+        let mut purged_ops = 0usize;
         let mut pending: Vec<PurgeJob> = Vec::new();
         for n in 0..self.nodes.len() {
             if self.retired[n] || (!reclaim_all && !self.nodes[n].op.needs_timely_purge()) {
                 continue;
             }
+            purged_ops += 1;
             if parallel && !self.nodes[n].op.needs_timely_purge() {
                 // Work gate: an operator holding no state has nothing to
                 // reclaim — run its (no-op) purge inline rather than pay
@@ -1192,6 +1322,9 @@ impl Dataflow {
                     self.nodes[n].op.purge(watermark, outs.as_mut_vec());
                     debug_assert!(outs.is_empty(), "stateless purge emitted");
                     self.recycle(outs);
+                    if self.opts.obs.counting() {
+                        self.op_stats[n].purges += 1;
+                    }
                     continue;
                 }
                 let op = std::mem::replace(&mut self.nodes[n].op, Box::new(Tombstone));
@@ -1201,6 +1334,8 @@ impl Dataflow {
                     op,
                     watermark,
                     out: Vec::new(),
+                    timed: self.opts.obs.timing(),
+                    nanos: 0,
                     panic: None,
                 });
                 continue;
@@ -1209,8 +1344,17 @@ impl Dataflow {
             // continuations may cascade into operators the run borrowed),
             // then purge serially and propagate the continuations.
             self.flush_purge_jobs(&mut pending, now, &mut sink);
+            let started = self.opts.obs.timing().then(Instant::now);
             let mut outs = self.spare.pop().unwrap_or_default();
             self.nodes[n].op.purge(watermark, outs.as_mut_vec());
+            if self.opts.obs.counting() {
+                let os = &mut self.op_stats[n];
+                os.purges += 1;
+                os.deltas_out += outs.len() as u64;
+                if let Some(started) = started {
+                    os.purge_nanos += started.elapsed().as_nanos() as u64;
+                }
+            }
             if outs.is_empty() {
                 self.spare.push(outs);
             } else {
@@ -1220,6 +1364,15 @@ impl Dataflow {
             }
         }
         self.flush_purge_jobs(&mut pending, now, &mut sink);
+        if let Some(started) = purge_started {
+            let nanos = started.elapsed().as_nanos() as u64;
+            self.emit_trace(TraceEvent::Purge {
+                watermark,
+                reclaim_all,
+                ops: purged_ops,
+                nanos,
+            });
+        }
     }
 
     /// Runs a pending batch of direct-approach reclamations on the worker
@@ -1254,6 +1407,11 @@ impl Dataflow {
         let mut outs: Vec<(usize, Vec<Delta>)> = Vec::new();
         for mut job in done {
             self.nodes[job.node].op = job.op;
+            if self.opts.obs.counting() {
+                let os = &mut self.op_stats[job.node];
+                os.purges += 1;
+                os.purge_nanos += job.nanos;
+            }
             if let Some(p) = job.panic.take() {
                 panic.get_or_insert(p);
             } else if !job.out.is_empty() {
@@ -1275,6 +1433,124 @@ impl Dataflow {
             let mut batch = self.spare.pop().unwrap_or_default();
             *batch.as_mut_vec() = out;
             self.emit_from(n, batch, now, &mut *sink);
+        }
+    }
+
+    /// Forwards `ev` to the installed trace sink, if any.
+    fn emit_trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.event(&ev);
+        }
+    }
+
+    /// Installs a structured lifecycle-event sink. Installing a sink opts
+    /// into epoch open/close wall-clock timing regardless of
+    /// [`EngineOptions::obs`] (tracing is already a per-epoch cost
+    /// commitment); all other timing still requires [`ObsLevel::Timing`].
+    /// Tracing never affects results or the determinism fingerprint.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Forwards a host-originated event (query registration churn and the
+    /// like) to the installed trace sink, if any — hosts share the
+    /// dataflow's sink instead of threading their own.
+    pub fn trace_event(&mut self, ev: &TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.event(ev);
+        }
+    }
+
+    /// The observability collection level this dataflow runs at.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.opts.obs
+    }
+
+    /// Node `n`'s accumulated observability stats (all-zero below
+    /// [`ObsLevel::Counters`]).
+    pub fn op_stats(&self, n: usize) -> OpStats {
+        self.op_stats[n]
+    }
+
+    /// Opts into per-node timing samples: at [`ObsLevel::Timing`] every
+    /// `(node, batch_nanos)` sample is additionally logged for
+    /// [`Dataflow::take_epoch_profile`] to drain. Hosts that attribute
+    /// shared-operator cost to subscriber queries (the multi-query
+    /// engine) enable this; the log grows until drained, so enabling it
+    /// without draining leaks.
+    pub fn enable_epoch_profile(&mut self) {
+        self.profile_epochs = true;
+    }
+
+    /// Drains the timing samples accumulated since the last drain into
+    /// `into` (appending; existing contents are kept).
+    pub fn take_epoch_profile(&mut self, into: &mut Vec<(usize, u64)>) {
+        into.append(&mut self.epoch_profile);
+    }
+
+    /// A point-in-time snapshot of every live operator: identity (node,
+    /// name, level, shard), accumulated [`OpStats`], and retained state
+    /// entries, in ascending node order.
+    pub fn operator_snapshots(&self) -> Vec<OperatorSnapshot> {
+        debug_assert!(!self.schedule_dirty);
+        (0..self.nodes.len())
+            .filter(|&n| !self.retired[n])
+            .map(|n| OperatorSnapshot {
+                node: n,
+                name: self.nodes[n].op.name(),
+                level: self.level_of[n],
+                shard: self.shard_of.get(n).copied().flatten(),
+                stats: self.op_stats[n],
+                state_entries: self.nodes[n].op.state_size(),
+            })
+            .collect()
+    }
+
+    /// Renders `expr`'s lowered operator tree with live counters — the
+    /// explain-analyze body shared by [`Engine`](crate::engine::Engine)
+    /// and the multi-query host. Counter fields read zero below
+    /// [`ObsLevel::Counters`]; timing fields appear only once non-zero
+    /// (i.e. under [`ObsLevel::Timing`]).
+    pub fn explain_expr(&self, expr: &SgaExpr) -> String {
+        let mut out = String::new();
+        self.explain_rec(expr, 0, &mut out);
+        out
+    }
+
+    fn explain_rec(&self, expr: &SgaExpr, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self.lookup(expr).filter(|&n| !self.retired[n]) {
+            Some(n) => {
+                let node = &self.nodes[n];
+                let os = self.op_stats[n];
+                let _ = write!(out, "#{n} {} level={}", node.op.name(), self.level_of[n]);
+                if let Some(s) = self.shard_of.get(n).copied().flatten() {
+                    let _ = write!(out, " shard={s}");
+                }
+                let _ = write!(
+                    out,
+                    " inv={} in={} out={} sel={:.3} state={}",
+                    os.invocations,
+                    os.deltas_in,
+                    os.deltas_out,
+                    os.selectivity(),
+                    node.op.state_size(),
+                );
+                if os.batch_nanos > 0 {
+                    let _ = write!(out, " time={}", fmt_nanos(os.batch_nanos));
+                }
+                if os.purges > 0 {
+                    let _ = write!(out, " purge={}x/{}", os.purges, fmt_nanos(os.purge_nanos));
+                }
+            }
+            None => out.push_str("<not lowered>"),
+        }
+        out.push('\n');
+        for child in expr.children() {
+            self.explain_rec(child, depth + 1, out);
         }
     }
 }

@@ -17,6 +17,7 @@
 use crate::algebra::SgaExpr;
 use crate::dataflow::Dataflow;
 use crate::metrics::RunStats;
+use crate::obs::{MetricsSnapshot, ObsLevel, TraceSink};
 use crate::physical::Delta;
 use crate::planner::{plan_canonical, Plan};
 use sgq_query::SgqQuery;
@@ -114,6 +115,18 @@ pub struct EngineOptions {
     ///
     /// [`ExecStats`]: crate::metrics::ExecStats
     pub shards: usize,
+    /// Observability collection level (see [`ObsLevel`]). `Off` (the
+    /// default) keeps the serial hot path clock-free and skips every
+    /// per-operator counter update; `Counters` adds clock-free counting;
+    /// `Timing` adds wall-clock nanos per `on_batch`/`purge` call. None of
+    /// the collected counters participate in
+    /// `ExecStats::determinism_fingerprint`, and collection never affects
+    /// results — result logs are **bit-identical with observability on or
+    /// off** at any `(shards, workers)` (asserted by the obs-neutrality
+    /// proptests). The default honours the `SGQ_OBS` environment variable
+    /// (`off`/`counters`/`timing`), which is how CI runs the whole suite
+    /// with observability on without touching test code.
+    pub obs: ObsLevel,
 }
 
 impl Default for EngineOptions {
@@ -127,6 +140,7 @@ impl Default for EngineOptions {
             dispatch: DispatchMode::Epoch,
             workers: default_workers(),
             shards: default_shards(),
+            obs: default_obs(),
         }
     }
 }
@@ -144,6 +158,12 @@ pub fn default_shards() -> usize {
     positive_env("SGQ_SHARDS")
 }
 
+/// The default observability level: `SGQ_OBS` when set
+/// (`off`/`counters`/`timing`, or `0`/`1`/`2`), else [`ObsLevel::Off`].
+pub fn default_obs() -> ObsLevel {
+    ObsLevel::from_env()
+}
+
 fn positive_env(var: &str) -> usize {
     std::env::var(var)
         .ok()
@@ -157,6 +177,8 @@ pub struct Engine {
     /// The physical operator graph (shared lowering machinery).
     flow: Dataflow,
     root: usize,
+    /// The lowered plan expression (kept for explain-analyze rendering).
+    expr: SgaExpr,
     labels: LabelInterner,
     answer: Label,
     slide: u64,
@@ -209,6 +231,7 @@ impl Engine {
         Engine {
             flow,
             root,
+            expr: plan.expr.clone(),
             labels: plan.labels.clone(),
             answer: plan.answer,
             slide,
@@ -518,6 +541,57 @@ impl Engine {
     /// Operator names in the dataflow (diagnostics).
     pub fn operator_names(&self) -> Vec<String> {
         self.flow.operator_names()
+    }
+
+    /// The observability collection level this engine runs at.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.opts.obs
+    }
+
+    /// Installs a [`TraceSink`] receiving structured lifecycle events
+    /// (epoch open/close, level dispatch, shard jobs, merge replay,
+    /// purges) from the executor. Installing a sink opts into epoch
+    /// open/close wall-clock timing regardless of [`EngineOptions::obs`];
+    /// per-operator nanos still require [`ObsLevel::Timing`]. Tracing
+    /// never affects results.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flow.set_trace_sink(sink);
+    }
+
+    /// Renders the lowered plan tree annotated with live per-operator
+    /// counters — invocations, deltas in/out, measured selectivity,
+    /// retained state, and (at [`ObsLevel::Timing`]) wall-clock nanos —
+    /// plus an engine-wide executor summary. Counter lines read zero
+    /// below [`ObsLevel::Counters`]; structure and state are always live.
+    pub fn explain_analyze(&self) -> String {
+        let stats = self.flow.exec_stats();
+        let mut out = format!(
+            "== explain analyze (obs={}) ==\n\
+             epochs={} input_deltas={} invocations={} dispatched={} emitted={} state={}\n",
+            self.opts.obs.name(),
+            stats.epochs,
+            stats.input_deltas,
+            stats.operator_invocations,
+            stats.deltas_dispatched,
+            stats.deltas_emitted,
+            self.flow.state_size(),
+        );
+        out.push_str(&self.flow.explain_expr(&self.expr));
+        out
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] of the engine: executor
+    /// counters plus one [`crate::obs::OperatorSnapshot`] per live
+    /// operator (the per-query section is empty — that is the multi-query
+    /// host's surface). Serialisable as JSONL/CSV for external consumers.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            level: self.opts.obs,
+            exec: self.flow.exec_stats(),
+            state_entries: self.flow.state_size(),
+            operators: self.flow.operator_snapshots(),
+            queries: Vec::new(),
+        }
     }
 
     /// Drives the engine over an entire ordered stream, collecting the

@@ -25,6 +25,10 @@
 //!   at slide boundaries, and the snapshot-reducibility query surface used
 //!   for testing.
 //! * [`metrics`] — throughput / per-slide tail-latency accounting (§7.1.1).
+//! * [`obs`] — flight-recorder observability: per-operator counters, log2
+//!   latency histograms, trace sinks, and the metrics-snapshot exporter,
+//!   all gated by [`obs::ObsLevel`] and excluded from the determinism
+//!   contract.
 //!
 //! ## Quick start
 //!
@@ -57,6 +61,7 @@ pub mod algebra;
 pub mod dataflow;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod optimizer;
 pub mod physical;
 pub mod planner;
@@ -66,5 +71,6 @@ pub mod rewrite;
 pub use algebra::{FilterPred, Pos, SgaExpr, Side};
 pub use dataflow::{Dataflow, DataflowNode};
 pub use engine::{Engine, EngineOptions, PathImpl, PatternImpl};
-pub use metrics::RunStats;
+pub use metrics::{LatencyProfile, RunStats};
+pub use obs::{MetricsSnapshot, ObsLevel, TraceEvent, TraceSink};
 pub use planner::{plan_canonical, Plan};

@@ -174,14 +174,20 @@ impl RunStats {
     }
 
     /// The p-th percentile (0.0–1.0) of per-slide latency.
+    ///
+    /// Sorts a copy of the latency log per call; callers reading several
+    /// percentiles from one run (soak reports, bench rows) should take a
+    /// [`RunStats::latency_profile`] once and query that instead.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        if self.slide_latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let mut v = self.slide_latencies.clone();
-        v.sort_unstable();
-        let rank = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        v[rank]
+        self.latency_profile().percentile(p)
+    }
+
+    /// A sorted snapshot of the per-slide latency log, for reading many
+    /// percentiles without re-sorting per call. `slide_latencies` itself
+    /// stays in chronological order (callers plot it over time), which is
+    /// why the profile is a separate value.
+    pub fn latency_profile(&self) -> LatencyProfile {
+        LatencyProfile::new(&self.slide_latencies)
     }
 
     /// The 99th-percentile tail latency reported in the paper's tables.
@@ -195,6 +201,48 @@ impl RunStats {
             return Duration::ZERO;
         }
         self.slide_latencies.iter().sum::<Duration>() / self.slide_latencies.len() as u32
+    }
+}
+
+/// A sorted-once latency distribution: amortises the sort that
+/// [`RunStats::latency_percentile`] otherwise repeats per call across
+/// every percentile a report reads.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyProfile {
+    sorted: Vec<Duration>,
+}
+
+impl LatencyProfile {
+    /// Builds a profile from a latency log (any order).
+    pub fn new(latencies: &[Duration]) -> LatencyProfile {
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        LatencyProfile { sorted }
+    }
+
+    /// The p-th percentile (0.0–1.0); `Duration::ZERO` when empty. Same
+    /// nearest-rank convention as [`RunStats::latency_percentile`].
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        self.sorted[rank]
+    }
+
+    /// The largest recorded latency; `Duration::ZERO` when empty.
+    pub fn max(&self) -> Duration {
+        self.sorted.last().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of recorded latencies.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether no latencies were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
     }
 }
 
@@ -301,5 +349,27 @@ mod tests {
         let s = RunStats::default();
         assert_eq!(s.tail_latency(), Duration::ZERO);
         assert_eq!(s.mean_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_profile_matches_per_call_percentiles() {
+        // Deliberately unsorted log: the profile sorts once and must agree
+        // with the per-call path at every rank, while the log itself keeps
+        // its chronological order.
+        let s = RunStats {
+            slide_latencies: (1..=100).rev().map(Duration::from_millis).collect(),
+            ..Default::default()
+        };
+        let profile = s.latency_profile();
+        for p in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(profile.percentile(p), s.latency_percentile(p));
+        }
+        assert_eq!(profile.len(), 100);
+        assert_eq!(profile.max(), Duration::from_millis(100));
+        assert_eq!(s.slide_latencies[0], Duration::from_millis(100));
+        let empty = LatencyProfile::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentile(0.99), Duration::ZERO);
+        assert_eq!(empty.max(), Duration::ZERO);
     }
 }

@@ -31,12 +31,14 @@
 //! worker finished first. Completion *order* is the only nondeterministic
 //! thing here, and it is erased by the indexed merge.
 
+use crate::obs::OpStats;
 use crate::physical::{Delta, DeltaBatch, PhysicalOp, SharedDeltaBatch};
 use sgq_types::Timestamp;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One node's work for the current level, shipped to a worker thread and
 /// back. The operator travels *with* the job — each node is owned by
@@ -61,6 +63,11 @@ pub(crate) struct LevelJob {
     pub invocations: u64,
     /// Deltas handed to the operator (merged into `ExecStats`).
     pub dispatched: u64,
+    /// Whether to clock the run (observability at `ObsLevel::Timing`).
+    pub timed: bool,
+    /// Wall-clock nanos spent in the run when `timed` (merged into the
+    /// node's [`OpStats`] by the caller).
+    pub nanos: u64,
     /// A panic the operator raised on the worker thread, carried back so
     /// the caller can resume it on the executor thread.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
@@ -71,6 +78,7 @@ impl LevelJob {
     /// job — filling `out` and the stats counters. An operator panic is
     /// captured into `self.panic` instead of unwinding the worker.
     pub fn run(&mut self) {
+        let started = self.timed.then(Instant::now);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             for (port, batch) in &self.segs {
                 self.dispatched += batch.len() as u64;
@@ -78,6 +86,9 @@ impl LevelJob {
                 self.op.on_batch(*port, batch, self.now, &mut self.out);
             }
         }));
+        if let Some(started) = started {
+            self.nanos = started.elapsed().as_nanos() as u64;
+        }
         if let Err(payload) = result {
             self.panic = Some(payload);
         }
@@ -143,6 +154,14 @@ pub(crate) struct ShardJob {
     pub emitted: u64,
     /// In-shard batch deliveries (merged into `fanout_deliveries`).
     pub fanout: u64,
+    /// Per-member observability stats, parallel to `plan.nodes`. Empty
+    /// when collection is off (the worker then skips per-member
+    /// bookkeeping entirely); filled here for free per-shard attribution
+    /// since the job owns its member operators.
+    pub node_obs: Vec<OpStats>,
+    /// Whether to clock each member's batch work (observability at
+    /// `ObsLevel::Timing`).
+    pub timed: bool,
     /// A panic raised by a member operator, carried home for resumption.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
 }
@@ -155,6 +174,7 @@ impl ShardJob {
     /// serial sweep restricted to the shard — per-member inputs, and
     /// hence the recorded emissions, are bit-identical to it.
     pub fn run(&mut self) {
+        let collect = !self.node_obs.is_empty();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             for i in 0..self.plan.nodes.len() {
                 if self.inboxes[i].is_empty() {
@@ -163,10 +183,24 @@ impl ShardJob {
                 self.ready_per_level[self.plan.levels[i]] += 1;
                 let mut segs = std::mem::take(&mut self.inboxes[i]);
                 let mut out = self.spare.pop().unwrap_or_default();
+                let started = (collect && self.timed).then(Instant::now);
+                let mut invocations = 0u64;
+                let mut dispatched = 0u64;
                 for (port, batch) in segs.drain(..) {
-                    self.dispatched += batch.len() as u64;
-                    self.invocations += 1;
+                    dispatched += batch.len() as u64;
+                    invocations += 1;
                     self.ops[i].on_batch(port, &batch, self.now, &mut out);
+                }
+                self.dispatched += dispatched;
+                self.invocations += invocations;
+                if collect {
+                    let os = &mut self.node_obs[i];
+                    os.invocations += invocations;
+                    os.deltas_in += dispatched;
+                    os.deltas_out += out.len() as u64;
+                    if let Some(started) = started {
+                        os.batch_nanos += started.elapsed().as_nanos() as u64;
+                    }
                 }
                 self.inboxes[i] = segs; // keep the allocation
                 if out.is_empty() {
@@ -206,6 +240,12 @@ pub(crate) struct PurgeJob {
     /// (asserted by the caller); carried so a hypothetical emitting
     /// operator would fail loudly instead of losing results.
     pub out: Vec<Delta>,
+    /// Whether to clock the reclamation (observability at
+    /// `ObsLevel::Timing`).
+    pub timed: bool,
+    /// Wall-clock nanos spent reclaiming when `timed` (merged into the
+    /// node's [`OpStats`] by the caller).
+    pub nanos: u64,
     /// A panic raised by the operator, carried home for resumption.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
 }
@@ -214,9 +254,13 @@ impl PurgeJob {
     /// Reclaims the operator's expired state on whichever thread owns the
     /// job.
     pub fn run(&mut self) {
+        let started = self.timed.then(Instant::now);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             self.op.purge(self.watermark, &mut self.out);
         }));
+        if let Some(started) = started {
+            self.nanos = started.elapsed().as_nanos() as u64;
+        }
         if let Err(payload) = result {
             self.panic = Some(payload);
         }

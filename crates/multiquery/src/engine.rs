@@ -7,6 +7,7 @@ use sgq_core::algebra::SgaExpr;
 use sgq_core::dataflow::Dataflow;
 use sgq_core::engine::answer_at;
 use sgq_core::engine::EngineOptions;
+use sgq_core::obs::{fmt_nanos, MetricsSnapshot, ObsLevel, QuerySnapshot, TraceEvent, TraceSink};
 use sgq_core::physical::Delta;
 use sgq_core::planner::plan_canonical;
 use sgq_query::SgqQuery;
@@ -48,6 +49,9 @@ pub struct MultiQueryEngine {
     /// large-window query may come back), raised further by
     /// [`MultiQueryEngine::set_retention_horizon`].
     retention_horizon: u64,
+    /// Scratch buffer for draining the dataflow's per-epoch timing
+    /// profile (reused across epochs to avoid per-epoch allocation).
+    profile: Vec<(usize, u64)>,
 }
 
 /// Borrowed `process`-style collectors: newly accepted `(QueryId, Sgt)`
@@ -76,8 +80,14 @@ impl MultiQueryEngine {
     /// Options are host-wide: shared operators must be built identically
     /// for every query subscribing to them.
     pub fn with_options(opts: EngineOptions) -> MultiQueryEngine {
+        let mut flow = Dataflow::new(opts);
+        if opts.obs.timing() {
+            // Per-epoch timing samples feed the per-query cost attribution
+            // (drained every epoch by `record_epoch_obs`, so no growth).
+            flow.enable_epoch_profile();
+        }
         MultiQueryEngine {
-            flow: Dataflow::new(opts),
+            flow,
             canon: Canonicalizer::new(),
             registry: Registry::default(),
             opts,
@@ -88,6 +98,7 @@ impl MultiQueryEngine {
             last_physical_purge: None,
             retained: VecDeque::new(),
             retention_horizon: 0,
+            profile: Vec::new(),
         }
     }
 
@@ -161,6 +172,7 @@ impl MultiQueryEngine {
             .opts
             .purge_period
             .unwrap_or_else(|| slide.max(plan.window.size / 4).max(1));
+        let node_count = nodes.len();
         let id = self.registry.insert(Registration {
             root,
             nodes,
@@ -173,11 +185,27 @@ impl MultiQueryEngine {
             deleted: Vec::new(),
             dedup: FxHashMap::default(),
             drained: 0,
+            latency_hist: Default::default(),
+            emission_hist: Default::default(),
+            obs_results: 0,
+            obs_deleted: 0,
         });
         self.recompute_schedule();
         if self.opts.suppress_duplicates {
             self.catch_up(id);
+            // Catch-up seeds the sink with the whole retained window at
+            // once; advance the sampling marks so it does not register as
+            // one giant per-epoch emission.
+            if let Some(reg) = self.registry.get_mut(id) {
+                reg.obs_results = reg.results.len();
+                reg.obs_deleted = reg.deleted.len();
+            }
         }
+        self.flow.trace_event(&TraceEvent::Register {
+            query: id.0,
+            root,
+            nodes: node_count,
+        });
         id
     }
 
@@ -189,8 +217,13 @@ impl MultiQueryEngine {
         let Some((_, dead)) = self.registry.remove(id) else {
             return false;
         };
+        let retired = dead.len();
         self.flow.retire(&dead);
         self.recompute_schedule();
+        self.flow.trace_event(&TraceEvent::Deregister {
+            query: id.0,
+            retired,
+        });
         true
     }
 
@@ -249,6 +282,80 @@ impl MultiQueryEngine {
         self.registry
             .get(id)
             .map(|r| r.expr.display(self.canon.labels()))
+    }
+
+    /// The observability collection level this host runs at.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.opts.obs
+    }
+
+    /// Installs a [`TraceSink`] on the shared dataflow; it additionally
+    /// receives the host's register/deregister lifecycle events. See
+    /// [`sgq_core::dataflow::Dataflow::set_trace_sink`] for the gating
+    /// rules — tracing never affects results.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flow.set_trace_sink(sink);
+    }
+
+    /// Renders query `id`'s lowered plan tree annotated with live
+    /// per-operator counters, followed by the query's attributed-latency
+    /// and emission histogram summaries. `None` for an unknown id.
+    /// Counter lines read zero below [`ObsLevel::Counters`]; timing
+    /// requires [`ObsLevel::Timing`].
+    pub fn explain_analyze(&self, id: QueryId) -> Option<String> {
+        let reg = self.registry.get(id)?;
+        let mut out = format!(
+            "== explain analyze {id} (obs={}) ==\nplan: {}\n",
+            self.opts.obs.name(),
+            reg.expr.display(self.canon.labels()),
+        );
+        out.push_str(&self.flow.explain_expr(&reg.expr));
+        let lat = reg.latency_hist.summary();
+        let emi = reg.emission_hist.summary();
+        out.push_str(&format!(
+            "results={} deleted={} latency: epochs={} p50={} p99={} max={}\n\
+             emissions: epochs={} p50={} p99={} max={}\n",
+            reg.results.len(),
+            reg.deleted.len(),
+            lat.count,
+            fmt_nanos(lat.p50),
+            fmt_nanos(lat.p99),
+            fmt_nanos(lat.max),
+            emi.count,
+            emi.p50,
+            emi.p99,
+            emi.max,
+        ));
+        Some(out)
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] of the host: executor counters,
+    /// one operator record per live node in the shared dataflow, and one
+    /// query record per registration (latency/emission histogram
+    /// summaries). Serialisable as JSONL/CSV for external consumers.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let queries = self
+            .registry
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let reg = self.registry.get(id)?;
+                Some(QuerySnapshot {
+                    query: id.0,
+                    results: reg.results.len(),
+                    deleted: reg.deleted.len(),
+                    latency: reg.latency_hist.summary(),
+                    emissions: reg.emission_hist.summary(),
+                })
+            })
+            .collect();
+        MetricsSnapshot {
+            level: self.opts.obs,
+            exec: self.flow.exec_stats(),
+            state_entries: self.flow.state_size(),
+            operators: self.flow.operator_snapshots(),
+            queries,
+        }
     }
 
     /// Processes one arriving sge, returning the newly emitted results of
@@ -441,6 +548,7 @@ impl MultiQueryEngine {
         flow.ingest(label, delta, now, |n, batch| {
             registry.route_batch(n, batch, &opts, reborrow(&mut collect));
         });
+        self.record_epoch_obs();
     }
 
     /// Delivers the accumulated epoch through the shared dataflow in one
@@ -458,6 +566,7 @@ impl MultiQueryEngine {
         flow.ingest_epoch(epoch.drain(..), now, |n, batch| {
             registry.route_batch(n, batch, &opts, reborrow(&mut collect));
         });
+        self.record_epoch_obs();
     }
 
     /// Executor dispatch counters for the shared dataflow.
@@ -499,6 +608,25 @@ impl MultiQueryEngine {
                 purge_dedup(&mut reg.dedup, watermark);
             }
         }
+        // Purge continuations emit results too (negative-tuple PATH window
+        // movement); sample them like any epoch.
+        self.record_epoch_obs();
+    }
+
+    /// Samples one epoch's per-query observability: emission counts since
+    /// the last sample, and (at [`ObsLevel::Timing`]) the epoch's drained
+    /// per-node timing profile attributed by fan-out share. No-op below
+    /// [`ObsLevel::Counters`].
+    fn record_epoch_obs(&mut self) {
+        if !self.opts.obs.counting() {
+            return;
+        }
+        let timed = self.opts.obs.timing();
+        self.profile.clear();
+        if timed {
+            self.flow.take_epoch_profile(&mut self.profile);
+        }
+        self.registry.record_epoch_obs(&self.profile, timed);
     }
 
     fn retain_input(&mut self, sge: Sge, props: Option<SharedProps>) {
@@ -576,10 +704,13 @@ impl MultiQueryEngine {
         let (opts, now) = (self.opts, self.now);
         // Replay serially and unsharded: determinism makes any (shards,
         // workers) configuration equivalent, and a throwaway one-shot
-        // dataflow should not spawn a pool or build shard plans.
+        // dataflow should not spawn a pool or build shard plans. Obs off:
+        // collection never affects results, and replay cost belongs to
+        // registration, not to any query's epoch accounting.
         let mut replay = Dataflow::new(EngineOptions {
             workers: 1,
             shards: 1,
+            obs: ObsLevel::Off,
             ..opts
         });
         let replay_root = replay.lower(&expr);

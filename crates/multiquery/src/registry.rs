@@ -3,6 +3,7 @@
 
 use sgq_core::algebra::SgaExpr;
 use sgq_core::engine::{sink_batch_relabel, sink_result, EngineOptions};
+use sgq_core::obs::LogHistogram;
 use sgq_core::physical::{Delta, DeltaBatch};
 use sgq_types::{FxHashMap, FxHashSet, Interval, IntervalSet, Label, Sgt, Timestamp, VertexId};
 
@@ -46,6 +47,19 @@ pub(crate) struct Registration {
     pub dedup: FxHashMap<(VertexId, VertexId), IntervalSet>,
     /// Drain cursor into `results` (see `MultiQueryEngine::drain`).
     pub drained: usize,
+    /// Per-epoch attributed-cost histogram (nanos): each epoch's operator
+    /// nanos, shared-operator cost split by fan-out share. Populated only
+    /// at `ObsLevel::Timing`; never part of the determinism contract.
+    pub latency_hist: LogHistogram,
+    /// Per-epoch emission-count histogram (results + deletions accepted
+    /// per epoch this query emitted in). Populated at `ObsLevel::Counters`
+    /// and above.
+    pub emission_hist: LogHistogram,
+    /// Results high-water mark at the last observability sample (how many
+    /// of `results` were already accounted).
+    pub obs_results: usize,
+    /// Deleted-results high-water mark at the last observability sample.
+    pub obs_deleted: usize,
 }
 
 /// Runtime registry of persistent queries sharing one dataflow.
@@ -211,6 +225,41 @@ impl Registry {
         dst.deleted = deleted.into_iter().map(relabel).collect();
         dst.dedup = dedup;
         dst.drained = 0;
+    }
+
+    /// Samples one epoch's observability for every registration: emission
+    /// counts since the last sample feed each query's emission histogram,
+    /// and (when `timed`) the epoch's per-node `(node, nanos)` samples in
+    /// `profile` are attributed to subscriber queries — a node shared by
+    /// `k` registrations charges each `nanos / k` (integer fan-out share;
+    /// the histogram's log2 buckets make the rounding loss irrelevant) —
+    /// and feed each query's latency histogram.
+    pub fn record_epoch_obs(&mut self, profile: &[(usize, u64)], timed: bool) {
+        let Registry {
+            entries, refcount, ..
+        } = self;
+        for reg in entries.values_mut() {
+            let emitted =
+                (reg.results.len() - reg.obs_results) + (reg.deleted.len() - reg.obs_deleted);
+            reg.obs_results = reg.results.len();
+            reg.obs_deleted = reg.deleted.len();
+            if emitted > 0 {
+                reg.emission_hist.record(emitted as u64);
+            }
+            if !timed {
+                continue;
+            }
+            let mut nanos = 0u64;
+            for &(n, ns) in profile {
+                if reg.nodes.contains(&n) {
+                    let share = refcount.get(&n).copied().unwrap_or(1).max(1) as u64;
+                    nanos += ns / share;
+                }
+            }
+            if nanos > 0 {
+                reg.latency_hist.record(nanos);
+            }
+        }
     }
 }
 

@@ -31,6 +31,7 @@ fn main() {
     let stream = resolve(&raw, &canonical.labels);
 
     let mut reference: Option<std::collections::BTreeSet<(u64, u64)>> = None;
+    let mut best: Option<(usize, f64)> = None;
     for (i, plan) in plans.iter().enumerate() {
         let mut engine = Engine::from_plan(plan);
         let stats = engine.run(&stream);
@@ -43,6 +44,9 @@ fn main() {
             None => reference = Some(answers),
             Some(r) => assert_eq!(r, &answers, "plan {i} disagrees"),
         }
+        if best.is_none_or(|(_, t)| stats.throughput() > t) {
+            best = Some((i, stats.throughput()));
+        }
         println!(
             "plan {i}: {:>9.0} edges/s, p99 slide latency {:>9.2?}, {} ops, {} stateful",
             stats.throughput(),
@@ -52,4 +56,19 @@ fn main() {
         );
     }
     println!("\nall plans returned identical answers ✓");
+
+    // Re-run the fastest plan with full observability and render the
+    // lowered tree with its live counters — where the plans' throughput
+    // gap actually comes from (per-operator selectivity, state, nanos).
+    let (i, _) = best.expect("at least the canonical plan ran");
+    let mut engine = Engine::from_plan_with(
+        &plans[i],
+        EngineOptions {
+            obs: ObsLevel::Timing,
+            ..Default::default()
+        },
+    );
+    engine.run(&stream);
+    println!("\nfastest plan was plan {i}; explain-analyze under SGQ_OBS=timing:");
+    println!("{}", engine.explain_analyze());
 }

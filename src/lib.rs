@@ -48,6 +48,7 @@ pub use sgq_types as types;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sgq_core::engine::{Engine, EngineOptions, PathImpl, PatternImpl};
+    pub use sgq_core::obs::{JsonlTraceSink, MetricsSnapshot, ObsLevel, TraceEvent, TraceSink};
     pub use sgq_core::planner::{plan_canonical, Plan};
     pub use sgq_core::rewrite;
     pub use sgq_multiquery::{MultiQueryEngine, QueryId};
