@@ -101,6 +101,43 @@ impl Regex {
         }
     }
 
+    /// The ε-free projection of the language: a regex for `L(R) \ {ε}`.
+    ///
+    /// PATH results carry validity intervals derived from their
+    /// constituent edges, so the empty path is never reported and a
+    /// top-level `R*` coincides with `R+` (the empty-word note in the
+    /// query oracle). The planner normalises PATH regexes through this,
+    /// so `l*` and `l+` compile to the *same expression* — and downstream
+    /// to the same shared operator in a multi-query host.
+    pub fn non_empty(&self) -> Regex {
+        if !self.nullable() {
+            return self.clone();
+        }
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Label(_) => unreachable!("label atoms are never nullable"),
+            // Non-empty words of `R*` concatenate ≥ 1 non-empty words of
+            // `R`: `(R \ ε) · (R \ ε)*` — the canonical `+` shape.
+            Regex::Star(p) => {
+                let core = p.non_empty();
+                Regex::concat(vec![core.clone(), Regex::star(core)])
+            }
+            Regex::Alt(ps) => Regex::alt(ps.iter().map(Regex::non_empty).collect()),
+            // A nullable concat has every factor nullable; a non-empty
+            // word picks the first factor contributing a non-empty piece:
+            // `∪ᵢ (pᵢ \ ε) · pᵢ₊₁ · … · pₙ`.
+            Regex::Concat(ps) => Regex::alt(
+                (0..ps.len())
+                    .map(|i| {
+                        let mut parts = vec![ps[i].non_empty()];
+                        parts.extend(ps[i + 1..].iter().cloned());
+                        Regex::concat(parts)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
     /// Whether `ε ∈ L(R)` (nullable).
     pub fn nullable(&self) -> bool {
         match self {
@@ -297,6 +334,31 @@ mod tests {
         assert!(Regex::star(l(0)).nullable());
         assert!(!Regex::concat(vec![Regex::star(l(0)), l(1)]).nullable());
         assert!(Regex::concat(vec![Regex::star(l(0)), Regex::star(l(1))]).nullable());
+    }
+
+    #[test]
+    fn non_empty_strips_epsilon_exactly() {
+        // `l*` → `l l*` (the `+` shape).
+        assert_eq!(Regex::star(l(0)).non_empty(), Regex::plus(l(0)));
+        // ε-free regexes are unchanged.
+        let r = Regex::concat(vec![l(0), Regex::star(l(1))]);
+        assert_eq!(r.non_empty(), r);
+        // `a | ε` → `a`; `ε` → ∅.
+        assert_eq!(Regex::optional(l(0)).non_empty(), l(0));
+        assert_eq!(Regex::Epsilon.non_empty(), Regex::Empty);
+        // Nullable concat `a* b*` → `a a* b* | b b*`.
+        let ab = Regex::concat(vec![Regex::star(l(0)), Regex::star(l(1))]);
+        let expect = Regex::alt(vec![
+            Regex::concat(vec![Regex::plus(l(0)), Regex::star(l(1))]),
+            Regex::plus(l(1)),
+        ]);
+        assert_eq!(ab.non_empty(), expect);
+        assert!(!ab.non_empty().nullable());
+        // `(a | ε)*` → `a a*` (inner ε stripped before the closure).
+        assert_eq!(
+            Regex::star(Regex::optional(l(0))).non_empty(),
+            Regex::plus(l(0))
+        );
     }
 
     #[test]

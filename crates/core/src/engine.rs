@@ -64,6 +64,46 @@ pub enum PatternImpl {
     Wcoj,
 }
 
+/// How a multi-query host decides between joining the shared dataflow and
+/// instantiating a dedicated pipeline for a newly registered plan. The
+/// single-query [`Engine`] ignores this option; it lives here so hosts and
+/// engines share one [`EngineOptions`] surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingPolicy {
+    /// Cost-based: consult measured per-operator cost (batch nanos,
+    /// routing/dedup tax) when available, fall back to a deterministic
+    /// static heuristic (share on overlap, ties to shared) before any
+    /// measurements exist. The default.
+    #[default]
+    Auto,
+    /// Always join the shared structure (the pre-chooser behaviour).
+    AlwaysShare,
+    /// Always instantiate dedicated derived operators (sharing ablation;
+    /// window scans are still unified — they are input partitions, not
+    /// pipelines).
+    AlwaysDedicated,
+}
+
+impl SharingPolicy {
+    /// Parses `SGQ_SHARING` (`auto`/`share`/`dedicated`).
+    pub fn from_env() -> SharingPolicy {
+        match std::env::var("SGQ_SHARING").as_deref() {
+            Ok("share") | Ok("always_share") => SharingPolicy::AlwaysShare,
+            Ok("dedicated") | Ok("always_dedicated") => SharingPolicy::AlwaysDedicated,
+            _ => SharingPolicy::Auto,
+        }
+    }
+
+    /// Short display name (`auto`/`share`/`dedicated`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SharingPolicy::Auto => "auto",
+            SharingPolicy::AlwaysShare => "share",
+            SharingPolicy::AlwaysDedicated => "dedicated",
+        }
+    }
+}
+
 /// Engine construction options.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
@@ -127,6 +167,11 @@ pub struct EngineOptions {
     /// (`off`/`counters`/`timing`), which is how CI runs the whole suite
     /// with observability on without touching test code.
     pub obs: ObsLevel,
+    /// Shared-vs-dedicated planning policy for multi-query hosts (see
+    /// [`SharingPolicy`]; ignored by the single-query engine). The default
+    /// honours the `SGQ_SHARING` environment variable
+    /// (`auto`/`share`/`dedicated`).
+    pub sharing: SharingPolicy,
 }
 
 impl Default for EngineOptions {
@@ -141,6 +186,7 @@ impl Default for EngineOptions {
             workers: default_workers(),
             shards: default_shards(),
             obs: default_obs(),
+            sharing: SharingPolicy::from_env(),
         }
     }
 }
@@ -194,6 +240,8 @@ pub struct Engine {
     deleted_results: Vec<Sgt>,
     /// Sink coalescing state for duplicate suppression.
     sink_dedup: FxHashMap<(VertexId, VertexId), IntervalSet>,
+    /// Reusable grouping buffer for epoch-level sink coalescing.
+    sink_scratch: SinkScratch,
 }
 
 impl Engine {
@@ -243,6 +291,7 @@ impl Engine {
             results: Vec::new(),
             deleted_results: Vec::new(),
             sink_dedup: FxHashMap::default(),
+            sink_scratch: SinkScratch::default(),
         }
     }
 
@@ -346,15 +395,16 @@ impl Engine {
             return;
         }
         let (root, opts, now) = (self.root, self.opts, self.now);
-        let (flow, sink_dedup, results, deleted) = (
+        let (flow, sink_dedup, results, deleted, scratch) = (
             &mut self.flow,
             &mut self.sink_dedup,
             &mut self.results,
             &mut self.deleted_results,
+            &mut self.sink_scratch,
         );
         flow.ingest_epoch(epoch.drain(..), now, |n, batch| {
             if n == root {
-                sink_batch(&opts, sink_dedup, results, deleted, batch);
+                sink_batch(&opts, sink_dedup, results, deleted, batch, scratch);
             }
         });
     }
@@ -449,15 +499,16 @@ impl Engine {
             Some(last) => watermark.saturating_sub(last) >= self.purge_period,
         };
         let (root, opts, now) = (self.root, self.opts, self.now);
-        let (flow, sink_dedup, results, deleted) = (
+        let (flow, sink_dedup, results, deleted, scratch) = (
             &mut self.flow,
             &mut self.sink_dedup,
             &mut self.results,
             &mut self.deleted_results,
+            &mut self.sink_scratch,
         );
         flow.purge(watermark, now, due, |n, batch| {
             if n == root {
-                sink_batch(&opts, sink_dedup, results, deleted, batch);
+                sink_batch(&opts, sink_dedup, results, deleted, batch, scratch);
             }
         });
         if due {
@@ -479,15 +530,16 @@ impl Engine {
 
     fn push_delta(&mut self, label: Label, delta: Delta) {
         let (root, opts, now) = (self.root, self.opts, self.now);
-        let (flow, sink_dedup, results, deleted) = (
+        let (flow, sink_dedup, results, deleted, scratch) = (
             &mut self.flow,
             &mut self.sink_dedup,
             &mut self.results,
             &mut self.deleted_results,
+            &mut self.sink_scratch,
         );
         flow.ingest(label, delta, now, |n, batch| {
             if n == root {
-                sink_batch(&opts, sink_dedup, results, deleted, batch);
+                sink_batch(&opts, sink_dedup, results, deleted, batch, scratch);
             }
         });
     }
@@ -730,12 +782,72 @@ pub fn answer_at(
         .collect()
 }
 
+/// Per-pair coverage state behind a sink's duplicate suppression: one
+/// coverage entry per `(src, trg)` answer pair. The single-query engine
+/// backs this with a plain `FxHashMap<(VertexId, VertexId), IntervalSet>`;
+/// the multi-query host's subsuming family dedup implements the same trait
+/// over a pair table shared by every window variant of a canonical root —
+/// the sink delivery loops below are generic over it, so both backends run
+/// the **same** accept/suppress logic and stay bit-identical.
+pub trait PairDedup {
+    /// The borrowed coverage entry for one pair (one lookup per per-pair
+    /// run in the grouped path).
+    type Entry<'a>: CoverageEntry
+    where
+        Self: 'a;
+
+    /// Looks up (creating if needed) the coverage entry for `key`.
+    fn entry(&mut self, key: (VertexId, VertexId)) -> Self::Entry<'_>;
+}
+
+/// One pair's coverage state: decides whether an emitted interval extends
+/// coverage (accepted, returning the merged covering interval — exactly
+/// [`IntervalSet::insert`]'s contract) or is already covered (suppressed).
+pub trait CoverageEntry {
+    /// `Some(merged)` when `interval` extends this pair's coverage (the
+    /// result is emitted with the merged interval), `None` when covered.
+    fn accept(&mut self, interval: Interval) -> Option<Interval>;
+}
+
+impl PairDedup for FxHashMap<(VertexId, VertexId), IntervalSet> {
+    type Entry<'a> = &'a mut IntervalSet;
+
+    fn entry(&mut self, key: (VertexId, VertexId)) -> &mut IntervalSet {
+        self.entry(key).or_default()
+    }
+}
+
+impl CoverageEntry for &mut IntervalSet {
+    fn accept(&mut self, interval: Interval) -> Option<Interval> {
+        if self.covers(&interval) {
+            return None;
+        }
+        Some(self.insert(interval).expect("non-empty"))
+    }
+}
+
+/// Reusable grouping scratch for [`sink_inserts_grouped`]: the per-epoch
+/// `(src, trg, batch index)` ordering buffer, threaded in by the caller so
+/// its allocation survives across epochs instead of being rebuilt per
+/// call. Borrow-free (indices, not references), so one scratch serves
+/// every batch a sink ever sees.
+#[derive(Debug, Default)]
+pub struct SinkScratch {
+    order: Vec<(VertexId, VertexId, usize)>,
+}
+
 /// Delivers a root emission **batch** to an engine-style sink with
 /// epoch-level coalescing: the batch's insertions are grouped by
-/// `(src, trg)` so the per-pair [`IntervalSet`] in `sink_dedup` is looked
-/// up once per distinct pair instead of once per delta — on emission-heavy
+/// `(src, trg)` so the per-pair coverage entry in `dedup` is looked up
+/// once per distinct pair instead of once per delta — on emission-heavy
 /// path queries most of a root batch shares a handful of pairs, and the
-/// per-emission hash probe is the dominant sink cost.
+/// per-emission probe is the dominant sink cost.
+///
+/// This is the **single** implementation behind both the single-query
+/// engine sink and the multi-query host's per-root sinks (generic over
+/// [`PairDedup`]): shared-host result logs must stay bit-identical to
+/// dedicated engines', so the grouping gate and delete handling live in
+/// exactly one place.
 ///
 /// Semantics match the per-delta [`sink_result`] loop exactly at the data
 /// model's granularity: each pair's deltas are processed in arrival order
@@ -745,96 +857,72 @@ pub fn answer_at(
 /// identical length. Deletions and unsuppressed pipelines take the
 /// per-delta path unchanged (without suppression the dedup table is never
 /// consulted, so there is nothing to amortise).
-pub fn sink_batch(
+pub fn sink_batch<D: PairDedup>(
     opts: &EngineOptions,
-    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    dedup: &mut D,
     results: &mut Vec<Sgt>,
     deleted_results: &mut Vec<Sgt>,
     batch: &crate::physical::DeltaBatch,
+    scratch: &mut SinkScratch,
 ) {
-    sink_batch_relabel(opts, sink_dedup, results, deleted_results, batch, None);
-}
-
-/// [`sink_batch`] with an optional answer-label rewrite on every accepted
-/// emission. This is the **single** implementation behind both the
-/// single-query engine sink and the multi-query registry's per-subscriber
-/// sinks (which re-tag with each query's answer predicate): shared-host
-/// result logs must stay bit-identical to dedicated engines', so the
-/// grouping gate and delete handling live in exactly one place.
-pub fn sink_batch_relabel(
-    opts: &EngineOptions,
-    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
-    results: &mut Vec<Sgt>,
-    deleted_results: &mut Vec<Sgt>,
-    batch: &crate::physical::DeltaBatch,
-    relabel: Option<Label>,
-) {
-    let retag = |mut s: Sgt| {
-        if let Some(label) = relabel {
-            s.label = label;
-        }
-        s
-    };
     if !opts.suppress_duplicates || batch.len() <= 1 {
         for d in batch.iter() {
-            let d = match d.clone() {
-                Delta::Insert(s) => Delta::Insert(retag(s)),
-                Delta::Delete(s) => Delta::Delete(retag(s)),
-            };
-            sink_result(opts, sink_dedup, results, deleted_results, d);
+            sink_result(opts, dedup, results, deleted_results, d.clone());
         }
         return;
     }
     for s in batch.deletes() {
-        deleted_results.push(retag(s.clone()));
+        deleted_results.push(s.clone());
     }
-    sink_inserts_grouped(sink_dedup, results, batch.inserts(), relabel);
+    sink_inserts_grouped(dedup, results, batch, scratch);
 }
 
-/// The grouped-insert core of [`sink_batch`]: one dedup-table probe per
-/// distinct `(src, trg)` pair. A **stable** sort arranges the batch into
-/// per-pair runs — pairs in ascending order, each pair's deltas in
+/// The grouped-insert core of [`sink_batch`]: one coverage-entry lookup
+/// per distinct `(src, trg)` pair. A **stable** sort arranges the batch
+/// into per-pair runs — pairs in ascending order, each pair's deltas in
 /// arrival order, so per-pair coverage (and every `answer_at`) is exactly
-/// the per-delta path's, and the emitted order is deterministic. One
-/// scratch `Vec` of references is the only allocation. When `relabel` is
-/// set, accepted results carry that label (multi-query hosts re-tag
-/// emissions with each subscriber's answer predicate).
-pub fn sink_inserts_grouped<'a>(
-    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+/// the per-delta path's, and the emitted order is deterministic. The
+/// grouping buffer lives in `scratch` and is reused across epochs.
+pub fn sink_inserts_grouped<D: PairDedup>(
+    dedup: &mut D,
     results: &mut Vec<Sgt>,
-    inserts: impl Iterator<Item = &'a Sgt>,
-    relabel: Option<Label>,
+    batch: &crate::physical::DeltaBatch,
+    scratch: &mut SinkScratch,
 ) {
-    let mut ordered: Vec<&Sgt> = inserts.collect();
-    ordered.sort_by_key(|s| (s.src, s.trg)); // stable: arrival order kept
+    let deltas = batch.as_slice();
+    scratch.order.clear();
+    for (i, d) in deltas.iter().enumerate() {
+        if let Delta::Insert(s) = d {
+            scratch.order.push((s.src, s.trg, i));
+        }
+    }
+    scratch.order.sort_by_key(|&(src, trg, _)| (src, trg)); // stable: arrival order kept
     let mut i = 0;
-    while i < ordered.len() {
-        let key = (ordered[i].src, ordered[i].trg);
-        let set = sink_dedup.entry(key).or_default();
-        while i < ordered.len() && (ordered[i].src, ordered[i].trg) == key {
-            let s = ordered[i];
+    while i < scratch.order.len() {
+        let key = (scratch.order[i].0, scratch.order[i].1);
+        let mut entry = dedup.entry(key);
+        while i < scratch.order.len() && (scratch.order[i].0, scratch.order[i].1) == key {
+            let idx = scratch.order[i].2;
             i += 1;
-            if set.covers(&s.interval) {
-                continue;
+            let Delta::Insert(s) = &deltas[idx] else {
+                unreachable!("scratch indexes insert deltas only");
+            };
+            if let Some(merged) = entry.accept(s.interval) {
+                let mut s = s.clone();
+                s.interval = merged;
+                results.push(s);
             }
-            let mut s = s.clone();
-            s.interval = set.insert(s.interval).expect("non-empty");
-            if let Some(label) = relabel {
-                s.label = label;
-            }
-            results.push(s);
         }
     }
 }
 
 /// Delivers a root emission to an engine-style sink: per-pair interval
 /// coalescing under duplicate suppression, separate insert/delete logs.
-/// Shared by [`Engine`] and reusable by multi-query hosts (which keep one
-/// such sink per registered query). [`sink_batch`] is the batch-at-a-time
-/// form with per-pair grouping.
-pub fn sink_result(
+/// Shared by [`Engine`] and the multi-query host's per-root sinks.
+/// [`sink_batch`] is the batch-at-a-time form with per-pair grouping.
+pub fn sink_result<D: PairDedup>(
     opts: &EngineOptions,
-    sink_dedup: &mut FxHashMap<(VertexId, VertexId), IntervalSet>,
+    dedup: &mut D,
     results: &mut Vec<Sgt>,
     deleted_results: &mut Vec<Sgt>,
     delta: Delta,
@@ -842,11 +930,10 @@ pub fn sink_result(
     match delta {
         Delta::Insert(mut s) => {
             if opts.suppress_duplicates {
-                let set = sink_dedup.entry((s.src, s.trg)).or_default();
-                if set.covers(&s.interval) {
-                    return;
+                match dedup.entry((s.src, s.trg)).accept(s.interval) {
+                    None => return,
+                    Some(merged) => s.interval = merged,
                 }
-                s.interval = set.insert(s.interval).expect("non-empty");
             }
             results.push(s);
         }

@@ -23,11 +23,19 @@ pub type NodeIdx = u32;
 /// Sentinel parent for roots.
 pub const NO_PARENT: NodeIdx = u32::MAX;
 
+/// Sentinel for absent sibling/child links.
+const NIL: NodeIdx = u32::MAX;
+
 /// A tree identifier (index into the forest arena).
 pub type TreeId = u32;
 
 /// A spanning-tree node `(v, state)` with its materialised path segment's
 /// validity and tree links.
+///
+/// Children are an intrusive doubly-linked sibling list
+/// (`first_child`/`next_sib`/`prev_sib`) rather than a per-node `Vec`, so
+/// Expand/Propagate never touch the allocator and `reparent` unlinks in
+/// O(1) instead of scanning the old parent's child list.
 #[derive(Debug, Clone)]
 pub struct Node {
     /// Graph vertex.
@@ -40,8 +48,12 @@ pub struct Node {
     pub parent: NodeIdx,
     /// The edge from the parent's vertex to `v` (None for the root).
     pub edge: Option<Edge>,
-    /// Child node indexes.
-    pub children: Vec<NodeIdx>,
+    /// Head of the intrusive child list.
+    first_child: NodeIdx,
+    /// Next sibling under the same parent.
+    next_sib: NodeIdx,
+    /// Previous sibling under the same parent.
+    prev_sib: NodeIdx,
     /// False once removed (arena slots are recycled via the free list).
     pub alive: bool,
 }
@@ -65,7 +77,9 @@ impl Tree {
             interval: Interval::new(0, sgq_types::TS_MAX),
             parent: NO_PARENT,
             edge: None,
-            children: Vec::new(),
+            first_child: NIL,
+            next_sib: NIL,
+            prev_sib: NIL,
             alive: true,
         };
         let mut index = FxHashMap::default();
@@ -98,6 +112,49 @@ impl Tree {
         &mut self.nodes[i as usize]
     }
 
+    /// Links `idx` at the head of `parent`'s child list.
+    fn link_child(&mut self, parent: NodeIdx, idx: NodeIdx) {
+        let head = self.nodes[parent as usize].first_child;
+        self.nodes[idx as usize].next_sib = head;
+        self.nodes[idx as usize].prev_sib = NIL;
+        if head != NIL {
+            self.nodes[head as usize].prev_sib = idx;
+        }
+        self.nodes[parent as usize].first_child = idx;
+    }
+
+    /// Unlinks `idx` from its parent's child list in O(1).
+    fn unlink_child(&mut self, idx: NodeIdx) {
+        let (parent, prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.parent, n.prev_sib, n.next_sib)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next_sib = next;
+        } else if parent != NO_PARENT {
+            self.nodes[parent as usize].first_child = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sib = prev;
+        }
+        let n = &mut self.nodes[idx as usize];
+        n.prev_sib = NIL;
+        n.next_sib = NIL;
+    }
+
+    /// Iterates over the direct children of `node`.
+    pub fn children(&self, node: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
+        let mut cur = self.nodes[node as usize].first_child;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let out = cur;
+            cur = self.nodes[cur as usize].next_sib;
+            Some(out)
+        })
+    }
+
     /// Inserts `(v, state)` as a child of `parent` with the given edge and
     /// interval, returning its index.
     pub fn insert_child(
@@ -115,7 +172,9 @@ impl Tree {
             interval,
             parent,
             edge: Some(edge),
-            children: Vec::new(),
+            first_child: NIL,
+            next_sib: NIL,
+            prev_sib: NIL,
             alive: true,
         };
         let idx = match self.free.pop() {
@@ -128,7 +187,7 @@ impl Tree {
                 (self.nodes.len() - 1) as NodeIdx
             }
         };
-        self.nodes[parent as usize].children.push(idx);
+        self.link_child(parent, idx);
         self.index.insert((v, state), idx);
         idx
     }
@@ -136,16 +195,10 @@ impl Tree {
     /// Re-attaches `node` under `new_parent` with a new derivation edge
     /// (Algorithm Propagate line 2).
     pub fn reparent(&mut self, node: NodeIdx, new_parent: NodeIdx, edge: Edge) {
-        let old_parent = self.nodes[node as usize].parent;
-        if old_parent != NO_PARENT {
-            let c = &mut self.nodes[old_parent as usize].children;
-            if let Some(p) = c.iter().position(|&x| x == node) {
-                c.swap_remove(p);
-            }
-        }
+        self.unlink_child(node);
         self.nodes[node as usize].parent = new_parent;
         self.nodes[node as usize].edge = Some(edge);
-        self.nodes[new_parent as usize].children.push(node);
+        self.link_child(new_parent, node);
     }
 
     /// Removes the subtree rooted at `node`, returning every removed
@@ -153,21 +206,20 @@ impl Tree {
     pub fn remove_subtree(&mut self, node: NodeIdx) -> Vec<(VertexId, StateId)> {
         let mut removed = Vec::new();
         // Detach from the parent first.
-        let parent = self.nodes[node as usize].parent;
-        if parent != NO_PARENT {
-            let c = &mut self.nodes[parent as usize].children;
-            if let Some(p) = c.iter().position(|&x| x == node) {
-                c.swap_remove(p);
-            }
-        }
+        self.unlink_child(node);
         let mut stack = vec![node];
         while let Some(i) = stack.pop() {
-            let n = &mut self.nodes[i as usize];
-            if !n.alive {
+            if !self.nodes[i as usize].alive {
                 continue;
             }
+            let mut c = self.nodes[i as usize].first_child;
+            while c != NIL {
+                stack.push(c);
+                c = self.nodes[c as usize].next_sib;
+            }
+            let n = &mut self.nodes[i as usize];
             n.alive = false;
-            stack.append(&mut n.children);
+            n.first_child = NIL;
             let key = (n.v, n.state);
             self.index.remove(&key);
             removed.push(key);
@@ -298,7 +350,7 @@ impl Forest {
                     if n.interval.expired_at(watermark) {
                         expired.push(i);
                     } else {
-                        stack.extend(n.children.iter().copied());
+                        stack.extend(tree.children(i));
                     }
                 }
             }
@@ -411,8 +463,8 @@ mod tests {
             .tree_mut(t)
             .insert_child(a, v(4), 1, e(2, 4), Interval::new(0, 10));
         f.tree_mut(t).reparent(c, b, e(3, 4));
-        assert!(f.tree(t).node(a).children.is_empty());
-        assert_eq!(f.tree(t).node(b).children, vec![c]);
+        assert_eq!(f.tree(t).children(a).count(), 0);
+        assert_eq!(f.tree(t).children(b).collect::<Vec<_>>(), vec![c]);
         assert_eq!(f.tree(t).node(c).edge, Some(e(3, 4)));
         let p = f.tree(t).path_to(c);
         assert_eq!(p.edges(), &[e(1, 3), e(3, 4)]);

@@ -103,13 +103,16 @@ struct StagePlan {
     out_from: Vec<(bool, usize)>,
 }
 
-/// A stored binding: the tuple's variable values and their validity.
-type TableEntry = (Box<[VertexId]>, IntervalSet);
+/// A join-key bucket: binding values → validity. Hashed rather than a
+/// flat entry list so high-fanout keys (an S-PATH input keyed by its
+/// source vertex can hold hundreds of `(x, y)` bindings per `x`) insert
+/// and coalesce in O(1) instead of a linear scan per arriving delta.
+type Bucket = FxHashMap<Box<[VertexId]>, IntervalSet>;
 
 /// One side of a symmetric hash join: key → entries of (values, validity).
 #[derive(Debug, Default)]
 struct Table {
-    map: FxHashMap<Box<[VertexId]>, Vec<TableEntry>>,
+    map: FxHashMap<Box<[VertexId]>, Bucket>,
     entries: usize,
 }
 
@@ -119,13 +122,13 @@ impl Table {
     /// when `suppress` is on. `entries` is the owning table's size counter
     /// (split out so batch loops can hold the bucket across deltas).
     fn bucket_insert(
-        bucket: &mut Vec<TableEntry>,
+        bucket: &mut Bucket,
         entries: &mut usize,
         vals: &[VertexId],
         iv: Interval,
         suppress: bool,
     ) -> Option<Interval> {
-        if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
+        if let Some(set) = bucket.get_mut(vals) {
             if suppress && set.covers(&iv) {
                 return None;
             }
@@ -133,22 +136,22 @@ impl Table {
         }
         let mut set = IntervalSet::new();
         set.insert(iv);
-        bucket.push((vals.into(), set));
+        bucket.insert(vals.into(), set);
         *entries += 1;
         Some(iv)
     }
 
     /// Removes an interval from a pre-located bucket's entry (negative
     /// tuple).
-    fn bucket_remove(bucket: &mut [TableEntry], vals: &[VertexId], iv: Interval) {
-        if let Some((_, set)) = bucket.iter_mut().find(|(v, _)| v.as_ref() == vals) {
+    fn bucket_remove(bucket: &mut Bucket, vals: &[VertexId], iv: Interval) {
+        if let Some(set) = bucket.get_mut(vals) {
             set.remove(iv);
         }
     }
 
     /// Probes a pre-located bucket's entries whose validity overlaps `iv`,
     /// calling `f(vals, overlap-interval)` per live interval.
-    fn bucket_probe(bucket: &[TableEntry], iv: Interval, mut f: impl FnMut(&[VertexId], Interval)) {
+    fn bucket_probe(bucket: &Bucket, iv: Interval, mut f: impl FnMut(&[VertexId], Interval)) {
         for (vals, set) in bucket {
             for stored in set.overlapping(&iv) {
                 let meet = stored.intersect(&iv);
@@ -161,13 +164,13 @@ impl Table {
 
     fn purge(&mut self, watermark: Timestamp) {
         self.map.retain(|_, bucket| {
-            bucket.retain_mut(|(_, set)| {
+            bucket.retain(|_, set| {
                 set.purge_expired(watermark);
                 !set.is_empty()
             });
             !bucket.is_empty()
         });
-        self.entries = self.map.values().map(Vec::len).sum();
+        self.entries = self.map.values().map(Bucket::len).sum();
     }
 
     fn size(&self) -> usize {
@@ -176,11 +179,21 @@ impl Table {
 }
 
 /// A pending binding tuple inside the join tree (its stage is tracked by
-/// the level loop).
+/// the level loop). Values live in the level's flat buffer as a
+/// `[start, start + len)` range, so tuples flow between stages without a
+/// per-tuple heap allocation; owned copies are made only when a new
+/// binding is stored in a join table.
 struct Work {
-    vals: Box<[VertexId]>,
+    start: u32,
+    len: u32,
     iv: Interval,
     delete: bool,
+}
+
+impl Work {
+    fn vals<'b>(&self, buf: &'b [VertexId]) -> &'b [VertexId] {
+        &buf[self.start as usize..(self.start + self.len) as usize]
+    }
 }
 
 /// The PATTERN physical operator.
@@ -267,20 +280,6 @@ impl PatternOp {
         }
     }
 
-    /// Converts an input sgt on `port` to leaf binding values, applying the
-    /// same-variable constraint (`l(x, x)` atoms).
-    fn leaf_vals(&self, port: usize, s: &Sgt) -> Option<Box<[VertexId]>> {
-        let (sv, tv) = self.spec.input_vars[port];
-        if sv == tv {
-            if s.src != s.trg {
-                return None;
-            }
-            Some(Box::from([s.src]))
-        } else {
-            Some(Box::from([s.src, s.trg]))
-        }
-    }
-
     fn emit(&mut self, vals: &[VertexId], iv: Interval, delete: bool, out: &mut Vec<Delta>) {
         let (src, trg) = (vals[self.out_pos.0], vals[self.out_pos.1]);
         let mk = |iv: Interval| {
@@ -310,51 +309,65 @@ impl PatternOp {
         }
     }
 
-    fn key_of(vals: &[VertexId], key_idx: &[usize]) -> Box<[VertexId]> {
-        key_idx.iter().map(|&i| vals[i]).collect()
-    }
-
     /// Runs a level of binding tuples entering stage `stage`'s **left**
     /// side (and every stage above) to completion. Within each level the
     /// tuples are grouped by join key, so the hash tables are touched once
     /// per distinct key instead of once per tuple — the batched form of
     /// the symmetric-hash-join probe.
-    fn run_levels(&mut self, mut stage: usize, mut works: Vec<Work>, out: &mut Vec<Delta>) {
+    fn run_levels(
+        &mut self,
+        mut stage: usize,
+        mut works: Vec<Work>,
+        mut buf: Vec<VertexId>,
+        out: &mut Vec<Delta>,
+    ) {
         while !works.is_empty() {
             if stage == self.stages.len() {
                 for w in &works {
-                    self.emit(&w.vals, w.iv, w.delete, out);
+                    self.emit(w.vals(&buf), w.iv, w.delete, out);
                 }
                 return;
             }
-            works = self.level(stage, true, works);
+            (works, buf) = self.level(stage, true, &works, &buf);
             stage += 1;
         }
     }
 
     /// Processes one level of arrivals into stage `stage` — the left side
     /// when `from_left`, the right side otherwise (a right-port input
-    /// batch) — and returns the joined tuples for the next stage.
+    /// batch) — and returns the joined tuples for the next stage in a
+    /// fresh flat buffer.
     ///
     /// Tuples are grouped by join key with a stable sort (same-key
     /// arrivals keep their relative order, so insert/delete runs on one
     /// binding stay meaningful); each group locates its own-side bucket
     /// and the opposite bucket once.
-    fn level(&mut self, stage: usize, from_left: bool, works: Vec<Work>) -> Vec<Work> {
+    fn level(
+        &mut self,
+        stage: usize,
+        from_left: bool,
+        works: &[Work],
+        buf: &[VertexId],
+    ) -> (Vec<Work>, Vec<VertexId>) {
         let plan = &self.stages[stage];
         let key_idx = if from_left {
             &plan.left_key
         } else {
             &plan.right_key
         };
-        let mut keys: Vec<Box<[VertexId]>> = works
-            .iter()
-            .map(|w| Self::key_of(&w.vals, key_idx))
-            .collect();
-        let mut order: Vec<usize> = (0..works.len()).collect();
-        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        // Flat key buffer: key `i` lives at `key_buf[i*klen..(i+1)*klen]`.
+        let klen = key_idx.len();
+        let mut key_buf: Vec<VertexId> = Vec::with_capacity(works.len() * klen);
+        for w in works {
+            let vals = w.vals(buf);
+            key_buf.extend(key_idx.iter().map(|&ki| vals[ki]));
+        }
+        let key_of = |i: usize| &key_buf[i * klen..(i + 1) * klen];
+        let mut order: Vec<u32> = (0..works.len() as u32).collect();
+        order.sort_by(|&a, &b| key_of(a as usize).cmp(key_of(b as usize)));
 
-        let mut next = Vec::new();
+        let mut next: Vec<Work> = Vec::new();
+        let mut next_buf: Vec<VertexId> = Vec::new();
         let (left, right) = &mut self.state[stage];
         let (own, other) = if from_left {
             (left, right)
@@ -363,36 +376,37 @@ impl PatternOp {
         };
         let mut i = 0;
         while i < order.len() {
+            let key = key_of(order[i] as usize);
             let mut j = i + 1;
-            while j < order.len() && keys[order[j]] == keys[order[i]] {
+            while j < order.len() && key_of(order[j] as usize) == key {
                 j += 1;
             }
-            let other_bucket = other.map.get(&keys[order[i]]).map(Vec::as_slice);
+            let other_bucket = other.map.get(key);
             // Delete-only groups must not materialise an own-side bucket:
             // a retraction for a binding this side never stored is a no-op
             // there (matching the per-tuple `Table::remove`), not an empty
             // bucket that lingers until the next amortised purge. They
             // still probe the other side for their negative join results.
-            let has_insert = order[i..j].iter().any(|&w_idx| !works[w_idx].delete);
-            let mut own_bucket = if has_insert {
-                Some(
-                    own.map
-                        .entry(std::mem::take(&mut keys[order[i]]))
-                        .or_default(),
-                )
-            } else {
-                own.map.get_mut(&keys[order[i]])
-            };
+            let has_insert = order[i..j]
+                .iter()
+                .any(|&w_idx| !works[w_idx as usize].delete);
+            if has_insert && !own.map.contains_key(key) {
+                own.map.insert(key.into(), Bucket::default());
+            }
+            let mut own_bucket = own.map.get_mut(key);
             for &w_idx in &order[i..j] {
-                let w = &works[w_idx];
+                let w = &works[w_idx as usize];
+                let vals = w.vals(buf);
                 if w.delete {
                     if let Some(bucket) = own_bucket.as_deref_mut() {
-                        Table::bucket_remove(bucket, &w.vals, w.iv);
+                        Table::bucket_remove(bucket, vals, w.iv);
                     }
                 } else if Table::bucket_insert(
-                    own_bucket.as_mut().expect("insert groups own a bucket"),
+                    own_bucket
+                        .as_deref_mut()
+                        .expect("insert groups own a bucket"),
                     &mut own.entries,
-                    &w.vals,
+                    vals,
                     w.iv,
                     self.suppress,
                 )
@@ -403,19 +417,21 @@ impl PatternOp {
                 if let Some(other_bucket) = other_bucket {
                     Table::bucket_probe(other_bucket, w.iv, |ovals, meet| {
                         let (lvals, rvals) = if from_left {
-                            (w.vals.as_ref(), ovals)
+                            (vals, ovals)
                         } else {
-                            (ovals, w.vals.as_ref())
+                            (ovals, vals)
                         };
-                        let joined: Box<[VertexId]> = plan
-                            .out_from
-                            .iter()
-                            .map(
-                                |&(left_side, pos)| if left_side { lvals[pos] } else { rvals[pos] },
-                            )
-                            .collect();
+                        let start = next_buf.len() as u32;
+                        next_buf.extend(plan.out_from.iter().map(|&(ls, pos)| {
+                            if ls {
+                                lvals[pos]
+                            } else {
+                                rvals[pos]
+                            }
+                        }));
                         next.push(Work {
-                            vals: joined,
+                            start,
+                            len: plan.out_from.len() as u32,
                             iv: meet,
                             delete: w.delete,
                         });
@@ -424,7 +440,7 @@ impl PatternOp {
             }
             i = j;
         }
-        next
+        (next, next_buf)
     }
 }
 
@@ -444,18 +460,31 @@ impl PhysicalOp for PatternOp {
     }
 
     fn on_batch(&mut self, port: usize, batch: &DeltaBatch, _now: Timestamp, out: &mut DeltaBatch) {
-        // Convert the port's deltas to leaf binding tuples in arrival order.
+        // Convert the port's deltas to leaf binding tuples in arrival
+        // order, packed into one flat value buffer.
+        let (sv, tv) = self.spec.input_vars[port];
+        let leaf_len: u32 = if sv == tv { 1 } else { 2 };
         let mut works: Vec<Work> = Vec::with_capacity(batch.len());
+        let mut buf: Vec<VertexId> = Vec::with_capacity(batch.len() * leaf_len as usize);
         for d in batch.iter() {
             let s = d.sgt();
             if s.interval.is_empty() {
                 continue;
             }
-            let Some(vals) = self.leaf_vals(port, s) else {
-                continue;
-            };
+            let start = buf.len() as u32;
+            if sv == tv {
+                // Same-variable leaf `a(x, x)`: only self-loops bind.
+                if s.src != s.trg {
+                    continue;
+                }
+                buf.push(s.src);
+            } else {
+                buf.push(s.src);
+                buf.push(s.trg);
+            }
             works.push(Work {
-                vals,
+                start,
+                len: leaf_len,
                 iv: s.interval,
                 delete: d.is_delete(),
             });
@@ -468,19 +497,19 @@ impl PhysicalOp for PatternOp {
         if self.stages.is_empty() {
             // Single-input pattern: pure projection.
             for w in &works {
-                self.emit(&w.vals, w.iv, w.delete, out);
+                self.emit(w.vals(&buf), w.iv, w.delete, out);
             }
             return;
         }
 
         if port == 0 {
-            self.run_levels(0, works, out);
+            self.run_levels(0, works, buf, out);
         } else {
             // Right arrivals at stage `port - 1`: insert and probe the left
             // side (key-grouped), then run the joined tuples upward.
             let stage = port - 1;
-            let joined = self.level(stage, false, works);
-            self.run_levels(stage + 1, joined, out);
+            let (joined, jbuf) = self.level(stage, false, &works, &buf);
+            self.run_levels(stage + 1, joined, jbuf, out);
         }
     }
 

@@ -114,7 +114,7 @@ pub fn rederive(
                 continue;
             }
             order.push(i);
-            stack.extend(t.node(i).children.iter().copied());
+            stack.extend(t.children(i));
         }
     }
     let old: Vec<(NodeIdx, VertexId, StateId, Interval)> = order

@@ -64,6 +64,10 @@ pub fn plan_canonical(query: &SgqQuery) -> Plan {
         if rules.is_empty() {
             // A path-atom alias: cache its PATH expression (line 9).
             if let Some((regex, _)) = find_alias(program, d) {
+                // Top-level `R*` ≡ `R+` (empty paths are never reported),
+                // so normalise to the ε-free form; `l*` and `l+` atoms
+                // then lower to one shared S-PATH.
+                let regex = regex.non_empty();
                 let inputs = regex
                     .alphabet()
                     .iter()
@@ -159,10 +163,12 @@ fn rule_to_expr(
                 if let Some(al) = alias {
                     exp[al].clone()
                 } else {
+                    // Same ε-free normalisation as the alias site above.
+                    let regex = regex.non_empty();
                     let fresh = labels.fresh_derived("path");
                     SgaExpr::Path {
                         inputs: regex.alphabet().iter().map(|l| exp[l].clone()).collect(),
-                        regex: regex.clone(),
+                        regex,
                         label: fresh,
                     }
                 }

@@ -152,6 +152,129 @@ impl Canonicalizer {
         self.structural.insert(shape, l);
         l
     }
+
+    /// Rewrites `plan` into the shared namespace **without** structural
+    /// unification of derived operators: every UNION / PATTERN / PATH gets
+    /// a freshly minted private label, so lowering instantiates private
+    /// copies instead of joining the shared structure (the cost-based
+    /// chooser's "dedicated" outcome). EDB labels are still re-interned by
+    /// name and WSCANs keep their structural identity — leaf window scans
+    /// are shared even by dedicated pipelines (they are cheap, stateless
+    /// per subscriber, and sharing them keeps one input fan-out point);
+    /// likewise a FILTER directly over such a scan, carrying no label of
+    /// its own, unifies structurally. This is intentional: dedication
+    /// targets the expensive *derived* operators.
+    pub fn canonicalize_private(&mut self, plan: &Plan) -> SgaExpr {
+        self.canon_private(&plan.expr, &plan.labels)
+    }
+
+    fn canon_private(&mut self, expr: &SgaExpr, src: &LabelInterner) -> SgaExpr {
+        match expr {
+            SgaExpr::WScan {
+                label,
+                window,
+                slide,
+            } => SgaExpr::WScan {
+                label: self.labels.input_label(src.name(*label)),
+                window: *window,
+                slide: *slide,
+            },
+            SgaExpr::Filter { input, preds } => SgaExpr::Filter {
+                input: Box::new(self.canon_private(input, src)),
+                preds: preds.clone(),
+            },
+            SgaExpr::Union { inputs, .. } => SgaExpr::Union {
+                inputs: inputs.iter().map(|i| self.canon_private(i, src)).collect(),
+                label: self.labels.fresh_derived("private"),
+            },
+            SgaExpr::Pattern {
+                inputs,
+                conditions,
+                output,
+                ..
+            } => SgaExpr::Pattern {
+                inputs: inputs.iter().map(|i| self.canon_private(i, src)).collect(),
+                conditions: conditions.clone(),
+                output: *output,
+                label: self.labels.fresh_derived("private"),
+            },
+            SgaExpr::Path { inputs, regex, .. } => {
+                let inputs: Vec<SgaExpr> =
+                    inputs.iter().map(|i| self.canon_private(i, src)).collect();
+                let alphabet = regex.alphabet();
+                debug_assert_eq!(alphabet.len(), inputs.len(), "planner invariant");
+                let mapping: FxHashMap<Label, Label> = alphabet
+                    .iter()
+                    .zip(&inputs)
+                    .map(|(old, input)| (*old, input.output_label()))
+                    .collect();
+                let regex = regex.map_labels(&mut |l| mapping[&l]);
+                SgaExpr::Path {
+                    inputs,
+                    regex,
+                    label: self.labels.fresh_derived("private"),
+                }
+            }
+        }
+    }
+
+    /// The **window-erased** structure key of a canonicalized (or
+    /// private-canonicalized) expression: WSCAN windows and slides are
+    /// zeroed and derived labels renumbered by traversal position, so
+    /// window variants of the same structure — and a dedicated pipeline of
+    /// that structure — map to the same key. Drives the subsuming-dedup
+    /// family roster; the key is never lowered or interned (renumbered
+    /// labels live in a reserved high range).
+    pub fn family_key(expr: &SgaExpr) -> SgaExpr {
+        fn renumber(next: &mut u32) -> Label {
+            *next += 1;
+            Label(u32::MAX - *next)
+        }
+        fn go(expr: &SgaExpr, next: &mut u32) -> SgaExpr {
+            match expr {
+                SgaExpr::WScan { label, .. } => SgaExpr::WScan {
+                    label: *label,
+                    window: 0,
+                    slide: 0,
+                },
+                SgaExpr::Filter { input, preds } => SgaExpr::Filter {
+                    input: Box::new(go(input, next)),
+                    preds: preds.clone(),
+                },
+                SgaExpr::Union { inputs, .. } => SgaExpr::Union {
+                    inputs: inputs.iter().map(|i| go(i, next)).collect(),
+                    label: renumber(next),
+                },
+                SgaExpr::Pattern {
+                    inputs,
+                    conditions,
+                    output,
+                    ..
+                } => SgaExpr::Pattern {
+                    inputs: inputs.iter().map(|i| go(i, next)).collect(),
+                    conditions: conditions.clone(),
+                    output: *output,
+                    label: renumber(next),
+                },
+                SgaExpr::Path { inputs, regex, .. } => {
+                    let inputs: Vec<SgaExpr> = inputs.iter().map(|i| go(i, next)).collect();
+                    let alphabet = regex.alphabet();
+                    let mapping: FxHashMap<Label, Label> = alphabet
+                        .iter()
+                        .zip(&inputs)
+                        .map(|(old, input)| (*old, input.output_label()))
+                        .collect();
+                    let regex = regex.map_labels(&mut |l| mapping[&l]);
+                    SgaExpr::Path {
+                        inputs,
+                        regex,
+                        label: renumber(next),
+                    }
+                }
+            }
+        }
+        go(expr, &mut 0)
+    }
 }
 
 #[cfg(test)]
@@ -204,8 +327,19 @@ mod tests {
     fn different_regexes_stay_distinct() {
         let mut c = Canonicalizer::new();
         let a = c.canonicalize(&plan("Ans(x, y) <- f+(x, y).", 24));
-        let b = c.canonicalize(&plan("Ans(x, y) <- f*(x, y).", 24));
+        let b = c.canonicalize(&plan("Ans(x, y) <- (f g)+(x, y).", 24));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn top_level_star_and_plus_unify() {
+        // Empty paths are never reported, so a top-level `f*` coincides
+        // with `f+`; the planner's ε-free normalisation makes the two
+        // S-PATHs one shared operator.
+        let mut c = Canonicalizer::new();
+        let a = c.canonicalize(&plan("Ans(x, y) <- f+(x, y).", 24));
+        let b = c.canonicalize(&plan("Ans(x, y) <- f*(x, y).", 24));
+        assert_eq!(a, b);
     }
 
     #[test]

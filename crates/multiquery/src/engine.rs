@@ -1,8 +1,9 @@
 //! The multi-query host: N persistent queries, one shared dataflow.
 
 use crate::canon::Canonicalizer;
+use crate::chooser::{self, CostInputs, SubplanChoice};
 pub use crate::registry::QueryId;
-use crate::registry::{input_delta, purge_dedup, Emissions, Registration, Registry};
+use crate::registry::{input_delta, Emissions, Registration, Registry};
 use sgq_core::algebra::SgaExpr;
 use sgq_core::dataflow::Dataflow;
 use sgq_core::engine::answer_at;
@@ -152,7 +153,15 @@ impl MultiQueryEngine {
     /// starts cold.
     pub fn register(&mut self, query: &SgqQuery) -> QueryId {
         let plan = plan_canonical(query);
-        let expr = self.canon.canonicalize(&plan);
+        // The shared canonical form drives the cost estimate and the
+        // family key even when the chooser dedicates the plan.
+        let shared_expr = self.canon.canonicalize(&plan);
+        let choice = self.plan_choice(&shared_expr);
+        let expr = if choice.dedicated {
+            self.canon.canonicalize_private(&plan)
+        } else {
+            shared_expr.clone()
+        };
         let answer = self.canon.answer_label(plan.labels.name(plan.answer));
         let root = self.flow.lower(&expr);
         let nodes = self.flow.nodes_of(&expr);
@@ -173,32 +182,47 @@ impl MultiQueryEngine {
             .purge_period
             .unwrap_or_else(|| slide.max(plan.window.size / 4).max(1));
         let node_count = nodes.len();
-        let id = self.registry.insert(Registration {
-            root,
-            nodes,
-            expr,
-            answer,
-            slide,
-            purge_period,
-            max_window,
-            results: Vec::new(),
-            deleted: Vec::new(),
-            dedup: FxHashMap::default(),
-            drained: 0,
-            latency_hist: Default::default(),
-            emission_hist: Default::default(),
-            obs_results: 0,
-            obs_deleted: 0,
-        });
+        // Families only form under duplicate suppression (they are sink
+        // dedup state; unsuppressed sinks never consult it).
+        let family_key = self
+            .opts
+            .suppress_duplicates
+            .then(|| Canonicalizer::family_key(&shared_expr));
+        let id = self.registry.insert(
+            Registration {
+                root,
+                nodes,
+                expr,
+                answer,
+                slide,
+                purge_period,
+                max_window,
+                base: 0,
+                base_del: 0,
+                drained: 0,
+                choice,
+                latency_hist: Default::default(),
+                emission_hist: Default::default(),
+                obs_results: 0,
+                obs_deleted: 0,
+            },
+            family_key,
+        );
         self.recompute_schedule();
         if self.opts.suppress_duplicates {
             self.catch_up(id);
-            // Catch-up seeds the sink with the whole retained window at
-            // once; advance the sampling marks so it does not register as
-            // one giant per-epoch emission.
+            // Only after catch-up has seeded the root sink's private map:
+            // family enrolment migrates that exact state into the shared
+            // pair table.
+            self.registry.enroll_family(root);
+        }
+        // Start observability sampling at the current log lengths so
+        // catch-up (or a late join's skipped history) does not register as
+        // one giant per-epoch emission.
+        if let Some((r, d)) = self.registry.log_lens(id) {
             if let Some(reg) = self.registry.get_mut(id) {
-                reg.obs_results = reg.results.len();
-                reg.obs_deleted = reg.deleted.len();
+                reg.obs_results = r;
+                reg.obs_deleted = d;
             }
         }
         self.flow.trace_event(&TraceEvent::Register {
@@ -207,6 +231,55 @@ impl MultiQueryEngine {
             nodes: node_count,
         });
         id
+    }
+
+    /// The register-time shared-vs-dedicated decision for a plan
+    /// (`crate::chooser`): measured per-operator and per-phase cost when
+    /// timing observability has signal, the deterministic static
+    /// always-share heuristic otherwise.
+    fn plan_choice(&self, shared_expr: &SgaExpr) -> SubplanChoice {
+        let measured = self.opts.obs.timing().then(|| {
+            let (route_nanos, dedup_nanos) = self.registry.phase_nanos();
+            let by_node: FxHashMap<usize, u64> = self
+                .flow
+                .operator_snapshots()
+                .into_iter()
+                .map(|o| (o.node, o.stats.batch_nanos))
+                .collect();
+            // Σ batch_nanos over live derived operators this plan would
+            // reuse by sharing — the work a dedicated pipeline repeats.
+            // WSCANs (and label-less FILTERs) stay shared either way.
+            let mut reusable_nanos = 0u64;
+            let mut seen = FxHashSet::default();
+            shared_expr.visit(&mut |e| {
+                if matches!(e, SgaExpr::WScan { .. } | SgaExpr::Filter { .. }) {
+                    return;
+                }
+                if let Some(n) = self.flow.lookup(e) {
+                    if seen.insert(n) {
+                        reusable_nanos += by_node.get(&n).copied().unwrap_or(0);
+                    }
+                }
+            });
+            CostInputs {
+                epochs: self.flow.exec_stats().epochs,
+                route_nanos,
+                dedup_nanos,
+                reusable_nanos,
+                queries: self.registry.len() as u64,
+            }
+        });
+        chooser::decide(self.opts.sharing, measured)
+    }
+
+    /// Accumulated `(routing, dedup)` post-operator phase nanos: the
+    /// result-routing projection passes and the per-root sink dedup
+    /// passes, host-wide. Populated only at [`ObsLevel::Timing`]; the
+    /// third phase of the breakdown — operator time — is the sum of
+    /// `batch_nanos` over [`MultiQueryEngine::metrics_snapshot`]
+    /// operators.
+    pub fn phase_nanos(&self) -> (u64, u64) {
+        self.registry.phase_nanos()
     }
 
     /// Deregisters a query. Operators no other registered query references
@@ -304,10 +377,12 @@ impl MultiQueryEngine {
     /// requires [`ObsLevel::Timing`].
     pub fn explain_analyze(&self, id: QueryId) -> Option<String> {
         let reg = self.registry.get(id)?;
+        let (results, deleted) = self.registry.log(id).unwrap_or((&[], &[]));
         let mut out = format!(
-            "== explain analyze {id} (obs={}) ==\nplan: {}\n",
+            "== explain analyze {id} (obs={}) ==\nplan: {}\n{}\n",
             self.opts.obs.name(),
             reg.expr.display(self.canon.labels()),
+            reg.choice.describe(self.opts.sharing),
         );
         out.push_str(&self.flow.explain_expr(&reg.expr));
         let lat = reg.latency_hist.summary();
@@ -315,8 +390,8 @@ impl MultiQueryEngine {
         out.push_str(&format!(
             "results={} deleted={} latency: epochs={} p50={} p99={} max={}\n\
              emissions: epochs={} p50={} p99={} max={}\n",
-            reg.results.len(),
-            reg.deleted.len(),
+            results.len(),
+            deleted.len(),
             lat.count,
             fmt_nanos(lat.p50),
             fmt_nanos(lat.p99),
@@ -340,10 +415,11 @@ impl MultiQueryEngine {
             .into_iter()
             .filter_map(|id| {
                 let reg = self.registry.get(id)?;
+                let (results, deleted) = self.registry.log(id)?;
                 Some(QuerySnapshot {
                     query: id.0,
-                    results: reg.results.len(),
-                    deleted: reg.deleted.len(),
+                    results: results.len(),
+                    deleted: deleted.len(),
                     latency: reg.latency_hist.summary(),
                     emissions: reg.emission_hist.summary(),
                 })
@@ -507,34 +583,37 @@ impl MultiQueryEngine {
         self.purge(watermark);
     }
 
-    /// All result sgts `id` has emitted so far (inserts, in order).
+    /// All result sgts `id` has emitted so far (inserts, in order): a
+    /// view into its root's shared emission log from the query's join
+    /// point, tagged with the root's **canonical output label** (route-
+    /// once emission defers per-query answer tagging to
+    /// [`drain`](MultiQueryEngine::drain) / `process` pairs, which clone
+    /// anyway).
     pub fn results(&self, id: QueryId) -> &[Sgt] {
-        self.registry.get(id).map_or(&[], |r| &r.results)
+        self.registry.log(id).map_or(&[], |(results, _)| results)
     }
 
-    /// All negative result tuples `id` has emitted so far.
+    /// All negative result tuples `id` has emitted so far (a shared-log
+    /// view like [`MultiQueryEngine::results`]).
     pub fn deleted_results(&self, id: QueryId) -> &[Sgt] {
-        self.registry.get(id).map_or(&[], |r| &r.deleted)
+        self.registry.log(id).map_or(&[], |(_, deleted)| deleted)
     }
 
     /// Returns the results emitted for `id` since the previous `drain`
-    /// call (the per-query subscription surface). Catch-up results from a
-    /// mid-stream registration appear in the first drain.
+    /// call, re-labelled to its answer tag (the per-query subscription
+    /// surface). Catch-up results from a mid-stream registration appear
+    /// in the first drain.
     pub fn drain(&mut self, id: QueryId) -> Vec<Sgt> {
-        let Some(reg) = self.registry.get_mut(id) else {
-            return Vec::new();
-        };
-        let out = reg.results[reg.drained..].to_vec();
-        reg.drained = reg.results.len();
-        out
+        let timed = self.opts.obs.timing();
+        self.registry.drain(id, timed)
     }
 
     /// The distinct answer pairs of `id` valid at `t`, per its emitted
     /// result stream (deletions subtracted) — `Engine::answer_at`.
     pub fn answer_at(&self, id: QueryId, t: Timestamp) -> FxHashSet<(VertexId, VertexId)> {
         self.registry
-            .get(id)
-            .map(|r| answer_at(&r.results, &r.deleted, t))
+            .log(id)
+            .map(|(results, deleted)| answer_at(results, deleted, t))
             .unwrap_or_default()
     }
 
@@ -604,9 +683,7 @@ impl MultiQueryEngine {
         });
         if due {
             self.last_physical_purge = Some(watermark);
-            for (_, reg) in self.registry.iter_mut() {
-                purge_dedup(&mut reg.dedup, watermark);
-            }
+            self.registry.purge_sink_dedup(watermark);
         }
         // Purge continuations emit results too (negative-tuple PATH window
         // movement); sample them like any epoch.
@@ -677,8 +754,9 @@ impl MultiQueryEngine {
     ///
     /// * **Root shared** — another query subscribes to the same root, so
     ///   the entire plan is warm (sharing requires identical subtrees all
-    ///   the way down) and the twin's emission log *is* this root's full
-    ///   history: copy it. Replay would be wrong here — warm stateful
+    ///   the way down) and the root sink's shared emission log *is* this
+    ///   query's full history: rewind the newcomer's view cursors to the
+    ///   start of the log. Replay would be wrong here — warm stateful
     ///   operators (S-PATH, the join tree) prune covered re-insertions by
     ///   design and would re-derive nothing.
     /// * **Root new** — replay the retained window through a **private
@@ -693,8 +771,8 @@ impl MultiQueryEngine {
             return;
         };
         let root = reg.root;
-        if let Some(twin) = self.registry.subscriber_other_than(root, id) {
-            self.registry.copy_sink(twin, id);
+        if self.registry.has_twin(root, id) {
+            self.registry.grant_full_history(id);
             return;
         }
         if self.retained.is_empty() {

@@ -60,9 +60,12 @@
 #![warn(missing_docs)]
 
 pub mod canon;
+pub mod chooser;
 pub mod engine;
 mod registry;
+mod sink;
 
 pub use canon::Canonicalizer;
+pub use chooser::{CostBasis, SubplanChoice};
 pub use engine::MultiQueryEngine;
 pub use registry::QueryId;

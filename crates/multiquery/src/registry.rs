@@ -1,11 +1,22 @@
-//! Query registration bookkeeping: identities, per-query sinks, node
-//! refcounts, and root subscriptions.
+//! Query registration bookkeeping: identities, per-root shared sinks,
+//! node refcounts, and the family-dedup lifecycle.
+//!
+//! Result delivery is **route-once**: each subscribed root's emission
+//! batch is sunk exactly once into that root's [`RootSink`] — one dedup
+//! pass, one log append — no matter how many queries subscribe. Per-query
+//! projection (answer-label tagging) happens lazily: at `drain` time
+//! through each registration's cursor, or in the `process`-style collect
+//! pass over the freshly appended log suffix. The old per-subscriber
+//! sinking was the dominant fleet-scaling tax.
 
+use crate::chooser::SubplanChoice;
+use crate::sink::{FamilyDedup, FamilyVariant, RootSink, SinkDedup};
 use sgq_core::algebra::SgaExpr;
-use sgq_core::engine::{sink_batch_relabel, sink_result, EngineOptions};
+use sgq_core::engine::{sink_batch, sink_result, EngineOptions, SinkScratch};
 use sgq_core::obs::LogHistogram;
 use sgq_core::physical::{Delta, DeltaBatch};
 use sgq_types::{FxHashMap, FxHashSet, Interval, IntervalSet, Label, Sgt, Timestamp, VertexId};
+use std::time::Instant;
 
 /// Identity of a registered persistent query (stable for the lifetime of
 /// the host, never reused).
@@ -18,8 +29,8 @@ impl std::fmt::Display for QueryId {
     }
 }
 
-/// One registered query: its slice of the shared dataflow plus its private
-/// result sink.
+/// One registered query: its slice of the shared dataflow plus its view
+/// cursors into the root's shared sink.
 pub(crate) struct Registration {
     /// Root node in the shared dataflow.
     pub root: usize,
@@ -28,8 +39,8 @@ pub(crate) struct Registration {
     /// The canonicalized plan expression (kept for diagnostics and
     /// deregistration bookkeeping).
     pub expr: SgaExpr,
-    /// Result tag: emitted sgts are re-labelled to this query's answer
-    /// predicate in the shared namespace.
+    /// Result tag: sgts handed to this query (`process` pairs, `drain`)
+    /// are re-labelled to its answer predicate in the shared namespace.
     pub answer: Label,
     /// This query's tick granularity (gcd of its window slides — what a
     /// dedicated [`sgq_core::engine::Engine`] would tick at).
@@ -39,14 +50,16 @@ pub(crate) struct Registration {
     /// Largest window size among this query's WSCANs (drives the host's
     /// input-retention horizon for register-time catch-up).
     pub max_window: u64,
-    /// Emitted result inserts, in emission order.
-    pub results: Vec<Sgt>,
-    /// Emitted negative result tuples.
-    pub deleted: Vec<Sgt>,
-    /// Sink coalescing state for duplicate suppression.
-    pub dedup: FxHashMap<(VertexId, VertexId), IntervalSet>,
-    /// Drain cursor into `results` (see `MultiQueryEngine::drain`).
+    /// Where this query's view of the root sink's insert log starts
+    /// (0 for founders and suppressed twins, which see full history;
+    /// join-time length for unsuppressed late joins, which start cold).
+    pub base: usize,
+    /// Like `base`, for the deleted-results log.
+    pub base_del: usize,
+    /// Drain cursor: absolute index into the root sink's insert log.
     pub drained: usize,
+    /// The register-time shared-vs-dedicated planning outcome.
+    pub choice: SubplanChoice,
     /// Per-epoch attributed-cost histogram (nanos): each epoch's operator
     /// nanos, shared-operator cost split by fan-out share. Populated only
     /// at `ObsLevel::Timing`; never part of the determinism contract.
@@ -55,10 +68,9 @@ pub(crate) struct Registration {
     /// per epoch this query emitted in). Populated at `ObsLevel::Counters`
     /// and above.
     pub emission_hist: LogHistogram,
-    /// Results high-water mark at the last observability sample (how many
-    /// of `results` were already accounted).
+    /// Absolute insert-log length at the last observability sample.
     pub obs_results: usize,
-    /// Deleted-results high-water mark at the last observability sample.
+    /// Absolute deleted-log length at the last observability sample.
     pub obs_deleted: usize,
 }
 
@@ -66,23 +78,53 @@ pub(crate) struct Registration {
 #[derive(Default)]
 pub(crate) struct Registry {
     entries: FxHashMap<u64, Registration>,
-    /// Root node → queries whose results it produces, indexed **densely**
-    /// by node id: the result-routing probe runs once per emission batch
-    /// of every node, so it must be an array load, not a hash lookup.
-    subs: Vec<Vec<u64>>,
+    /// Root node → that root's shared sink, indexed **densely** by node
+    /// id: the routing probe runs once per emission batch of every node,
+    /// so it must be an array load, not a hash lookup.
+    sinks: Vec<Option<RootSink>>,
+    /// Family pair tables (subsuming dedup across window variants).
+    /// Slots are appended and abandoned, never reused — families are as
+    /// rare as distinct shared structures.
+    families: Vec<FamilyDedup>,
+    /// Window-erased structure key → index of its live family.
+    family_ids: FxHashMap<SgaExpr, usize>,
+    /// Window-erased structure key → live sink roots with that key.
+    roster: FxHashMap<SgaExpr, Vec<usize>>,
     /// Node → number of registrations whose plan uses it.
     refcount: FxHashMap<usize, u32>,
+    /// Reusable grouping buffer for epoch-level sink coalescing.
+    scratch: SinkScratch,
+    /// Result-routing nanos (collect/drain projection passes). Timing obs
+    /// only; never part of the determinism contract.
+    route_nanos: u64,
+    /// Sink-dedup nanos (the per-root `sink_batch` passes). Timing only.
+    dedup_nanos: u64,
     next: u64,
 }
 
 impl Registry {
-    pub fn insert(&mut self, reg: Registration) -> QueryId {
+    /// Inserts a registration, creating or joining its root's shared
+    /// sink. Under duplicate suppression every subscriber sees the root's
+    /// full history (`base = 0`); without it a late join starts cold at
+    /// the current log lengths.
+    pub fn insert(&mut self, mut reg: Registration, family_key: Option<SgaExpr>) -> QueryId {
         let id = self.next;
         self.next += 1;
-        if self.subs.len() <= reg.root {
-            self.subs.resize_with(reg.root + 1, Vec::new);
+        let root = reg.root;
+        if self.sinks.len() <= root {
+            self.sinks.resize_with(root + 1, || None);
         }
-        self.subs[reg.root].push(id);
+        match &mut self.sinks[root] {
+            Some(sink) => {
+                sink.subscribers.push((id, reg.answer));
+                reg.base = sink.results.len();
+                reg.base_del = sink.deleted.len();
+            }
+            slot @ None => {
+                *slot = Some(RootSink::new((id, reg.answer), family_key));
+            }
+        }
+        reg.drained = reg.base;
         for &n in &reg.nodes {
             *self.refcount.entry(n).or_insert(0) += 1;
         }
@@ -90,12 +132,63 @@ impl Registry {
         QueryId(id)
     }
 
+    /// Rewinds a suppressed registration's cursors to the start of its
+    /// root's log (catch-up: the shared history *is* this query's
+    /// history, so it appears in the first drain).
+    pub fn grant_full_history(&mut self, id: QueryId) {
+        if let Some(reg) = self.entries.get_mut(&id.0) {
+            reg.base = 0;
+            reg.base_del = 0;
+            reg.drained = 0;
+        }
+    }
+
+    /// Enrols `root`'s sink in the subsuming-dedup family for its
+    /// structure key once a second live variant exists. Must run **after**
+    /// register-time catch-up has seeded the sink's private map (the
+    /// migration folds exact per-variant state into the family).
+    pub fn enroll_family(&mut self, root: usize) {
+        let Some(Some(sink)) = self.sinks.get(root) else {
+            return;
+        };
+        let Some(key) = sink.family_key.clone() else {
+            return;
+        };
+        let members = self.roster.entry(key.clone()).or_default();
+        if !members.contains(&root) {
+            members.push(root);
+        }
+        if members.len() < 2 {
+            return;
+        }
+        let family = *self.family_ids.entry(key).or_insert_with(|| {
+            self.families.push(FamilyDedup::default());
+            self.families.len() - 1
+        });
+        for &member in members.iter() {
+            let sink = self.sinks[member].as_mut().expect("rostered sink");
+            if let SinkDedup::Private(map) = &mut sink.dedup {
+                let map = std::mem::take(map);
+                self.families[family].migrate(member as u32, map);
+                sink.dedup = SinkDedup::Family(family);
+            }
+        }
+    }
+
     /// Removes a registration; returns it together with the nodes no
     /// remaining registration references (to be retired by the host).
+    /// Destroying a root's last subscription tears down its sink, and a
+    /// family shrinking to one member demotes the survivor back to a
+    /// private map with its exact extracted state — the widest-variant
+    /// deregister handover.
     pub fn remove(&mut self, id: QueryId) -> Option<(Registration, FxHashSet<usize>)> {
         let reg = self.entries.remove(&id.0)?;
-        if let Some(subs) = self.subs.get_mut(reg.root) {
-            subs.retain(|&q| q != id.0);
+        if let Some(Some(sink)) = self.sinks.get_mut(reg.root) {
+            sink.subscribers.retain(|&(q, _)| q != id.0);
+            if sink.subscribers.is_empty() {
+                let sink = self.sinks[reg.root].take().expect("checked above");
+                self.destroy_sink(reg.root, sink);
+            }
         }
         let mut dead = FxHashSet::default();
         for &n in &reg.nodes {
@@ -107,6 +200,31 @@ impl Registry {
             }
         }
         Some((reg, dead))
+    }
+
+    /// Family-lifecycle half of sink teardown (see [`Registry::remove`]).
+    fn destroy_sink(&mut self, root: usize, sink: RootSink) {
+        let Some(key) = sink.family_key else {
+            return;
+        };
+        let Some(members) = self.roster.get_mut(&key) else {
+            return;
+        };
+        members.retain(|&m| m != root);
+        let survivors = members.len();
+        if members.is_empty() {
+            self.roster.remove(&key);
+        }
+        if let SinkDedup::Family(family) = sink.dedup {
+            self.families[family].remove_variant(root as u32);
+            if survivors == 1 {
+                let survivor = self.roster[&key][0];
+                let extracted = self.families[family].remove_variant(survivor as u32);
+                self.sinks[survivor].as_mut().expect("rostered sink").dedup =
+                    SinkDedup::Private(extracted);
+                self.family_ids.remove(&key);
+            }
+        }
     }
 
     pub fn get(&self, id: QueryId) -> Option<&Registration> {
@@ -132,24 +250,61 @@ impl Registry {
         self.entries.iter().map(|(&id, r)| (QueryId(id), r))
     }
 
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (QueryId, &mut Registration)> {
-        self.entries.iter_mut().map(|(&id, r)| (QueryId(id), r))
+    /// `id`'s view of its root sink's logs: `(inserts, deletes)` from its
+    /// join point on, tagged with the root's canonical output label.
+    pub fn log(&self, id: QueryId) -> Option<(&[Sgt], &[Sgt])> {
+        let reg = self.entries.get(&id.0)?;
+        let sink = self.sinks.get(reg.root)?.as_ref()?;
+        Some((&sink.results[reg.base..], &sink.deleted[reg.base_del..]))
     }
 
-    /// Routes an emission batch of `node` to every subscribed query's
-    /// sink, re-labelling to each query's answer tag, with epoch-level
-    /// coalescing: the batch's insertions are grouped by `(src, trg)` so
-    /// each subscriber's dedup table is probed once per distinct pair.
-    /// This *is* `sgq_core::engine::sink_batch` (via its relabelling
-    /// form), so shared-host result logs are bit-identical to dedicated
-    /// engines' by construction.
+    /// Absolute log lengths of `id`'s root sink.
+    pub fn log_lens(&self, id: QueryId) -> Option<(usize, usize)> {
+        let reg = self.entries.get(&id.0)?;
+        let sink = self.sinks.get(reg.root)?.as_ref()?;
+        Some((sink.results.len(), sink.deleted.len()))
+    }
+
+    /// Drains `id`'s undelivered results (since the previous drain),
+    /// re-labelled to its answer tag. The projection cost is charged to
+    /// the routing phase under timing observability.
+    pub fn drain(&mut self, id: QueryId, timed: bool) -> Vec<Sgt> {
+        let t0 = timed.then(Instant::now);
+        let Registry { entries, sinks, .. } = self;
+        let Some(reg) = entries.get_mut(&id.0) else {
+            return Vec::new();
+        };
+        let Some(sink) = sinks.get(reg.root).and_then(|s| s.as_ref()) else {
+            return Vec::new();
+        };
+        let out = sink.results[reg.drained..]
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.label = reg.answer;
+                s
+            })
+            .collect();
+        reg.drained = sink.results.len();
+        if let Some(t0) = t0 {
+            self.route_nanos += t0.elapsed().as_nanos() as u64;
+        }
+        out
+    }
+
+    /// Routes an emission batch of `node` into its root sink **once**:
+    /// one dedup pass (private map or family variant — both run the same
+    /// generic `sgq_core::engine::sink_batch`, so shared-host logs stay
+    /// bit-identical to dedicated engines'), one log append, regardless of
+    /// subscriber count.
     ///
-    /// The subscription lookup happens once per **batch**, not per delta —
-    /// with the epoch-batched executor, non-subscribed (internal) nodes
-    /// cost one array load per epoch. When `collect` is given, newly
-    /// accepted inserts/deletes are appended as `(QueryId, Sgt)` pairs
-    /// (for `process`-style return values); the drain-only ingestion path
-    /// passes `None` and skips the pair building entirely.
+    /// The sink probe happens once per **batch**, not per delta — with the
+    /// epoch-batched executor, non-subscribed (internal) nodes cost one
+    /// array load per epoch. When `collect` is given, the freshly accepted
+    /// suffix is projected per subscriber as `(QueryId, Sgt)` pairs with
+    /// answer-label tagging (for `process`-style return values); the
+    /// drain-only ingestion path passes `None` and skips projection
+    /// entirely.
     pub fn route_batch(
         &mut self,
         node: usize,
@@ -157,36 +312,86 @@ impl Registry {
         opts: &EngineOptions,
         mut collect: Option<(&mut Emissions, &mut Emissions)>,
     ) {
-        let Some(subscribers) = self.subs.get(node) else {
+        let Some(Some(sink)) = self.sinks.get_mut(node) else {
             return;
         };
-        for &q in subscribers {
-            let reg = self.entries.get_mut(&q).expect("subscribed query exists");
-            let (before_ins, before_del) = (reg.results.len(), reg.deleted.len());
-            sink_batch_relabel(
+        let timed = opts.obs.timing();
+        let t0 = timed.then(Instant::now);
+        let (before_ins, before_del) = (sink.results.len(), sink.deleted.len());
+        match &mut sink.dedup {
+            SinkDedup::Private(map) => sink_batch(
                 opts,
-                &mut reg.dedup,
-                &mut reg.results,
-                &mut reg.deleted,
+                map,
+                &mut sink.results,
+                &mut sink.deleted,
                 batch,
-                Some(reg.answer),
-            );
-            if let Some((inserts, deletes)) = collect.as_mut() {
-                for s in &reg.results[before_ins..] {
-                    inserts.push((QueryId(q), s.clone()));
+                &mut self.scratch,
+            ),
+            SinkDedup::Family(family) => {
+                let mut variant = FamilyVariant {
+                    family: &mut self.families[*family],
+                    slot: node as u32,
+                };
+                sink_batch(
+                    opts,
+                    &mut variant,
+                    &mut sink.results,
+                    &mut sink.deleted,
+                    batch,
+                    &mut self.scratch,
+                );
+            }
+        }
+        let t1 = timed.then(Instant::now);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            self.dedup_nanos += t1.duration_since(t0).as_nanos() as u64;
+        }
+        if let Some((inserts, deletes)) = collect.as_mut() {
+            for &(q, answer) in &sink.subscribers {
+                for s in &sink.results[before_ins..] {
+                    let mut s = s.clone();
+                    s.label = answer;
+                    inserts.push((QueryId(q), s));
                 }
-                for s in &reg.deleted[before_del..] {
-                    deletes.push((QueryId(q), s.clone()));
+                for s in &sink.deleted[before_del..] {
+                    let mut s = s.clone();
+                    s.label = answer;
+                    deletes.push((QueryId(q), s));
                 }
             }
         }
+        if let Some(t1) = t1 {
+            self.route_nanos += t1.elapsed().as_nanos() as u64;
+        }
     }
 
-    /// Sinks an emission into one specific query only (register-time
-    /// catch-up: other subscribers of the node already saw this history).
+    /// Sinks an emission into one query's root sink (register-time
+    /// catch-up replay; the sink is still private at that point, but the
+    /// family path is handled for robustness).
     pub fn sink_to(&mut self, id: QueryId, delta: Delta, opts: &EngineOptions) {
-        if let Some(reg) = self.entries.get_mut(&id.0) {
-            sink_one(reg, delta, opts);
+        let Some(reg) = self.entries.get(&id.0) else {
+            return;
+        };
+        let Some(Some(sink)) = self.sinks.get_mut(reg.root) else {
+            return;
+        };
+        match &mut sink.dedup {
+            SinkDedup::Private(map) => {
+                sink_result(opts, map, &mut sink.results, &mut sink.deleted, delta)
+            }
+            SinkDedup::Family(family) => {
+                let mut variant = FamilyVariant {
+                    family: &mut self.families[*family],
+                    slot: reg.root as u32,
+                };
+                sink_result(
+                    opts,
+                    &mut variant,
+                    &mut sink.results,
+                    &mut sink.deleted,
+                    delta,
+                )
+            }
         }
     }
 
@@ -195,36 +400,33 @@ impl Registry {
         self.refcount.get(&n).copied().unwrap_or(0)
     }
 
-    /// A query other than `id` subscribed to `node`, if any (a "twin":
-    /// its plan shares this exact root).
-    pub fn subscriber_other_than(&self, node: usize, id: QueryId) -> Option<QueryId> {
-        self.subs
-            .get(node)?
-            .iter()
-            .find(|&&q| q != id.0)
-            .map(|&q| QueryId(q))
+    /// Whether a query other than `id` subscribes to `node` (a "twin":
+    /// its plan shares this exact root, so the root sink already holds
+    /// the full emission history).
+    pub fn has_twin(&self, node: usize, id: QueryId) -> bool {
+        self.sinks
+            .get(node)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.subscribers.iter().any(|&(q, _)| q != id.0))
     }
 
-    /// Seeds `to`'s sink with a relabelled copy of `from`'s emission
-    /// history (register-time catch-up when the whole plan is shared:
-    /// the twin's log *is* the root's full history).
-    pub fn copy_sink(&mut self, from: QueryId, to: QueryId) {
-        let Some(src) = self.entries.get(&from.0) else {
-            return;
-        };
-        let (results, deleted, dedup) =
-            (src.results.clone(), src.deleted.clone(), src.dedup.clone());
-        let Some(dst) = self.entries.get_mut(&to.0) else {
-            return;
-        };
-        let relabel = |mut s: Sgt| {
-            s.label = dst.answer;
-            s
-        };
-        dst.results = results.into_iter().map(relabel).collect();
-        dst.deleted = deleted.into_iter().map(relabel).collect();
-        dst.dedup = dedup;
-        dst.drained = 0;
+    /// Accumulated `(routing, dedup)` phase nanos (timing obs only).
+    pub fn phase_nanos(&self) -> (u64, u64) {
+        (self.route_nanos, self.dedup_nanos)
+    }
+
+    /// Purges expired sink-dedup intervals — private maps and family pair
+    /// tables — at physical-purge boundaries (mirrors the single-query
+    /// engine's sink maintenance).
+    pub fn purge_sink_dedup(&mut self, watermark: Timestamp) {
+        for sink in self.sinks.iter_mut().flatten() {
+            if let SinkDedup::Private(map) = &mut sink.dedup {
+                purge_dedup(map, watermark);
+            }
+        }
+        for family in &mut self.families {
+            family.purge(watermark);
+        }
     }
 
     /// Samples one epoch's observability for every registration: emission
@@ -236,13 +438,19 @@ impl Registry {
     /// and feed each query's latency histogram.
     pub fn record_epoch_obs(&mut self, profile: &[(usize, u64)], timed: bool) {
         let Registry {
-            entries, refcount, ..
+            entries,
+            refcount,
+            sinks,
+            ..
         } = self;
         for reg in entries.values_mut() {
+            let Some(sink) = sinks.get(reg.root).and_then(|s| s.as_ref()) else {
+                continue;
+            };
             let emitted =
-                (reg.results.len() - reg.obs_results) + (reg.deleted.len() - reg.obs_deleted);
-            reg.obs_results = reg.results.len();
-            reg.obs_deleted = reg.deleted.len();
+                (sink.results.len() - reg.obs_results) + (sink.deleted.len() - reg.obs_deleted);
+            reg.obs_results = sink.results.len();
+            reg.obs_deleted = sink.deleted.len();
             if emitted > 0 {
                 reg.emission_hist.record(emitted as u64);
             }
@@ -266,26 +474,6 @@ impl Registry {
 /// Per-query emission buffer: `(query, result)` pairs, as returned by
 /// `MultiQueryEngine::process`-family methods.
 pub(crate) type Emissions = Vec<(QueryId, Sgt)>;
-
-fn sink_one(reg: &mut Registration, delta: Delta, opts: &EngineOptions) {
-    let tagged = match delta {
-        Delta::Insert(mut s) => {
-            s.label = reg.answer;
-            Delta::Insert(s)
-        }
-        Delta::Delete(mut s) => {
-            s.label = reg.answer;
-            Delta::Delete(s)
-        }
-    };
-    sink_result(
-        opts,
-        &mut reg.dedup,
-        &mut reg.results,
-        &mut reg.deleted,
-        tagged,
-    );
-}
 
 /// Purges expired sink-dedup intervals (mirrors the single-query engine's
 /// sink maintenance at physical-purge boundaries).

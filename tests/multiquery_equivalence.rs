@@ -4,11 +4,12 @@
 //! strictly fewer physical operators. Also covers mid-stream deregister +
 //! re-register (catch-up semantics) and batched ingestion.
 
+use proptest::prelude::*;
 use s_graffito::datagen::workloads::{self, Dataset};
 use s_graffito::datagen::{snb_stream, so_stream, RawStream, SnbConfig, SoConfig};
 use s_graffito::multiquery::{MultiQueryEngine, QueryId};
 use s_graffito::prelude::*;
-use s_graffito::types::InputStream;
+use s_graffito::types::{InputStream, VertexId};
 
 const WINDOW: u64 = 600;
 
@@ -467,4 +468,163 @@ fn retention_horizon_bounds_large_window_late_registration() {
             .any(|(q, s)| *q == again && s.src.0 == 1 && s.trg.0 == 3),
         "re-registered big window still sees the t=0 edge: {out:?}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Subsuming-dedup handover (property-based): window variants of one
+// canonical structure share a per-root dedup *family* (union coverage +
+// exact per-variant interval sets). Deregistering the **widest** variant
+// mid-stream is the adversarial case — the family's subsuming coverage was
+// dominated by the departing member, so it must be rebuilt from the
+// survivors (three variants) or the last survivor must be demoted back to
+// a private map with its exact state extracted (two variants). Either way
+// the survivors must keep emitting exactly like dedicated engines, and the
+// executor fingerprint must stay identical across (shards, workers).
+// ---------------------------------------------------------------------
+
+/// Same operator coverage as the batching proptests: PATTERN join,
+/// S-PATH closure, and a composite.
+const VARIANT_PLANS: [&str; 3] = [
+    "Ans(x, y) <- a(x, z), b(z, y).",
+    "Ans(x, y) <- a+(x, y).",
+    "Ans(x, y) <- a+(x, m), b(m, y).",
+];
+/// Ascending window sizes: same structure + slide, so all variants share
+/// one canonical root and one dedup family.
+const VARIANT_WINDOWS: [u64; 3] = [12, 24, 48];
+const VARIANT_SLIDE: u64 = 6;
+const VARIANT_SPAN: u64 = 72;
+
+fn variant_query(plan_idx: usize, window: u64) -> SgqQuery {
+    SgqQuery::new(
+        parse_program(VARIANT_PLANS[plan_idx]).unwrap(),
+        WindowSpec::new(window, VARIANT_SLIDE),
+    )
+}
+
+/// Raw events as `(src, trg, label ordinal, Δt)`; materialized per engine
+/// so each side's own interner resolves the label names.
+fn variant_events(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u8, u64)>> {
+    prop::collection::vec((0u64..10, 0u64..10, 0u8..2, 1u64..4), 8..max_len)
+}
+
+fn variant_sges(evs: &[(u64, u64, u8, u64)], labels: &dyn Fn(&str) -> Label) -> Vec<Sge> {
+    let lv = [labels("a"), labels("b")];
+    let mut t = 0u64;
+    evs.iter()
+        .map(|&(s, tr, l, dt)| {
+            t = (t + dt).min(VARIANT_SPAN);
+            Sge::new(VertexId(s), VertexId(tr), lv[l as usize], t)
+        })
+        .collect()
+}
+
+fn variant_host_opts(workers: usize, shards: usize) -> EngineOptions {
+    EngineOptions {
+        workers,
+        shards,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn widest_window_variant_deregisters_without_perturbing_survivors(
+        evs in variant_events(48),
+        plan_idx in 0usize..3,
+        variants in 2usize..4,
+        split_pct in 25usize..75,
+    ) {
+        let windows = &VARIANT_WINDOWS[..variants];
+        let widest = variants - 1;
+
+        let mut serial = MultiQueryEngine::with_options(variant_host_opts(1, 1));
+        let mut parallel = MultiQueryEngine::with_options(variant_host_opts(4, 4));
+        let serial_ids: Vec<QueryId> = windows
+            .iter()
+            .map(|w| serial.register(&variant_query(plan_idx, *w)))
+            .collect();
+        let parallel_ids: Vec<QueryId> = windows
+            .iter()
+            .map(|w| parallel.register(&variant_query(plan_idx, *w)))
+            .collect();
+
+        // Both hosts registered the same fleet in the same order, so their
+        // interners agree and one materialization feeds both.
+        let host_labels = serial.labels().clone();
+        let sges = variant_sges(&evs, &|n| {
+            host_labels.get(n).unwrap_or(Label(u32::MAX))
+        });
+        let split = (sges.len() * split_pct / 100).max(1);
+
+        for sge in &sges[..split] {
+            serial.process(*sge);
+            parallel.process(*sge);
+        }
+
+        // Pin the departing widest variant's own log at the moment it
+        // leaves: identical to a dedicated engine over the same prefix.
+        let mut ref_widest = Engine::from_query(&variant_query(plan_idx, windows[widest]));
+        let wl = ref_widest.labels().clone();
+        let ref_sges = variant_sges(&evs, &|n| wl.get(n).unwrap_or(Label(u32::MAX)));
+        for sge in &ref_sges[..split] {
+            ref_widest.process(*sge);
+        }
+        prop_assert_eq!(
+            coalesced(serial.results(serial_ids[widest])),
+            coalesced(ref_widest.results()),
+            "widest variant's log at departure"
+        );
+
+        prop_assert!(serial.deregister(serial_ids[widest]));
+        prop_assert!(parallel.deregister(parallel_ids[widest]));
+
+        for sge in &sges[split..] {
+            serial.process(*sge);
+            parallel.process(*sge);
+        }
+
+        // Host-vs-host: raw logs and fingerprints are bit-identical across
+        // (shards, workers), including through the dedup-state handover.
+        for (si, pi) in serial_ids[..widest].iter().zip(&parallel_ids[..widest]) {
+            prop_assert_eq!(serial.results(*si), parallel.results(*pi));
+        }
+        prop_assert_eq!(
+            serial.exec_stats().determinism_fingerprint(),
+            parallel.exec_stats().determinism_fingerprint(),
+            "fingerprints across (shards, workers)"
+        );
+
+        // Host-vs-dedicated: every surviving variant matches an engine
+        // that ran the whole stream alone.
+        let end = VARIANT_SPAN + VARIANT_WINDOWS[widest];
+        for (v, si) in serial_ids[..widest].iter().enumerate() {
+            let mut dedicated = Engine::from_query(&variant_query(plan_idx, windows[v]));
+            let dl = dedicated.labels().clone();
+            for sge in variant_sges(&evs, &|n| dl.get(n).unwrap_or(Label(u32::MAX))) {
+                dedicated.process(sge);
+            }
+            prop_assert_eq!(
+                coalesced(serial.results(*si)),
+                coalesced(dedicated.results()),
+                "survivor window={} coverage",
+                windows[v]
+            );
+            for t in (0..=end).step_by(7) {
+                prop_assert_eq!(
+                    serial.answer_at(*si, t),
+                    dedicated.answer_at(t),
+                    "survivor window={} answers at t={}",
+                    windows[v],
+                    t
+                );
+            }
+            // Route-once drain semantics survive the handover: everything
+            // exactly once, then empty.
+            prop_assert_eq!(serial.drain(*si).len(), serial.results(*si).len());
+            prop_assert_eq!(serial.drain(*si).len(), 0);
+        }
+    }
 }
