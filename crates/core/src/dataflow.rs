@@ -1502,8 +1502,25 @@ impl Dataflow {
                 shard: self.shard_of.get(n).copied().flatten(),
                 stats: self.op_stats[n],
                 state_entries: self.nodes[n].op.state_size(),
+                frontier: self.nodes[n].op.frontier_stats(),
             })
             .collect()
+    }
+
+    /// Sums the frontier traversal counters of every live PATH operator
+    /// (nodes settled / improved, heap pushes, edges scanned). Zero when
+    /// the flow holds no traversal operator.
+    pub fn frontier_totals(&self) -> crate::obs::FrontierStats {
+        let mut total = crate::obs::FrontierStats::default();
+        for n in 0..self.nodes.len() {
+            if self.retired[n] {
+                continue;
+            }
+            if let Some(f) = self.nodes[n].op.frontier_stats() {
+                total.merge(&f);
+            }
+        }
+        total
     }
 
     /// Renders `expr`'s lowered operator tree with live counters — the
@@ -1544,6 +1561,17 @@ impl Dataflow {
                 }
                 if os.purges > 0 {
                     let _ = write!(out, " purge={}x/{}", os.purges, fmt_nanos(os.purge_nanos));
+                }
+                if let Some(f) = node.op.frontier_stats().filter(|f| !f.is_zero()) {
+                    let _ = write!(
+                        out,
+                        " settled={} improved={} pushes={} scanned={} ratio={:.3}",
+                        f.nodes_settled,
+                        f.nodes_improved,
+                        f.heap_pushes,
+                        f.edges_scanned,
+                        f.settle_ratio(),
+                    );
                 }
             }
             None => out.push_str("<not lowered>"),

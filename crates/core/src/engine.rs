@@ -646,6 +646,13 @@ impl Engine {
         }
     }
 
+    /// Aggregated frontier traversal counters of the flow's PATH
+    /// operators (nodes settled / improved, heap pushes, edges scanned).
+    /// Always-on deterministic counters — available at every obs level.
+    pub fn frontier_totals(&self) -> crate::obs::FrontierStats {
+        self.flow.frontier_totals()
+    }
+
     /// Drives the engine over an entire ordered stream, collecting the
     /// paper's metrics: aggregate throughput and per-slide latencies.
     pub fn run<'a, I: IntoIterator<Item = &'a Sge>>(&mut self, stream: I) -> RunStats {

@@ -141,6 +141,53 @@ impl OpStats {
     }
 }
 
+/// Traversal counters of the frontier-at-once PATH expansion (S-PATH's
+/// bulk epoch pass and the shared re-derivation Dijkstra). Unlike
+/// [`OpStats`], these are **always on**: they count deterministic
+/// algorithmic work (not wall clock), are maintained by the operators
+/// themselves, and are read at snapshot time through
+/// `PhysicalOp::frontier_stats` — so benches can gate on them at any
+/// [`ObsLevel`] without perturbing results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Product-graph nodes settled by a bulk frontier pass (each node at
+    /// most once per epoch at its final expiry).
+    pub nodes_settled: u64,
+    /// Interval improvements applied (Expand / Propagate / ts-coalesce).
+    /// On the per-tuple path a node improved k times in one epoch counts
+    /// k; the bulk pass collapses the chain, so settled ≤ improved.
+    pub nodes_improved: u64,
+    /// Candidates pushed onto a priority frontier.
+    pub heap_pushes: u64,
+    /// Adjacency entries examined while scanning successor edges.
+    pub edges_scanned: u64,
+}
+
+impl FrontierStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &FrontierStats) {
+        self.nodes_settled += other.nodes_settled;
+        self.nodes_improved += other.nodes_improved;
+        self.heap_pushes += other.heap_pushes;
+        self.edges_scanned += other.edges_scanned;
+    }
+
+    /// Whether any traversal work was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == FrontierStats::default()
+    }
+
+    /// Settles per improvement — 1.0 on the per-tuple path (every
+    /// improvement is its own expansion), < 1.0 when the bulk pass
+    /// collapsed improvement chains (0.0 when nothing was improved).
+    pub fn settle_ratio(&self) -> f64 {
+        if self.nodes_improved == 0 {
+            return 0.0;
+        }
+        self.nodes_settled as f64 / self.nodes_improved as f64
+    }
+}
+
 /// Number of buckets in a [`LogHistogram`]: one per possible bit width of
 /// a `u64` sample (0 through 64).
 pub const HISTOGRAM_BUCKETS: usize = 65;
@@ -497,6 +544,10 @@ pub struct OperatorSnapshot {
     pub stats: OpStats,
     /// State entries retained right now.
     pub state_entries: usize,
+    /// Frontier traversal counters for PATH operators (`None` for
+    /// operators without a frontier). Always collected — see
+    /// [`FrontierStats`].
+    pub frontier: Option<FrontierStats>,
 }
 
 impl OperatorSnapshot {
@@ -506,10 +557,22 @@ impl OperatorSnapshot {
             Some(s) => s.to_string(),
             None => "null".to_string(),
         };
+        let frontier = match &self.frontier {
+            Some(f) => format!(
+                ",\"nodes_settled\":{},\"nodes_improved\":{},\"heap_pushes\":{},\
+                 \"edges_scanned\":{},\"settle_ratio\":{:.6}",
+                f.nodes_settled,
+                f.nodes_improved,
+                f.heap_pushes,
+                f.edges_scanned,
+                f.settle_ratio(),
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\"record\":\"operator\",\"node\":{},\"name\":\"{}\",\"level\":{},\"shard\":{},\
              \"invocations\":{},\"deltas_in\":{},\"deltas_out\":{},\"selectivity\":{:.6},\
-             \"batch_nanos\":{},\"purges\":{},\"purge_nanos\":{},\"state_entries\":{}}}",
+             \"batch_nanos\":{},\"purges\":{},\"purge_nanos\":{},\"state_entries\":{}{}}}",
             self.node,
             json_escape(&self.name),
             self.level,
@@ -522,6 +585,7 @@ impl OperatorSnapshot {
             self.stats.purges,
             self.stats.purge_nanos,
             self.state_entries,
+            frontier,
         )
     }
 
@@ -531,8 +595,15 @@ impl OperatorSnapshot {
             Some(s) => s.to_string(),
             None => String::new(),
         };
+        let frontier = match &self.frontier {
+            Some(f) => format!(
+                "{},{},{},{}",
+                f.nodes_settled, f.nodes_improved, f.heap_pushes, f.edges_scanned
+            ),
+            None => ",,,".to_string(),
+        };
         format!(
-            "{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+            "{},{},{},{},{},{},{},{:.6},{},{},{},{},{}",
             self.node,
             csv_escape(&self.name),
             self.level,
@@ -545,6 +616,7 @@ impl OperatorSnapshot {
             self.stats.purges,
             self.stats.purge_nanos,
             self.state_entries,
+            frontier,
         )
     }
 }
@@ -646,7 +718,8 @@ impl MetricsSnapshot {
     /// The CSV header for [`MetricsSnapshot::to_csv`].
     pub fn csv_header() -> &'static str {
         "node,name,level,shard,invocations,deltas_in,deltas_out,selectivity,\
-         batch_nanos,purges,purge_nanos,state_entries"
+         batch_nanos,purges,purge_nanos,state_entries,\
+         nodes_settled,nodes_improved,heap_pushes,edges_scanned"
     }
 
     /// The per-operator table as CSV (header + one row per live
@@ -867,6 +940,12 @@ mod tests {
                     ..Default::default()
                 },
                 state_entries: 7,
+                frontier: Some(FrontierStats {
+                    nodes_settled: 2,
+                    nodes_improved: 5,
+                    heap_pushes: 9,
+                    edges_scanned: 14,
+                }),
             }],
             queries: vec![QuerySnapshot {
                 query: 0,

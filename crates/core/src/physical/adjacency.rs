@@ -7,10 +7,40 @@
 //! older disjoint interval is necessarily expired and can be replaced
 //! (§6.2.4, coalescing with `max` aggregation over expiry).
 
-use sgq_types::{FxHashMap, Interval, Label, Timestamp, VertexId};
+use sgq_types::{Edge, FxHashMap, Interval, Label, Timestamp, VertexId};
 
 // Send audit: PATH-operator window state (owned hash maps of Copy entries).
 const _: () = super::assert_send::<Adjacency>();
+const _: () = super::assert_send::<EpochLoad>();
+
+/// Operator-owned scratch for one epoch's bulk adjacency load: the
+/// admitted epoch edges (those whose stored interval actually changed)
+/// with their **final** coalesced intervals, in first-arrival order.
+///
+/// Iterating [`EpochLoad::edges`] is the epoch-scoped incident-edge scan
+/// used to seed the bulk frontier: every tree node incident to one of
+/// these edges is a candidate expansion, and everything an epoch edge can
+/// reach transitively is discovered by the traversal itself (which walks
+/// the already-complete [`Adjacency`]).
+#[derive(Debug, Default)]
+pub struct EpochLoad {
+    edges: Vec<(Edge, Interval)>,
+    index: FxHashMap<Edge, u32>,
+}
+
+impl EpochLoad {
+    /// Clears the scratch, keeping allocations.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.index.clear();
+    }
+
+    /// The admitted epoch edges with their final stored intervals, in
+    /// first-arrival order.
+    pub fn edges(&self) -> &[(Edge, Interval)] {
+        &self.edges
+    }
+}
 
 /// One stored edge occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +109,33 @@ impl Adjacency {
             interval: iv,
         });
         Some(iv)
+    }
+
+    /// Bulk-loads one epoch's insert run **before any traversal**, so the
+    /// bulk frontier pass sees the complete epoch graph. Admitted edges
+    /// (stored interval changed) are recorded in `load`; a re-arrival of
+    /// an already-recorded edge updates its recorded interval in place, so
+    /// each distinct edge seeds the frontier once, with its final
+    /// coalesced interval. Covered re-inserts are dropped exactly as in
+    /// [`Adjacency::insert`].
+    pub fn bulk_insert(
+        &mut self,
+        edges: impl IntoIterator<Item = (VertexId, Label, VertexId, Interval)>,
+        load: &mut EpochLoad,
+    ) {
+        for (src, label, trg, iv) in edges {
+            let Some(stored) = self.insert(src, label, trg, iv) else {
+                continue;
+            };
+            let edge = Edge::new(src, trg, label);
+            match load.index.get(&edge) {
+                Some(&i) => load.edges[i as usize].1 = stored,
+                None => {
+                    load.index.insert(edge, load.edges.len() as u32);
+                    load.edges.push((edge, stored));
+                }
+            }
+        }
     }
 
     /// Removes `iv` from the stored edge (explicit deletion). The stored
@@ -230,6 +287,32 @@ mod tests {
         let exp = a.expired_at(6);
         assert_eq!(exp.len(), 1);
         assert_eq!(exp[0].0, v(1));
+    }
+
+    #[test]
+    fn bulk_insert_records_final_intervals_once() {
+        let mut a = Adjacency::new();
+        a.insert(v(1), L, v(2), Interval::new(0, 10));
+        let mut load = EpochLoad::default();
+        a.bulk_insert(
+            [
+                (v(1), L, v(2), Interval::new(2, 8)), // covered: dropped
+                (v(1), L, v(3), Interval::new(4, 14)),
+                (v(1), L, v(3), Interval::new(6, 16)), // re-arrival: updates in place
+                (v(2), L, v(4), Interval::new(5, 15)),
+            ],
+            &mut load,
+        );
+        assert_eq!(
+            load.edges(),
+            &[
+                (Edge::new(v(1), v(3), L), Interval::new(4, 16)),
+                (Edge::new(v(2), v(4), L), Interval::new(5, 15)),
+            ]
+        );
+        assert_eq!(a.interval_of(v(1), L, v(3)), Some(Interval::new(4, 16)));
+        load.clear();
+        assert!(load.edges().is_empty());
     }
 
     #[test]

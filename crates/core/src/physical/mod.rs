@@ -97,4 +97,12 @@ pub trait PhysicalOp: Send {
     fn state_size(&self) -> usize {
         0
     }
+
+    /// Frontier traversal counters for PATH operators (nodes settled /
+    /// improved, heap pushes, edges scanned). `None` for operators without
+    /// a traversal frontier. These are always-on deterministic counters
+    /// read at snapshot time; they never affect results.
+    fn frontier_stats(&self) -> Option<crate::obs::FrontierStats> {
+        None
+    }
 }

@@ -17,8 +17,9 @@
 
 use super::adjacency::Adjacency;
 use super::forest::Forest;
-use super::rederive::{rederive, RevDfa};
+use super::rederive::{rederive_in, RederiveScratch, RevDfa};
 use super::{Delta, PhysicalOp};
+use crate::obs::FrontierStats;
 use sgq_automata::{Dfa, Regex, StateId};
 use sgq_types::{Edge, Interval, Label, Payload, Sgt, Timestamp, VertexId};
 
@@ -33,6 +34,11 @@ pub struct NegPathOp {
     adj: Adjacency,
     forest: Forest,
     emit_paths: bool,
+    /// Re-derivation scratch (heap, marked set, …) reused across
+    /// invalidations instead of reallocated.
+    rescratch: RederiveScratch,
+    /// Always-on traversal counters (see [`FrontierStats`]).
+    stats: FrontierStats,
 }
 
 struct Ext {
@@ -57,6 +63,8 @@ impl NegPathOp {
             adj: Adjacency::new(),
             forest,
             emit_paths: true,
+            rescratch: RederiveScratch::default(),
+            stats: FrontierStats::default(),
         }
     }
 
@@ -121,12 +129,14 @@ impl NegPathOp {
                     idx
                 }
             };
+            self.stats.nodes_improved += 1;
             if self.dfa.is_accepting(ext.state) {
                 self.emit(tree, node, out);
             }
             let node_iv = self.forest.tree(tree).node(node).interval;
             for (l2, q) in self.dfa.transitions_from(ext.state) {
                 for entry in self.adj.out(ext.v, l2) {
+                    self.stats.edges_scanned += 1;
                     if node_iv.intersect(&entry.interval).is_empty() {
                         continue;
                     }
@@ -197,10 +207,12 @@ impl NegPathOp {
                 if self.forest.tree(tree).node(idx).edge != Some(edge) {
                     continue; // non-tree edge: "does not require any modification"
                 }
-                let changes = rederive(
+                let changes = rederive_in(
+                    &mut self.rescratch,
+                    &mut self.stats,
                     &mut self.forest,
                     tree,
-                    vec![idx],
+                    &[idx],
                     &self.adj,
                     &self.dfa,
                     &self.rev,
@@ -315,10 +327,14 @@ impl PhysicalOp for NegPathOp {
             if roots.is_empty() {
                 continue;
             }
-            let changes = rederive(
+            // One seeded maximin pass re-derives all m invalidated
+            // subtree roots together (shared frontier, shared scratch).
+            let changes = rederive_in(
+                &mut self.rescratch,
+                &mut self.stats,
                 &mut self.forest,
                 tree,
-                roots,
+                &roots,
                 &self.adj,
                 &self.dfa,
                 &self.rev,
@@ -346,6 +362,10 @@ impl PhysicalOp for NegPathOp {
 
     fn state_size(&self) -> usize {
         self.adj.size() + self.forest.size()
+    }
+
+    fn frontier_stats(&self) -> Option<FrontierStats> {
+        Some(self.stats)
     }
 }
 

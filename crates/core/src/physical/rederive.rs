@@ -11,6 +11,7 @@
 
 use super::adjacency::Adjacency;
 use super::forest::{Forest, NodeIdx, TreeId};
+use crate::obs::FrontierStats;
 use sgq_automata::{Dfa, StateId};
 use sgq_types::{Edge, FxHashMap, FxHashSet, Interval, Label, Timestamp, VertexId};
 use std::cmp::Ordering;
@@ -18,6 +19,7 @@ use std::collections::BinaryHeap;
 
 // Send audit: re-derivation state kept inside PATH operators.
 const _: () = super::assert_send::<RevDfa>();
+const _: () = super::assert_send::<RederiveScratch>();
 
 /// Reverse DFA transitions: target state → `(label, source state)` pairs.
 /// Needed to find candidate parents of a disconnected node.
@@ -63,6 +65,7 @@ pub struct Change {
     pub new_interval: Option<Interval>,
 }
 
+#[derive(Debug)]
 struct Candidate {
     iv: Interval,
     child: NodeIdx,
@@ -83,17 +86,37 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on expiry (the maximin objective), ties on larger span.
+        // Max-heap on expiry (the maximin objective), ties on larger span,
+        // then on (node, edge) so pop order — and with it the settled
+        // parent/edge choice among equal-expiry alternatives — is a pure
+        // function of the candidate set, not of heap insertion order.
         self.iv
             .exp
             .cmp(&other.iv.exp)
             .then_with(|| other.iv.ts.cmp(&self.iv.ts))
+            .then_with(|| other.child.cmp(&self.child))
+            .then_with(|| other.edge.cmp(&self.edge))
     }
+}
+
+/// Operator-owned scratch for re-derivation passes: the candidate heap
+/// and the marked-subtree bookkeeping are cleared, not reallocated, each
+/// pass (the `sink_scratch` pattern applied to the expansion core).
+#[derive(Debug, Default)]
+pub struct RederiveScratch {
+    heap: BinaryHeap<Candidate>,
+    marked: FxHashSet<NodeIdx>,
+    order: Vec<NodeIdx>,
+    old: Vec<(NodeIdx, VertexId, StateId, Interval)>,
 }
 
 /// Re-derives the subtrees rooted at `roots` in tree `tree` after their
 /// derivation edges were invalidated. Returns one [`Change`] per affected
 /// node. `now` bounds liveness: candidates already expired are not used.
+///
+/// Convenience wrapper over [`rederive_in`] with throwaway scratch;
+/// operators on the hot path hold a [`RederiveScratch`] and a
+/// [`FrontierStats`] instead.
 pub fn rederive(
     forest: &mut Forest,
     tree: TreeId,
@@ -103,12 +126,50 @@ pub fn rederive(
     rev: &RevDfa,
     now: Timestamp,
 ) -> Vec<Change> {
+    let mut scratch = RederiveScratch::default();
+    let mut stats = FrontierStats::default();
+    rederive_in(
+        &mut scratch,
+        &mut stats,
+        forest,
+        tree,
+        &roots,
+        adj,
+        dfa,
+        rev,
+        now,
+    )
+}
+
+/// [`rederive`] with operator-owned scratch and frontier accounting: one
+/// seeded maximin-Dijkstra pass re-derives **all** invalidated subtrees of
+/// `roots` together (m roots, one heap), settling each node at most once.
+#[allow(clippy::too_many_arguments)]
+pub fn rederive_in(
+    scratch: &mut RederiveScratch,
+    stats: &mut FrontierStats,
+    forest: &mut Forest,
+    tree: TreeId,
+    roots: &[NodeIdx],
+    adj: &Adjacency,
+    dfa: &Dfa,
+    rev: &RevDfa,
+    now: Timestamp,
+) -> Vec<Change> {
     // --- Mark the disconnected subtrees --------------------------------
-    let mut marked: FxHashSet<NodeIdx> = FxHashSet::default();
-    let mut order: Vec<NodeIdx> = Vec::new();
+    scratch.heap.clear();
+    scratch.marked.clear();
+    scratch.order.clear();
+    scratch.old.clear();
+    let RederiveScratch {
+        heap,
+        marked,
+        order,
+        old,
+    } = scratch;
     {
         let t = forest.tree(tree);
-        let mut stack = roots.clone();
+        let mut stack = roots.to_vec();
         while let Some(i) = stack.pop() {
             if !t.node(i).alive || !marked.insert(i) {
                 continue;
@@ -117,19 +178,16 @@ pub fn rederive(
             stack.extend(t.children(i));
         }
     }
-    let old: Vec<(NodeIdx, VertexId, StateId, Interval)> = order
-        .iter()
-        .map(|&i| {
-            let n = forest.tree(tree).node(i);
-            (i, n.v, n.state, n.interval)
-        })
-        .collect();
+    old.extend(order.iter().map(|&i| {
+        let n = forest.tree(tree).node(i);
+        (i, n.v, n.state, n.interval)
+    }));
 
     // --- Seed candidates from the unmarked frontier ---------------------
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-    for &(idx, v, state, _) in &old {
+    for &(idx, v, state, _) in old.iter() {
         for &(l, s) in rev.into_state(state) {
             for entry in adj.inc(v, l) {
+                stats.edges_scanned += 1;
                 let Some(pidx) = forest.tree(tree).get(entry.other, s) else {
                     continue;
                 };
@@ -142,6 +200,7 @@ pub fn rederive(
                     .interval
                     .intersect(&entry.interval);
                 if !cand.is_empty() && !cand.expired_at(now) {
+                    stats.heap_pushes += 1;
                     heap.push(Candidate {
                         iv: cand,
                         child: idx,
@@ -159,6 +218,8 @@ pub fn rederive(
             continue; // already settled with a better (or equal) expiry
         }
         marked.remove(&c.child);
+        stats.nodes_settled += 1;
+        stats.nodes_improved += 1;
         {
             let t = forest.tree_mut(tree);
             t.node_mut(c.child).interval = c.iv;
@@ -171,6 +232,7 @@ pub fn rederive(
         };
         for (l2, q) in dfa.transitions_from(state).collect::<Vec<_>>() {
             for entry in adj.out(v, l2) {
+                stats.edges_scanned += 1;
                 let Some(cidx) = forest.tree(tree).get(entry.other, q) else {
                     continue;
                 };
@@ -179,6 +241,7 @@ pub fn rederive(
                 }
                 let cand = iv.intersect(&entry.interval);
                 if !cand.is_empty() && !cand.expired_at(now) {
+                    stats.heap_pushes += 1;
                     heap.push(Candidate {
                         iv: cand,
                         child: cidx,
@@ -191,7 +254,7 @@ pub fn rederive(
     }
 
     // --- Remove unsettled nodes -----------------------------------------
-    for &(idx, _, _, _) in &old {
+    for &(idx, _, _, _) in old.iter() {
         if marked.contains(&idx) && forest.tree(tree).node(idx).alive {
             forest.remove_subtree(tree, idx);
         }
@@ -199,8 +262,8 @@ pub fn rederive(
 
     // Settled nodes are back in the index; removed ones are not (no
     // insertions happen during re-derivation, so a lookup is authoritative).
-    old.into_iter()
-        .map(|(_, v, state, old_iv)| {
+    old.iter()
+        .map(|&(_, v, state, old_iv)| {
             let new_interval = forest
                 .tree(tree)
                 .get(v, state)

@@ -13,12 +13,15 @@
 //! [`super::rederive`], and invalidated results are emitted as negative
 //! tuples.
 
-use super::adjacency::Adjacency;
+use super::adjacency::{Adjacency, EpochLoad};
 use super::forest::{Forest, NodeIdx, TreeId};
-use super::rederive::{rederive, RevDfa};
+use super::rederive::{rederive_in, RederiveScratch, RevDfa};
 use super::{Delta, DeltaBatch, PhysicalOp};
+use crate::obs::FrontierStats;
 use sgq_automata::{Dfa, Regex, StateId};
 use sgq_types::{Edge, FxHashSet, Interval, Label, Payload, Sgt, Timestamp, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 // Send audit: S-PATH state is the DFA, the label-indexed adjacency, and
 // the Δ-PATH spanning forests — all owned, no interior sharing.
@@ -44,6 +47,21 @@ pub struct SPathOp {
     /// first-improvement order (kept ordered for deterministic output).
     dirty: Vec<(TreeId, NodeIdx)>,
     dirty_set: FxHashSet<(TreeId, NodeIdx)>,
+    /// Per-epoch bulk-load record: the admitted epoch edges with final
+    /// stored intervals (cleared, not reallocated, each insert run).
+    epoch: EpochLoad,
+    /// The bulk pass's priority frontier (max candidate expiry, ties on
+    /// larger span then `(node, edge)` for determinism).
+    frontier: BinaryHeap<BulkCand>,
+    /// Nodes already settled by the current per-tree pass (stats only —
+    /// settle-once is enforced by the monotone heap order).
+    settled: FxHashSet<NodeIdx>,
+    /// Seed candidates of the current insert run, grouped by tree.
+    seeds: Vec<(TreeId, BulkCand)>,
+    /// Scratch for deletion-triggered re-derivation passes.
+    rescratch: RederiveScratch,
+    /// Always-on traversal counters (see [`FrontierStats`]).
+    stats: FrontierStats,
 }
 
 /// A pending tree extension (the explicit-stack form of the paper's
@@ -54,6 +72,47 @@ struct Ext {
     state: StateId,
     edge: Edge,
     edge_iv: Interval,
+}
+
+/// A bulk-pass candidate: a potential derivation of `(v, state)` through
+/// `edge` from parent node `parent`, with the derived interval computed at
+/// push time. Parents only *widen* after a candidate is pushed (settling
+/// is monotone), and every widening re-scans its successors, so a
+/// stale-narrow candidate is sound — the wider derivation arrives as a
+/// fresh candidate.
+#[derive(Clone, Debug)]
+struct BulkCand {
+    iv: Interval,
+    parent: NodeIdx,
+    v: VertexId,
+    state: StateId,
+    edge: Edge,
+}
+
+impl PartialEq for BulkCand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for BulkCand {}
+impl PartialOrd for BulkCand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BulkCand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap keyed on candidate expiry (monotone maximin order),
+        // ties on larger span, then `(node, edge)` so the pop sequence is
+        // a pure function of the candidate set.
+        self.iv
+            .exp
+            .cmp(&other.iv.exp)
+            .then_with(|| other.iv.ts.cmp(&self.iv.ts))
+            .then_with(|| other.v.cmp(&self.v))
+            .then_with(|| other.state.cmp(&self.state))
+            .then_with(|| other.edge.cmp(&self.edge))
+    }
 }
 
 impl SPathOp {
@@ -74,6 +133,12 @@ impl SPathOp {
             defer: false,
             dirty: Vec::new(),
             dirty_set: FxHashSet::default(),
+            epoch: EpochLoad::default(),
+            frontier: BinaryHeap::new(),
+            settled: FxHashSet::default(),
+            seeds: Vec::new(),
+            rescratch: RederiveScratch::default(),
+            stats: FrontierStats::default(),
         }
     }
 
@@ -161,8 +226,23 @@ impl SPathOp {
                         self.forest.index_node(tree, ext.v, ext.state);
                         idx
                     } else if child_iv.exp <= cur.exp {
-                        // Line 18: no expiry improvement — prune.
-                        continue;
+                        // No expiry improvement. A meeting derivation that
+                        // starts earlier still widens the coalesced claim
+                        // leftwards: the canonical node interval is the
+                        // least fixpoint (min ts over meeting candidates,
+                        // max exp), which makes the final tree state — and
+                        // the emitted tuple — independent of within-epoch
+                        // arrival order (the bulk pass relies on this).
+                        // The derivation edge is *not* reparented: the
+                        // max-expiry segment is unchanged. Anything else:
+                        // line 18, prune.
+                        if cur.meets(&child_iv) && child_iv.ts < cur.ts {
+                            self.forest.tree_mut(tree).node_mut(idx).interval =
+                                Interval::new(child_iv.ts, cur.exp);
+                            idx
+                        } else {
+                            continue;
+                        }
                     } else {
                         // Propagate: coalesce (min ts, max exp) and reparent.
                         // In append-only streams the live node always meets
@@ -191,6 +271,7 @@ impl SPathOp {
                     idx
                 }
             };
+            self.stats.nodes_improved += 1;
             if self.dfa.is_accepting(ext.state) {
                 self.note_emit(tree, node, out);
             }
@@ -198,6 +279,7 @@ impl SPathOp {
             let node_iv = self.forest.tree(tree).node(node).interval;
             for (l2, q) in self.dfa.transitions_from(ext.state) {
                 for entry in self.adj.out(ext.v, l2) {
+                    self.stats.edges_scanned += 1;
                     let e_iv = entry.interval;
                     if node_iv.intersect(&e_iv).is_empty() {
                         continue;
@@ -253,6 +335,219 @@ impl SPathOp {
         }
     }
 
+    /// Frontier-at-once execution of one contiguous insert run (the epoch's
+    /// insert partition): (1) bulk-load every admitted edge into the window
+    /// adjacency **before any traversal**, so expansion sees the complete
+    /// epoch graph; (2) seed one max-expiry priority frontier per affected
+    /// tree from all epoch edges incident to current tree nodes; (3) run
+    /// one monotone maximin-Dijkstra pass per tree, settling each
+    /// product-graph node at most once per epoch at its final (widest)
+    /// expiry — the k re-expansions of a per-tuple improvement chain
+    /// collapse into one settle.
+    ///
+    /// Equivalence with the per-tuple baseline: within one epoch every
+    /// window-assigned interval shares the same grid-aligned expiry, so a
+    /// node's per-tuple claims coalesce into exactly the least-fixpoint
+    /// interval the bulk pass settles with (min ts over meeting
+    /// derivations, max exp — see the ts-widening rule in
+    /// [`SPathOp::extend_all`]); deferred emission then makes the final
+    /// tuple per node identical on both paths.
+    fn bulk_insert_run(&mut self, run: &[Delta], now: Timestamp, out: &mut Vec<Delta>) {
+        // (1) Bulk-load. Labels without DFA transitions never contribute
+        // and are not stored (exactly as on the per-tuple path).
+        let mut epoch = std::mem::take(&mut self.epoch);
+        epoch.clear();
+        self.adj.bulk_insert(
+            run.iter().filter_map(|d| match d {
+                Delta::Insert(s) if !self.dfa.transitions_on(s.label).is_empty() => {
+                    Some((s.src, s.label, s.trg, s.interval))
+                }
+                _ => None,
+            }),
+            &mut epoch,
+        );
+
+        // (2) Trees for start-transition edges, in admitted-arrival order —
+        // TreeId assignment matches the serial baseline.
+        for &(edge, _) in epoch.edges() {
+            if self
+                .dfa
+                .transitions_on(edge.label)
+                .iter()
+                .any(|&(f, _)| f == self.dfa.start())
+            {
+                self.forest.ensure_tree(edge.src);
+            }
+        }
+
+        // (3) Seed: every epoch edge incident to a current tree node is a
+        // candidate extension of that tree. Nodes the epoch creates deeper
+        // in a tree need no seeds — the traversal discovers their epoch
+        // edges in its successor scans over the complete adjacency.
+        let mut seeds = std::mem::take(&mut self.seeds);
+        seeds.clear();
+        for &(edge, stored) in epoch.edges() {
+            let transitions: Vec<(StateId, StateId)> = self.dfa.transitions_on(edge.label).to_vec();
+            for (from, to) in transitions {
+                for tree in self.forest.trees_with(edge.src, from) {
+                    let parent = self
+                        .forest
+                        .tree(tree)
+                        .get(edge.src, from)
+                        .expect("inverted index is consistent");
+                    let iv = self
+                        .forest
+                        .tree(tree)
+                        .node(parent)
+                        .interval
+                        .intersect(&stored);
+                    if iv.is_empty() || iv.expired_at(now) {
+                        continue;
+                    }
+                    seeds.push((
+                        tree,
+                        BulkCand {
+                            iv,
+                            parent,
+                            v: edge.trg,
+                            state: to,
+                            edge,
+                        },
+                    ));
+                }
+            }
+        }
+        // Deterministic tree order; the stable sort keeps each tree's
+        // seeds in arrival order.
+        seeds.sort_by_key(|&(t, _)| t);
+        let mut i = 0;
+        while i < seeds.len() {
+            let tree = seeds[i].0;
+            let mut j = i + 1;
+            while j < seeds.len() && seeds[j].0 == tree {
+                j += 1;
+            }
+            self.bulk_expand_tree(tree, &seeds[i..j], now, out);
+            i = j;
+        }
+        seeds.clear();
+        self.seeds = seeds;
+        self.epoch = epoch;
+    }
+
+    /// One monotone maximin-Dijkstra pass over `tree`: candidates pop in
+    /// decreasing-expiry order, so a node's expiry settles at most once
+    /// per epoch; equal-or-smaller-expiry follow-ups can still widen its
+    /// ts leftwards (coalescing), which cascades without reparenting.
+    fn bulk_expand_tree(
+        &mut self,
+        tree: TreeId,
+        seeds: &[(TreeId, BulkCand)],
+        now: Timestamp,
+        out: &mut Vec<Delta>,
+    ) {
+        let mut heap = std::mem::take(&mut self.frontier);
+        let mut settled = std::mem::take(&mut self.settled);
+        heap.clear();
+        settled.clear();
+        for (_, c) in seeds {
+            self.stats.heap_pushes += 1;
+            heap.push(c.clone());
+        }
+        while let Some(c) = heap.pop() {
+            // Re-validate against the node's *current* interval — it may
+            // have settled (or widened) since this candidate was pushed.
+            let applied = match self.forest.tree(tree).get(c.v, c.state) {
+                Some(idx) => {
+                    let cur = self.forest.tree(tree).node(idx).interval;
+                    if cur.expired_at(now) {
+                        // Expired nodes are treated as absent (§6.2.4):
+                        // reclaim the stale subtree, then expand fresh.
+                        self.forest.remove_subtree(tree, idx);
+                        let idx = self
+                            .forest
+                            .tree_mut(tree)
+                            .insert_child(c.parent, c.v, c.state, c.edge, c.iv);
+                        self.forest.index_node(tree, c.v, c.state);
+                        Some(idx)
+                    } else if c.iv.exp > cur.exp {
+                        // Settle: Propagate with the final expiry.
+                        let merged = if cur.meets(&c.iv) {
+                            Interval::new(cur.ts.min(c.iv.ts), c.iv.exp)
+                        } else {
+                            c.iv
+                        };
+                        let t = self.forest.tree_mut(tree);
+                        t.node_mut(idx).interval = merged;
+                        t.reparent(idx, c.parent, c.edge);
+                        Some(idx)
+                    } else if cur.meets(&c.iv) && c.iv.ts < cur.ts {
+                        // ts-widen only: the settled max-expiry derivation
+                        // stays (no reparent); the coalesced claim grows
+                        // leftwards and cascades to successors.
+                        self.forest.tree_mut(tree).node_mut(idx).interval =
+                            Interval::new(c.iv.ts, cur.exp);
+                        Some(idx)
+                    } else {
+                        None // no improvement — prune (line 18)
+                    }
+                }
+                None => {
+                    // Expand.
+                    let idx = self
+                        .forest
+                        .tree_mut(tree)
+                        .insert_child(c.parent, c.v, c.state, c.edge, c.iv);
+                    self.forest.index_node(tree, c.v, c.state);
+                    Some(idx)
+                }
+            };
+            let Some(idx) = applied else {
+                continue;
+            };
+            self.stats.nodes_improved += 1;
+            if settled.insert(idx) {
+                self.stats.nodes_settled += 1;
+            }
+            if self.dfa.is_accepting(c.state) {
+                self.note_emit(tree, idx, out);
+            }
+            // Successor scan over the complete epoch graph.
+            let node_iv = self.forest.tree(tree).node(idx).interval;
+            for (l2, q) in self.dfa.transitions_from(c.state) {
+                for entry in self.adj.out(c.v, l2) {
+                    self.stats.edges_scanned += 1;
+                    let iv = node_iv.intersect(&entry.interval);
+                    if iv.is_empty() || iv.expired_at(now) {
+                        continue;
+                    }
+                    // Push-time prune against the target's current claim
+                    // (pure optimisation — the pop re-validates).
+                    if let Some(tgt) = self.forest.tree(tree).get(entry.other, q) {
+                        let tcur = self.forest.tree(tree).node(tgt).interval;
+                        if !tcur.expired_at(now)
+                            && iv.exp <= tcur.exp
+                            && !(tcur.meets(&iv) && iv.ts < tcur.ts)
+                        {
+                            continue;
+                        }
+                    }
+                    self.stats.heap_pushes += 1;
+                    heap.push(BulkCand {
+                        iv,
+                        parent: idx,
+                        v: entry.other,
+                        state: q,
+                        edge: Edge::new(c.v, entry.other, l2),
+                    });
+                }
+            }
+        }
+        settled.clear();
+        self.frontier = heap;
+        self.settled = settled;
+    }
+
     /// Explicit deletion (§6.2.5): disconnect affected tree edges and
     /// re-derive with the maximin Dijkstra; emit negative tuples for lost
     /// results and refreshed tuples for re-derived ones.
@@ -269,10 +564,12 @@ impl SPathOp {
                 if self.forest.tree(tree).node(idx).edge != Some(edge) {
                     continue; // not a tree edge — no structural change
                 }
-                let changes = rederive(
+                let changes = rederive_in(
+                    &mut self.rescratch,
+                    &mut self.stats,
                     &mut self.forest,
                     tree,
-                    vec![idx],
+                    &[idx],
                     &self.adj,
                     &self.dfa,
                     &self.rev,
@@ -325,21 +622,18 @@ impl PhysicalOp for SPathOp {
     }
 
     fn on_batch(&mut self, _port: usize, batch: &DeltaBatch, now: Timestamp, out: &mut DeltaBatch) {
-        // Two batch-aware moves, both exclusive to S-PATH because Propagate
-        // makes improvement order immaterial (the negative-tuple baseline
-        // skips present nodes, so it must see every arrival separately):
-        //
-        // * runs of value-equivalent window inserts whose intervals meet
-        //   are pre-merged (Def. 11) so Expand/Propagate runs once per
-        //   edge instead of once per arrival;
-        // * emissions are deferred to the end of each insert run
-        //   ([`SPathOp::note_emit`]): a node improved k times in one epoch
-        //   emits one tuple with the final coalesced interval instead of k
-        //   increasing claims — k-1 fewer path materialisations, k-1 fewer
-        //   deltas probing every downstream join.
+        // Frontier-at-once epoch execution ([`SPathOp::bulk_insert_run`]):
+        // each maximal run of contiguous inserts is bulk-loaded into the
+        // window adjacency and expanded with one seeded maximin-Dijkstra
+        // pass per affected tree, settling each product-graph node at most
+        // once per epoch. Emissions stay deferred ([`SPathOp::note_emit`])
+        // so a node improved k times in one epoch emits one tuple with its
+        // final coalesced interval.
         //
         // Explicit deletions flush the deferred run first and emit inline
-        // (negative tuples must cancel exactly what was emitted).
+        // (negative tuples must cancel exactly what was emitted), then
+        // re-derive serially per delete — batching across delete events
+        // would change the emission log the per-tuple baseline pins.
         let out = out.as_mut_vec();
         let deltas = batch.as_slice();
         self.defer = true;
@@ -353,23 +647,12 @@ impl PhysicalOp for SPathOp {
                     self.defer = true;
                     i += 1;
                 }
-                Delta::Insert(s) => {
-                    let mut merged = s.interval;
+                Delta::Insert(_) => {
                     let mut j = i + 1;
-                    while let Some(Delta::Insert(n)) = deltas.get(j) {
-                        if !n.value_eq(s) || !merged.meets(&n.interval) {
-                            break;
-                        }
-                        merged = merged.hull(&n.interval);
+                    while matches!(deltas.get(j), Some(Delta::Insert(_))) {
                         j += 1;
                     }
-                    if j == i + 1 {
-                        self.on_insert(s, now, out);
-                    } else {
-                        let mut s = s.clone();
-                        s.interval = merged;
-                        self.on_insert(&s, now, out);
-                    }
+                    self.bulk_insert_run(&deltas[i..j], now, out);
                     i = j;
                 }
             }
@@ -387,6 +670,10 @@ impl PhysicalOp for SPathOp {
 
     fn state_size(&self) -> usize {
         self.adj.size() + self.forest.size()
+    }
+
+    fn frontier_stats(&self) -> Option<FrontierStats> {
+        Some(self.stats)
     }
 }
 
@@ -658,5 +945,80 @@ mod tests {
         let before = op.state_size();
         op.purge(60, &mut Vec::new());
         assert!(op.state_size() < before);
+    }
+
+    #[test]
+    fn coalesced_interval_not_arrival_order_determines_emission() {
+        // Epoch-boundary improvement-order regression: node 4's canonical
+        // interval is the least fixpoint of the merge lattice (min ts over
+        // meeting derivations, max exp) — NOT a function of which
+        // derivation arrived last. Pre-epoch, 2→4@[1,30) offers node 4
+        // (cur [8,20)) no expiry improvement but an earlier meeting ts, so
+        // the claim widens to [2,20). The epoch then raises the expiry
+        // through BOTH the 1→2→4 chain (exp 30) and the fresh 3→4 edge
+        // (exp 36); serial sees them in arrival order, bulk settles
+        // max-expiry-first — both must end at exactly [2,36).
+        let pre = [
+            sgt(1, 2, 2, 20),
+            sgt(1, 3, 9, 30),
+            sgt(1, 4, 8, 20),
+            sgt(2, 4, 1, 30),
+        ];
+        let epoch = [sgt(1, 2, 12, 36), sgt(1, 3, 13, 36), sgt(3, 4, 15, 36)];
+
+        let mut serial = plus_op();
+        let mut bulk = plus_op();
+        let mut s_out = Vec::new();
+        let mut b_out = Vec::new();
+        for s in &pre {
+            serial.on_delta(0, Delta::Insert(s.clone()), s.interval.ts, &mut s_out);
+            bulk.on_delta(0, Delta::Insert(s.clone()), s.interval.ts, &mut b_out);
+        }
+        s_out.clear();
+        for s in &epoch {
+            serial.on_delta(0, Delta::Insert(s.clone()), 12, &mut s_out);
+        }
+        let mut batch = DeltaBatch::default();
+        for s in &epoch {
+            batch.push(Delta::Insert(s.clone()));
+        }
+        let mut b_batch = DeltaBatch::default();
+        bulk.on_batch(0, &batch, 12, &mut b_batch);
+
+        let node4 = |op: &SPathOp| {
+            let t1 = op.forest().tree_of_root(VertexId(1)).unwrap();
+            let tree = op.forest().tree(t1);
+            tree.node(tree.get(VertexId(4), 1).unwrap()).interval
+        };
+        assert_eq!(node4(&serial), Interval::new(2, 36));
+        assert_eq!(node4(&bulk), Interval::new(2, 36));
+        // Serial's last (1,4) claim and bulk's single deferred emission
+        // carry the same coalesced interval.
+        let last_14 = |out: &[Delta]| {
+            out.iter()
+                .rev()
+                .find(|d| {
+                    !d.is_delete() && d.sgt().src == VertexId(1) && d.sgt().trg == VertexId(4)
+                })
+                .map(|d| d.sgt().interval)
+                .unwrap()
+        };
+        assert_eq!(last_14(&s_out), Interval::new(2, 36));
+        assert_eq!(last_14(b_batch.as_slice()), Interval::new(2, 36));
+        assert_eq!(
+            b_batch
+                .iter()
+                .filter(|d| !d.is_delete()
+                    && d.sgt().src == VertexId(1)
+                    && d.sgt().trg == VertexId(4))
+                .count(),
+            1,
+            "bulk emits each improved node once per epoch"
+        );
+        // Counter invariant: bulk settles each node at most once per
+        // improvement chain.
+        let f = bulk.frontier_stats().unwrap();
+        assert!(f.nodes_settled <= f.nodes_improved, "{f:?}");
+        assert!(f.nodes_settled > 0);
     }
 }

@@ -13,6 +13,7 @@
 //! every probed timestamp.
 
 use proptest::prelude::*;
+use s_graffito::core::engine::DispatchMode;
 use s_graffito::prelude::*;
 use s_graffito::types::{IntervalSet, Sge, VertexId};
 use std::collections::BTreeMap;
@@ -361,6 +362,90 @@ proptest! {
             serial.exec_stats().determinism_fingerprint(),
             drained.exec_stats().determinism_fingerprint()
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bulk S-PATH expansion: the frontier-at-once epoch path (the default
+// `DispatchMode::Epoch`) versus the per-tuple ablation baseline
+// (`DispatchMode::Tuple`), on S-PATH-heavy plans mirroring the closure
+// shapes of workload Q1/Q6/Q7 — pure transitive closure, closure joined
+// into a pattern, and closure over a derived relation. Random batch
+// splits straddle slide boundaries (timestamps span several slides) and
+// interleave explicit deletions. The bulk path must (a) equal the
+// per-tuple baseline at the data model's granularity, and (b) be
+// bit-identical to itself across (shards, workers) ∈ {(1,1),(4,4)} and
+// obs ∈ {Off, Timing}.
+// ---------------------------------------------------------------------
+
+const PATH_HEAVY_PLANS: [&str; 3] = [
+    // Q1 shape: pure transitive closure.
+    "Ans(x, y) <- a+(x, y).",
+    // Q6 shape: closure joined with a two-hop pattern.
+    "Ans(x, y) <- a+(x, y), b(x, m), c(m, y).",
+    // Q7 shape: closure over a derived relation.
+    "RL(x, y)  <- a+(x, y), b(x, m), c(m, y).
+     Ans(x, m) <- RL+(x, y), c(m, y).",
+];
+
+fn opts_bulk(with_deletes: bool, shards: usize, workers: usize, obs: ObsLevel) -> EngineOptions {
+    EngineOptions {
+        dispatch: DispatchMode::Epoch,
+        shards,
+        workers,
+        obs,
+        ..opts(with_deletes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn spath_bulk_equals_tuple_append_only(
+        evs in events(50, false),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PATH_HEAVY_PLANS[plan_idx]);
+        let ops = materialize(&evs, &label_vec(&q));
+        let tuple = run_batched_with(&q, &ops, &cuts, EngineOptions {
+            dispatch: DispatchMode::Tuple,
+            ..opts(false)
+        });
+        let bulk = run_batched_with(&q, &ops, &cuts, opts_bulk(false, 1, 1, ObsLevel::Off));
+        check_engines_equal(&tuple, &bulk)?;
+    }
+
+    #[test]
+    fn spath_bulk_equals_tuple_with_deletions(
+        evs in events(50, true),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PATH_HEAVY_PLANS[plan_idx]);
+        let ops = materialize(&evs, &label_vec(&q));
+        let tuple = run_batched_with(&q, &ops, &cuts, EngineOptions {
+            dispatch: DispatchMode::Tuple,
+            ..opts(true)
+        });
+        let bulk = run_batched_with(&q, &ops, &cuts, opts_bulk(true, 1, 1, ObsLevel::Off));
+        check_engines_equal(&tuple, &bulk)?;
+    }
+
+    #[test]
+    fn spath_bulk_bit_identical_across_configs(
+        evs in events(50, true),
+        cuts in prop::collection::vec(0usize..50, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PATH_HEAVY_PLANS[plan_idx]);
+        let ops = materialize(&evs, &label_vec(&q));
+        let base = run_batched_with(&q, &ops, &cuts, opts_bulk(true, 1, 1, ObsLevel::Off));
+        let sharded = run_batched_with(&q, &ops, &cuts, opts_bulk(true, 4, 4, ObsLevel::Off));
+        let timed = run_batched_with(&q, &ops, &cuts, opts_bulk(true, 4, 4, ObsLevel::Timing));
+        check_bit_identical(&base, &sharded)?;
+        check_bit_identical(&base, &timed)?;
     }
 }
 
