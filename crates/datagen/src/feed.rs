@@ -1,0 +1,114 @@
+//! One code path for feeding a generated stream into *any* consumer —
+//! an in-process engine, the `sgq-serve` wire client, or a test mirror.
+//!
+//! The examples, the repro harness, and the integration tests all used
+//! to hand-roll the same loop (iterate events, build the edge, push it,
+//! maybe chunk into epochs). These helpers are that loop, written once:
+//! the consumer is a closure, so the module stays free of engine and
+//! network dependencies and every caller — `Engine::process`,
+//! `MultiQueryEngine::ingest`, `serve::Client::insert` — plugs in the
+//! same way.
+
+use sgq_types::{InputStream, Sge};
+
+use crate::workloads::RawStream;
+
+/// Feeds every event of a raw (label-name) stream to `sink` in order.
+/// Returns the number of events fed. This is the entry point for
+/// consumers that speak label *names* (the `sgq-serve` wire protocol,
+/// TSV writers); interner-based consumers resolve first and use
+/// [`feed`].
+pub fn feed_raw(stream: &RawStream, mut sink: impl FnMut(u64, u64, &str, u64)) -> u64 {
+    for &(src, trg, label, t) in &stream.events {
+        sink(src, trg, label, t);
+    }
+    stream.events.len() as u64
+}
+
+/// Feeds every sge of a resolved stream to `sink` in timestamp order.
+/// Returns the number of edges fed.
+pub fn feed(stream: &InputStream, mut sink: impl FnMut(Sge)) -> u64 {
+    for &sge in stream.sges() {
+        sink(sge);
+    }
+    stream.sges().len() as u64
+}
+
+/// Feeds a resolved stream in chunks of at most `max_batch` edges,
+/// preserving arrival order. The engines' batching-equivalence guarantee
+/// makes the chunk boundaries invisible in the result log, so callers
+/// pick `max_batch` purely for throughput (per-call overhead vs memory).
+/// `max_batch = 0` feeds everything as one batch. Returns the number of
+/// edges fed.
+pub fn feed_batches(stream: &InputStream, max_batch: usize, mut sink: impl FnMut(&[Sge])) -> u64 {
+    let sges = stream.sges();
+    if sges.is_empty() {
+        return 0;
+    }
+    if max_batch == 0 {
+        sink(sges);
+        return sges.len() as u64;
+    }
+    for chunk in sges.chunks(max_batch) {
+        sink(chunk);
+    }
+    sges.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_types::{Label, VertexId};
+
+    fn stream() -> InputStream {
+        let l = Label(0);
+        InputStream::from_ordered(vec![
+            Sge::new(VertexId(1), VertexId(2), l, 0),
+            Sge::new(VertexId(2), VertexId(3), l, 1),
+            Sge::new(VertexId(3), VertexId(4), l, 1),
+            Sge::new(VertexId(4), VertexId(5), l, 3),
+        ])
+    }
+
+    #[test]
+    fn feed_visits_every_edge_in_order() {
+        let s = stream();
+        let mut seen = Vec::new();
+        assert_eq!(feed(&s, |sge| seen.push(sge)), 4);
+        assert_eq!(seen, s.sges());
+    }
+
+    #[test]
+    fn feed_batches_chunks_without_reordering() {
+        let s = stream();
+        for max in [0usize, 1, 2, 3, 100] {
+            let mut seen = Vec::new();
+            let mut chunks = 0;
+            assert_eq!(
+                feed_batches(&s, max, |b| {
+                    chunks += 1;
+                    seen.extend_from_slice(b);
+                }),
+                4
+            );
+            assert_eq!(seen, s.sges(), "max_batch={max}");
+            if max == 0 || max >= 4 {
+                assert_eq!(chunks, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn feed_raw_preserves_label_names() {
+        let raw = RawStream {
+            events: vec![(1, 2, "a2q", 0), (2, 3, "c2q", 1)],
+        };
+        let mut seen = Vec::new();
+        assert_eq!(
+            feed_raw(&raw, |s, t, l, ts| seen.push((s, t, l.to_string(), ts))),
+            2
+        );
+        assert_eq!(seen[0], (1, 2, "a2q".to_string(), 0));
+        assert_eq!(seen[1], (2, 3, "c2q".to_string(), 1));
+    }
+}

@@ -17,17 +17,21 @@
 //! * [`workloads`] — Table 1's Q1–Q7 instantiated per dataset, plus the
 //!   label-resolution glue between generated streams and query programs.
 //! * [`uniform`] — a small uniform random-graph stream for tests.
+//! * [`mod@feed`] — the one stream-feeding code path shared by the examples,
+//!   the repro harness, the `sgq-serve` client, and the tests.
 //!
 //! All generators are deterministic for a given seed.
 
 #![warn(missing_docs)]
 
+pub mod feed;
 pub mod io;
 pub mod snb;
 pub mod so;
 pub mod uniform;
 pub mod workloads;
 
+pub use feed::{feed, feed_batches, feed_raw};
 pub use io::{read_stream, read_stream_file, write_stream};
 pub use snb::{snb_stream, SnbConfig};
 pub use so::{so_stream, SoConfig};

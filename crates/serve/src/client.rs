@@ -1,0 +1,360 @@
+//! A small synchronous client for the `sgq-serve` protocol, used by the
+//! integration tests, the examples, and the README quickstart.
+//!
+//! The client is deliberately single-threaded: requests are sent, and
+//! the reply is awaited on the same socket. Result frames that arrive
+//! while waiting (the server pushes them whenever an epoch closes) are
+//! stashed in an inbox and retrieved with [`Client::take_results`].
+//! [`Client::barrier`] is the sequencing primitive: when it returns,
+//! every frame sent before it has been fully processed by the host and
+//! all results it produced are in the inbox.
+//!
+//! ```no_run
+//! use sgq_serve::client::Client;
+//!
+//! let mut c = Client::connect("127.0.0.1:7687")?;
+//! c.hello("doc-example")?;
+//! let q = c.register("Ans(x, y) <- a2q*(x, y).", 720, 24)?;
+//! c.insert(1, 2, "a2q", 10)?;
+//! c.barrier()?;
+//! for r in c.take_results() {
+//!     println!("q{}: {} -> {} valid [{}, {})", r.query, r.src, r.trg, r.ts, r.exp);
+//! }
+//! c.deregister(q)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_message, Backpressure, Message, WireEdge};
+
+/// One result tuple received from the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ResultRow {
+    /// The producing query's id.
+    pub query: u64,
+    /// `true` for a retraction (explicit-deletion mode).
+    pub delete: bool,
+    /// Result source vertex.
+    pub src: u64,
+    /// Result target vertex.
+    pub trg: u64,
+    /// Validity interval start (inclusive).
+    pub ts: u64,
+    /// Validity interval end (exclusive).
+    pub exp: u64,
+}
+
+/// A synchronous `sgq-serve` connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    inbox: Vec<ResultRow>,
+    /// Accumulated drop counts per query id (drop-newest backpressure).
+    dropped: HashMap<u64, u64>,
+    next_token: u64,
+    /// Set once the server says `BYE`.
+    closed: Option<String>,
+}
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects to a host.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client {
+            reader,
+            writer,
+            inbox: Vec::new(),
+            dropped: HashMap::new(),
+            next_token: 1,
+            closed: None,
+        })
+    }
+
+    fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.writer.write_all(&msg.encode())?;
+        self.writer.flush()
+    }
+
+    /// Sends a frame without waiting for anything (the streaming ingest
+    /// fast path). The write is buffered; any awaited call flushes.
+    fn send_unflushed(&mut self, msg: &Message) -> io::Result<()> {
+        self.writer.write_all(&msg.encode())
+    }
+
+    /// Receives the next server frame, surfacing decode failures.
+    fn recv(&mut self) -> io::Result<Message> {
+        match read_message(&mut self.reader)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(Ok(msg)) => Ok(msg),
+            Some(Err(e)) => Err(proto_err(e.to_string())),
+        }
+    }
+
+    /// Receives frames until `want` returns `Some`, stashing result and
+    /// drop frames encountered along the way.
+    fn await_reply<T>(
+        &mut self,
+        mut want: impl FnMut(&Message) -> Option<Result<T, io::Error>>,
+    ) -> io::Result<T> {
+        loop {
+            let msg = self.recv()?;
+            if let Some(out) = want(&msg) {
+                return out;
+            }
+            match msg {
+                Message::Result {
+                    query,
+                    delete,
+                    src,
+                    trg,
+                    ts,
+                    exp,
+                } => self.inbox.push(ResultRow {
+                    query,
+                    delete,
+                    src,
+                    trg,
+                    ts,
+                    exp,
+                }),
+                Message::Dropped { query, count } => {
+                    *self.dropped.entry(query).or_insert(0) += count;
+                }
+                Message::Bye { reason } => {
+                    self.closed = Some(reason.clone());
+                    return Err(proto_err(format!("server closed the session: {reason}")));
+                }
+                Message::Error { code, message } => {
+                    return Err(proto_err(format!("server error {code}: {message}")));
+                }
+                _ => {
+                    // Unsolicited reply to an earlier fire-and-forget
+                    // frame (e.g. a pong raced with a metrics reply) —
+                    // benign, skip it.
+                }
+            }
+        }
+    }
+
+    /// `HELLO` → the server's identification string.
+    pub fn hello(&mut self, name: &str) -> io::Result<String> {
+        self.send(&Message::Hello {
+            client: name.to_string(),
+        })?;
+        self.await_reply(|m| match m {
+            Message::Welcome { server } => Some(Ok(server.clone())),
+            _ => None,
+        })
+    }
+
+    /// Registers a query with the default backpressure policy and
+    /// buffer; returns the host-assigned query id.
+    pub fn register(&mut self, query: &str, window: u64, slide: u64) -> io::Result<u64> {
+        self.register_with(query, window, slide, Backpressure::DropNewest, 0)
+    }
+
+    /// Registers a query with an explicit slow-consumer policy and
+    /// result-buffer capacity (`0` = server default).
+    pub fn register_with(
+        &mut self,
+        query: &str,
+        window: u64,
+        slide: u64,
+        policy: Backpressure,
+        buffer: u32,
+    ) -> io::Result<u64> {
+        self.send(&Message::Register {
+            policy,
+            buffer,
+            window,
+            slide,
+            query: query.to_string(),
+        })?;
+        self.await_reply(|m| match m {
+            Message::Registered { query } => Some(Ok(*query)),
+            _ => None,
+        })
+    }
+
+    /// Deregisters a query; `Ok(true)` when the host knew it.
+    pub fn deregister(&mut self, query: u64) -> io::Result<bool> {
+        self.send(&Message::Deregister { query })?;
+        self.await_reply(move |m| match m {
+            Message::Deregistered { query: q, ok } if *q == query => Some(Ok(*ok)),
+            // The paired not-owned error precedes the Deregistered
+            // frame; report the flag, not the error.
+            Message::Error { .. } => Some(Ok(false)),
+            _ => None,
+        })
+    }
+
+    /// Streams one edge insertion (buffered; flushed by the next awaited
+    /// call or [`Client::barrier`]).
+    pub fn insert(&mut self, src: u64, trg: u64, label: &str, t: u64) -> io::Result<()> {
+        self.send_unflushed(&Message::Insert(WireEdge {
+            delete: false,
+            src,
+            trg,
+            t,
+            label: label.to_string(),
+        }))
+    }
+
+    /// Streams one explicit edge deletion (host must run with
+    /// `--explicit-deletes`).
+    pub fn delete(&mut self, src: u64, trg: u64, label: &str, t: u64) -> io::Result<()> {
+        self.send_unflushed(&Message::Delete(WireEdge {
+            delete: true,
+            src,
+            trg,
+            t,
+            label: label.to_string(),
+        }))
+    }
+
+    /// Streams a timestamp-ordered batch in one frame.
+    pub fn batch(&mut self, edges: Vec<WireEdge>) -> io::Result<()> {
+        self.send_unflushed(&Message::Batch { edges })
+    }
+
+    /// Advances host event time without ingesting.
+    pub fn advance(&mut self, t: u64) -> io::Result<()> {
+        self.send_unflushed(&Message::Advance { t })
+    }
+
+    /// Asks the host to close the open epoch now.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.send(&Message::Flush)
+    }
+
+    /// Full sequencing barrier: returns once the host has processed and
+    /// routed everything sent before it. All results produced are in
+    /// the inbox afterwards.
+    pub fn barrier(&mut self) -> io::Result<()> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send(&Message::Ping { token })?;
+        self.await_reply(move |m| match m {
+            Message::Pong { token: t } if *t == token => Some(Ok(())),
+            _ => None,
+        })
+    }
+
+    /// Requests a metrics snapshot; returns the JSONL document.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.send(&Message::Metrics)?;
+        self.await_reply(|m| match m {
+            Message::MetricsSnapshot { jsonl } => Some(Ok(jsonl.clone())),
+            _ => None,
+        })
+    }
+
+    /// Asks the host to shut down gracefully and waits for its `BYE`.
+    pub fn shutdown(&mut self) -> io::Result<String> {
+        self.send(&Message::Shutdown)?;
+        loop {
+            match self.recv() {
+                Ok(Message::Bye { reason }) => {
+                    self.closed = Some(reason.clone());
+                    return Ok(reason);
+                }
+                Ok(Message::Result {
+                    query,
+                    delete,
+                    src,
+                    trg,
+                    ts,
+                    exp,
+                }) => self.inbox.push(ResultRow {
+                    query,
+                    delete,
+                    src,
+                    trg,
+                    ts,
+                    exp,
+                }),
+                Ok(_) => {}
+                // The server may close the socket right after (or
+                // instead of flushing) the BYE.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    self.closed = Some("eof".into());
+                    return Ok("eof".into());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Takes every result received so far (in arrival order).
+    pub fn take_results(&mut self) -> Vec<ResultRow> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Total result frames the host reported dropping for `query`
+    /// (drop-newest backpressure), as of the last barrier.
+    pub fn dropped(&self, query: u64) -> u64 {
+        self.dropped.get(&query).copied().unwrap_or(0)
+    }
+
+    /// `Some(reason)` once the server has said `BYE`.
+    pub fn closed(&self) -> Option<&str> {
+        self.closed.as_deref()
+    }
+
+    /// Reads server frames until the socket closes, stashing results —
+    /// used by tests that expect a server-initiated disconnect (e.g. the
+    /// `Disconnect` backpressure policy).
+    pub fn drain_until_closed(&mut self) -> io::Result<String> {
+        loop {
+            match read_message(&mut self.reader)? {
+                None => {
+                    let reason = self.closed.clone().unwrap_or_else(|| "eof".into());
+                    return Ok(reason);
+                }
+                Some(Ok(Message::Bye { reason })) => {
+                    self.closed = Some(reason);
+                }
+                Some(Ok(Message::Result {
+                    query,
+                    delete,
+                    src,
+                    trg,
+                    ts,
+                    exp,
+                })) => self.inbox.push(ResultRow {
+                    query,
+                    delete,
+                    src,
+                    trg,
+                    ts,
+                    exp,
+                }),
+                Some(Ok(_)) | Some(Err(_)) => {}
+            }
+        }
+    }
+
+    /// Low-level escape hatch: sends a raw frame (malformed-input tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Low-level escape hatch: receives the next decoded frame.
+    pub fn recv_message(&mut self) -> io::Result<Message> {
+        self.recv()
+    }
+}

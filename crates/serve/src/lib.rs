@@ -1,0 +1,49 @@
+//! `sgq_serve` — the deployment layer of the s-graffito reproduction: a
+//! long-running TCP host (`sgq-serve`) that turns the in-process
+//! [`MultiQueryEngine`](sgq_multiquery::MultiQueryEngine) into a
+//! *persistent-query service* in the sense of the paper (Pacaci,
+//! Bonifati, Özsu, ICDE 2022): queries are registered at runtime,
+//! unbounded edge streams are pushed at the host, and each subscriber
+//! receives its query's result stream incrementally.
+//!
+//! Three public pieces:
+//!
+//! - [`protocol`] — the length-prefixed frame protocol (byte-exact spec
+//!   in `docs/PROTOCOL.md`): typed messages for edge ingestion
+//!   (insert/delete with explicit timestamps), register/deregister,
+//!   barriers, metrics, shutdown.
+//! - [`server`] — [`Server`]: the host itself. One
+//!   engine thread owns the `MultiQueryEngine` and the epoch clock
+//!   (flush on batch-size or wall-time tick); per-connection reader and
+//!   writer threads; bounded per-subscription result buffers with a
+//!   drop-with-counter or disconnect backpressure policy.
+//! - [`client`] — [`Client`]: a small synchronous
+//!   client used by the tests, the examples, and the README quickstart.
+//!
+//! Start a host in-process (tests do exactly this):
+//!
+//! ```
+//! use sgq_serve::{client::Client, server::{ServeConfig, Server}};
+//!
+//! let server = Server::spawn(ServeConfig::default())?; // 127.0.0.1:0
+//! let mut c = Client::connect(server.addr())?;
+//! c.hello("doctest")?;
+//! let q = c.register("Ans(x, y) <- knows+(x, y).", 100, 10)?;
+//! c.insert(1, 2, "knows", 1)?;
+//! c.insert(2, 3, "knows", 2)?;
+//! c.barrier()?;
+//! let results = c.take_results();
+//! assert_eq!(results.len(), 3); // (1,2), (2,3), (1,3)
+//! assert!(c.deregister(q)?);
+//! server.shutdown();
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ResultRow};
+pub use protocol::{Backpressure, Message, WireEdge, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server};

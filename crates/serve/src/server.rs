@@ -1,0 +1,902 @@
+//! The `sgq-serve` host: a TCP listener plus a single engine thread that
+//! owns one [`MultiQueryEngine`] and processes every connection's
+//! commands in one global arrival order.
+//!
+//! # Threading model
+//!
+//! ```text
+//!              accept thread (nonblocking accept + shutdown poll)
+//!                    │ spawns per connection
+//!        ┌───────────┴───────────┐
+//!   reader thread           writer thread
+//!   frames → Command        Outbox → socket
+//!        │                       ▲
+//!        ▼                       │ bounded per-subscription
+//!   mpsc::Sender ───────► engine thread (owns MultiQueryEngine,
+//!                          epoch buffer, subscriptions, timers)
+//! ```
+//!
+//! Determinism: the engine thread is the only consumer of the command
+//! queue, so all state transitions happen in one serial order; the
+//! repo's batching-equivalence guarantee (result logs are bit-identical
+//! under arbitrary batch splits) then makes the host's epoch chunking
+//! (batch-size/tick flushes) invisible to subscribers. Clients that need
+//! a cross-connection ordering point send [`Message::Ping`]: the reply
+//! is emitted only after everything received earlier has been fully
+//! processed and routed.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sgq_core::engine::EngineOptions;
+use sgq_core::obs::JsonlTraceSink;
+use sgq_multiquery::{MultiQueryEngine, QueryId};
+use sgq_query::{parse_program, SgqQuery, WindowSpec};
+use sgq_types::Sge;
+
+use crate::protocol::{
+    read_message, Backpressure, Message, WireEdge, ERR_BAD_QUERY, ERR_MALFORMED, ERR_NOT_SUPPORTED,
+    ERR_OUT_OF_ORDER, ERR_SLOW_CONSUMER, ERR_UNKNOWN_QUERY,
+};
+
+/// Host configuration (all knobs the `sgq-serve` binary exposes as
+/// flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7687` (port 0 picks a free port).
+    pub addr: String,
+    /// Epoch flush threshold: buffered edges are ingested as one batch
+    /// once this many are pending.
+    pub batch_size: usize,
+    /// Wall-clock epoch tick: pending edges are flushed at least this
+    /// often even when the batch never fills.
+    pub tick: Duration,
+    /// Periodic metrics dump interval (`None` disables the timer; a
+    /// final snapshot is still written on shutdown).
+    pub metrics_every: Option<Duration>,
+    /// Metrics dump path. Snapshots are **appended**; a `.csv` extension
+    /// selects `MetricsSnapshot::to_csv`, anything else JSONL.
+    pub metrics_path: Option<String>,
+    /// Structured lifecycle trace (JSONL), written on shutdown.
+    pub trace_path: Option<String>,
+    /// Accept explicit `DELETE` frames (§6.2.5). Runs the engine with
+    /// `suppress_duplicates = false` so insert/delete emissions cancel
+    /// exactly; the default duplicate-suppressing mode rejects `DELETE`
+    /// with [`ERR_NOT_SUPPORTED`].
+    pub explicit_deletes: bool,
+    /// Default per-subscription result-buffer capacity (frames), used
+    /// when a `REGISTER` passes `buffer = 0`.
+    pub default_buffer: u32,
+    /// Retention horizon in ticks for late-registration catch-up
+    /// (`None` keeps the engine default).
+    pub retention: Option<u64>,
+    /// Server identification echoed in `WELCOME`.
+    pub name: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_size: 256,
+            tick: Duration::from_millis(50),
+            metrics_every: None,
+            metrics_path: None,
+            trace_path: None,
+            explicit_deletes: false,
+            default_buffer: 65536,
+            retention: None,
+            name: "sgq-serve".to_string(),
+        }
+    }
+}
+
+type ConnId = u64;
+
+/// Commands flowing from connection reader threads to the engine thread.
+enum Command {
+    Connect(ConnId, Arc<Outbox>),
+    Disconnect(ConnId),
+    Frame(ConnId, Message),
+    /// A recoverable decode failure: report and keep the connection.
+    SoftError(ConnId, u16, String),
+}
+
+// ---------------------------------------------------------------------
+// Outbox: the bounded per-connection send queue
+// ---------------------------------------------------------------------
+
+enum Entry {
+    Control(Vec<u8>),
+    /// A result frame counted against its subscription's cap.
+    Result(u64, Vec<u8>),
+}
+
+#[derive(Default)]
+struct OutboxInner {
+    queue: VecDeque<Entry>,
+    /// Queued-but-unsent result frames per query id — the bounded
+    /// buffer the backpressure policy acts on.
+    per_query: HashMap<u64, u32>,
+    closed: bool,
+}
+
+/// The per-connection send queue. Control frames (replies, errors,
+/// metrics, `BYE`) always enqueue; result frames are bounded per
+/// subscription and the engine thread applies the subscription's
+/// [`Backpressure`] policy when the cap is hit.
+pub(crate) struct Outbox {
+    inner: Mutex<OutboxInner>,
+    cv: Condvar,
+}
+
+impl Outbox {
+    fn new() -> Arc<Outbox> {
+        Arc::new(Outbox {
+            inner: Mutex::new(OutboxInner::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push_control(&self, frame: Vec<u8>) {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return;
+        }
+        g.queue.push_back(Entry::Control(frame));
+        self.cv.notify_one();
+    }
+
+    /// Enqueues a result frame unless the subscription's buffer is full.
+    /// Returns `false` when at capacity (the caller applies the policy).
+    fn push_result(&self, query: u64, frame: Vec<u8>, cap: u32) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            // A closing connection accepts-and-discards: the Disconnect
+            // command is already in flight.
+            return true;
+        }
+        let count = g.per_query.entry(query).or_insert(0);
+        if *count >= cap {
+            return false;
+        }
+        *count += 1;
+        g.queue.push_back(Entry::Result(query, frame));
+        self.cv.notify_one();
+        true
+    }
+
+    fn close(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next frame; `None` once closed and drained.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(e) = g.queue.pop_front() {
+                return Some(match e {
+                    Entry::Control(f) => f,
+                    Entry::Result(q, f) => {
+                        if let Some(c) = g.per_query.get_mut(&q) {
+                            *c = c.saturating_sub(1);
+                        }
+                        f
+                    }
+                });
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A running host. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept + engine threads.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Command>();
+
+        let engine = {
+            let cfg = cfg.clone();
+            let shutdown = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("sgq-serve-engine".into())
+                .spawn(move || EngineLoop::new(cfg, shutdown).run(rx))?
+        };
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("sgq-serve-accept".into())
+                .spawn(move || accept_loop(listener, tx, shutdown))?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            engine: Some(engine),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag — set it (e.g. from a signal handler) to start
+    /// a graceful drain.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests a graceful shutdown (drain + final snapshot + `BYE`).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept and engine threads to finish.
+    pub fn join(mut self) {
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Command>, shutdown: Arc<AtomicBool>) {
+    let mut next_conn: ConnId = 1;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                if spawn_connection(conn, stream, tx.clone()).is_err() {
+                    // Thread spawn failure: drop the connection.
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_connection(conn: ConnId, stream: TcpStream, tx: mpsc::Sender<Command>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_nonblocking(false).ok();
+    let outbox = Outbox::new();
+    let _ = tx.send(Command::Connect(conn, Arc::clone(&outbox)));
+
+    let write_stream = stream.try_clone()?;
+    let writer_outbox = Arc::clone(&outbox);
+    thread::Builder::new()
+        .name(format!("sgq-serve-w{conn}"))
+        .spawn(move || writer_loop(write_stream, writer_outbox))?;
+
+    thread::Builder::new()
+        .name(format!("sgq-serve-r{conn}"))
+        .spawn(move || reader_loop(conn, stream, tx, outbox))?;
+    Ok(())
+}
+
+fn writer_loop(mut stream: TcpStream, outbox: Arc<Outbox>) {
+    while let Some(frame) = outbox.pop() {
+        if stream.write_all(&frame).is_err() {
+            outbox.close();
+            break;
+        }
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn reader_loop(
+    conn: ConnId,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Command>,
+    outbox: Arc<Outbox>,
+) {
+    loop {
+        match read_message(&mut stream) {
+            // Clean EOF at a frame boundary: the client hung up.
+            Ok(None) => break,
+            Ok(Some(Ok(msg))) => {
+                if tx.send(Command::Frame(conn, msg)).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Err(err))) if err.recoverable => {
+                let _ = tx.send(Command::SoftError(conn, err.code, err.message));
+            }
+            Ok(Some(Err(err))) => {
+                // The byte stream can no longer be trusted.
+                outbox.push_control(
+                    Message::Error {
+                        code: err.code,
+                        message: err.message,
+                    }
+                    .encode(),
+                );
+                outbox.push_control(
+                    Message::Bye {
+                        reason: "fatal protocol error".into(),
+                    }
+                    .encode(),
+                );
+                break;
+            }
+            Err(e) => {
+                // Framing-level failure: truncated frame or oversized
+                // declared length. Tell the client why if it can still
+                // hear us, then close.
+                let code = if e.kind() == io::ErrorKind::InvalidData {
+                    crate::protocol::ERR_OVERSIZED
+                } else {
+                    ERR_MALFORMED
+                };
+                outbox.push_control(
+                    Message::Error {
+                        code,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                );
+                outbox.push_control(
+                    Message::Bye {
+                        reason: "framing error".into(),
+                    }
+                    .encode(),
+                );
+                break;
+            }
+        }
+    }
+    outbox.close();
+    let _ = tx.send(Command::Disconnect(conn));
+}
+
+// ---------------------------------------------------------------------
+// Engine thread
+// ---------------------------------------------------------------------
+
+struct Subscription {
+    conn: ConnId,
+    policy: Backpressure,
+    cap: u32,
+    /// Cursor into `deleted_results(id)` — `drain` covers inserts only.
+    deleted_cursor: usize,
+    /// Result frames dropped since the last `DROPPED` report
+    /// (drop-newest policy).
+    dropped: u64,
+}
+
+struct EngineLoop {
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    engine: MultiQueryEngine,
+    trace: JsonlTraceSink,
+    conns: HashMap<ConnId, Arc<Outbox>>,
+    /// Ordered so result routing visits queries deterministically.
+    subs: BTreeMap<QueryId, Subscription>,
+    pending: Vec<Sge>,
+    /// Host watermark: the largest timestamp accepted so far.
+    watermark: u64,
+    /// Edges discarded because no registered query references their
+    /// label (§7.2.1 semantics) or because they predate the watermark.
+    discarded_edges: u64,
+}
+
+impl EngineLoop {
+    fn new(cfg: ServeConfig, shutdown: Arc<AtomicBool>) -> EngineLoop {
+        let mut opts = EngineOptions::default();
+        if cfg.explicit_deletes {
+            opts.suppress_duplicates = false;
+        }
+        let mut engine = MultiQueryEngine::with_options(opts);
+        if let Some(h) = cfg.retention {
+            engine.set_retention_horizon(h);
+        }
+        let trace = JsonlTraceSink::new();
+        engine.set_trace_sink(Box::new(trace.clone()));
+        EngineLoop {
+            cfg,
+            shutdown,
+            engine,
+            trace,
+            conns: HashMap::new(),
+            subs: BTreeMap::new(),
+            pending: Vec::new(),
+            watermark: 0,
+            discarded_edges: 0,
+        }
+    }
+
+    fn run(mut self, rx: mpsc::Receiver<Command>) {
+        let mut last_tick = Instant::now();
+        let mut last_metrics = Instant::now();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(cmd) => {
+                    self.handle(cmd);
+                    // Drain whatever else is already queued before
+                    // checking timers: one lock round per wakeup.
+                    while let Ok(cmd) = rx.try_recv() {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        self.handle(cmd);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if last_tick.elapsed() >= self.cfg.tick {
+                self.flush_epoch();
+                last_tick = Instant::now();
+            }
+            if let Some(every) = self.cfg.metrics_every {
+                if last_metrics.elapsed() >= every {
+                    self.dump_metrics();
+                    last_metrics = Instant::now();
+                }
+            }
+        }
+        self.graceful_shutdown();
+    }
+
+    /// Queues a control frame on a connection's outbox (no-op once the
+    /// connection is gone).
+    fn send(&self, conn: ConnId, msg: Message) {
+        if let Some(outbox) = self.conns.get(&conn) {
+            outbox.push_control(msg.encode());
+        }
+    }
+
+    fn handle(&mut self, cmd: Command) {
+        match cmd {
+            Command::Connect(conn, outbox) => {
+                self.conns.insert(conn, outbox);
+            }
+            Command::Disconnect(conn) => self.drop_connection(conn, None),
+            Command::SoftError(conn, code, message) => {
+                self.send(conn, Message::Error { code, message });
+            }
+            Command::Frame(conn, msg) => self.handle_frame(conn, msg),
+        }
+    }
+
+    fn handle_frame(&mut self, conn: ConnId, msg: Message) {
+        match msg {
+            Message::Hello { client: _ } => {
+                self.send(
+                    conn,
+                    Message::Welcome {
+                        server: self.cfg.name.clone(),
+                    },
+                );
+            }
+            Message::Register {
+                policy,
+                buffer,
+                window,
+                slide,
+                query,
+            } => self.register(conn, policy, buffer, window, slide, &query),
+            Message::Deregister { query } => self.deregister(conn, query),
+            Message::Insert(e) => self.insert(conn, e),
+            Message::Delete(e) => self.delete(conn, e),
+            Message::Batch { edges } => {
+                for e in edges {
+                    if e.delete {
+                        self.delete(conn, e);
+                    } else {
+                        self.insert(conn, e);
+                    }
+                }
+            }
+            Message::Advance { t } => {
+                if t < self.watermark {
+                    self.send(
+                        conn,
+                        Message::Error {
+                            code: ERR_OUT_OF_ORDER,
+                            message: format!("advance to {t} behind watermark {}", self.watermark),
+                        },
+                    );
+                    return;
+                }
+                self.flush_epoch();
+                self.watermark = t;
+                self.engine.advance_time(t);
+                self.route_results();
+            }
+            Message::Flush => {
+                self.flush_epoch();
+                self.report_drops();
+            }
+            Message::Metrics => {
+                self.flush_epoch();
+                let jsonl = self.engine.metrics_snapshot().to_jsonl();
+                self.send(conn, Message::MetricsSnapshot { jsonl });
+            }
+            Message::Shutdown => {
+                // The graceful sequence runs when the loop observes the
+                // flag; everything already queued ahead of this frame
+                // has been processed (single consumer).
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+            Message::Ping { token } => {
+                // Full barrier: everything received before this frame is
+                // processed and routed before the pong is queued, and
+                // the pong is ordered after those result frames in the
+                // connection's outbox.
+                self.flush_epoch();
+                self.report_drops();
+                self.send(conn, Message::Pong { token });
+            }
+            // Server→client types arriving from a client are a protocol
+            // violation, but a recoverable one.
+            other => self.send(
+                conn,
+                Message::Error {
+                    code: ERR_MALFORMED,
+                    message: format!(
+                        "unexpected message type 0x{:02x} from client",
+                        other.type_byte()
+                    ),
+                },
+            ),
+        }
+    }
+
+    fn register(
+        &mut self,
+        conn: ConnId,
+        policy: Backpressure,
+        buffer: u32,
+        window: u64,
+        slide: u64,
+        query: &str,
+    ) {
+        // Order the registration against the edges already received.
+        self.flush_epoch();
+        let program = match parse_program(query) {
+            Ok(p) => p,
+            Err(e) => {
+                self.send(
+                    conn,
+                    Message::Error {
+                        code: ERR_BAD_QUERY,
+                        message: format!("{e:?}"),
+                    },
+                );
+                return;
+            }
+        };
+        if window == 0 || slide == 0 {
+            self.send(
+                conn,
+                Message::Error {
+                    code: ERR_BAD_QUERY,
+                    message: "window and slide must be positive".into(),
+                },
+            );
+            return;
+        }
+        let q = SgqQuery::new(program, WindowSpec::new(window, slide));
+        let id = self.engine.register(&q);
+        let cap = if buffer == 0 {
+            self.cfg.default_buffer
+        } else {
+            buffer
+        };
+        self.subs.insert(
+            id,
+            Subscription {
+                conn,
+                policy,
+                cap,
+                deleted_cursor: 0,
+                dropped: 0,
+            },
+        );
+        self.send(conn, Message::Registered { query: id.0 });
+        // Late registration catch-up: results the engine replays into
+        // the new query's log stream out immediately.
+        self.route_results();
+    }
+
+    fn deregister(&mut self, conn: ConnId, raw: u64) {
+        let id = QueryId(raw);
+        let owned = self.subs.get(&id).map(|s| s.conn) == Some(conn);
+        if !owned {
+            self.send(
+                conn,
+                Message::Error {
+                    code: ERR_UNKNOWN_QUERY,
+                    message: format!("query {raw} is not registered on this connection"),
+                },
+            );
+            self.send(
+                conn,
+                Message::Deregistered {
+                    query: raw,
+                    ok: false,
+                },
+            );
+            return;
+        }
+        // Route everything the query produced up to this point first, so
+        // a deregistering subscriber still sees its final results.
+        self.flush_epoch();
+        let ok = self.engine.deregister(id);
+        self.subs.remove(&id);
+        self.send(conn, Message::Deregistered { query: raw, ok });
+    }
+
+    fn accept_edge(&mut self, conn: ConnId, e: &WireEdge) -> Option<Sge> {
+        if e.t < self.watermark {
+            self.discarded_edges += 1;
+            self.send(
+                conn,
+                Message::Error {
+                    code: ERR_OUT_OF_ORDER,
+                    message: format!("edge at t={} behind watermark {}", e.t, self.watermark),
+                },
+            );
+            return None;
+        }
+        // Labels no registered query references are discarded, mirroring
+        // the §7.2.1 resolve step (the engine's interner only knows
+        // labels that appear in some registered query).
+        let label = match self.engine.labels().get(&e.label) {
+            Some(l) => l,
+            None => {
+                self.discarded_edges += 1;
+                return None;
+            }
+        };
+        self.watermark = e.t;
+        Some(Sge::raw(e.src, e.trg, label, e.t))
+    }
+
+    fn insert(&mut self, conn: ConnId, e: WireEdge) {
+        if let Some(sge) = self.accept_edge(conn, &e) {
+            self.pending.push(sge);
+            if self.pending.len() >= self.cfg.batch_size {
+                self.flush_epoch();
+            }
+        }
+    }
+
+    fn delete(&mut self, conn: ConnId, e: WireEdge) {
+        if !self.cfg.explicit_deletes {
+            self.send(
+                conn,
+                Message::Error {
+                    code: ERR_NOT_SUPPORTED,
+                    message: "host runs in append-only mode (start with --explicit-deletes)".into(),
+                },
+            );
+            return;
+        }
+        if let Some(sge) = self.accept_edge(conn, &e) {
+            // Deletions are ordered against buffered inserts.
+            self.flush_epoch();
+            self.engine.delete(sge);
+            self.route_results();
+        }
+    }
+
+    /// Ingests the pending epoch and routes the fresh results.
+    fn flush_epoch(&mut self) {
+        if !self.pending.is_empty() {
+            let batch = std::mem::take(&mut self.pending);
+            self.engine.ingest_batch(&batch);
+        }
+        self.route_results();
+    }
+
+    /// Drains every subscription's cursors and pushes result frames,
+    /// applying the backpressure policy on full buffers.
+    fn route_results(&mut self) {
+        let mut evict: Vec<ConnId> = Vec::new();
+        let qids: Vec<QueryId> = self.subs.keys().copied().collect();
+        for id in qids {
+            let fresh = self.engine.drain(id);
+            let deleted: Vec<_> = {
+                let sub = &self.subs[&id];
+                self.engine.deleted_results(id)[sub.deleted_cursor..].to_vec()
+            };
+            let sub = self.subs.get_mut(&id).unwrap();
+            sub.deleted_cursor += deleted.len();
+            let Some(outbox) = self.conns.get(&sub.conn) else {
+                continue;
+            };
+            let inserts = fresh.iter().map(|s| (false, s));
+            let deletes = deleted.iter().map(|s| (true, s));
+            for (del, sgt) in inserts.chain(deletes) {
+                let frame = Message::Result {
+                    query: id.0,
+                    delete: del,
+                    src: sgt.src.0,
+                    trg: sgt.trg.0,
+                    ts: sgt.interval.ts,
+                    exp: sgt.interval.exp,
+                }
+                .encode();
+                if !outbox.push_result(id.0, frame, sub.cap) {
+                    match sub.policy {
+                        Backpressure::DropNewest => sub.dropped += 1,
+                        Backpressure::Disconnect => {
+                            evict.push(sub.conn);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        for conn in evict {
+            self.drop_connection(conn, Some("slow consumer"));
+        }
+    }
+
+    /// Emits `DROPPED` reports for lossy subscriptions (at barriers).
+    fn report_drops(&mut self) {
+        let reports: Vec<(ConnId, u64, u64)> = self
+            .subs
+            .iter_mut()
+            .filter(|(_, s)| s.dropped > 0)
+            .map(|(id, s)| {
+                let r = (s.conn, id.0, s.dropped);
+                s.dropped = 0;
+                r
+            })
+            .collect();
+        for (conn, query, count) in reports {
+            self.send(conn, Message::Dropped { query, count });
+        }
+    }
+
+    /// Tears down a connection: deregisters its subscriptions and closes
+    /// its outbox. `reason` is `Some` for server-initiated eviction.
+    fn drop_connection(&mut self, conn: ConnId, reason: Option<&str>) {
+        let owned: Vec<QueryId> = self
+            .subs
+            .iter()
+            .filter(|(_, s)| s.conn == conn)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in owned {
+            self.engine.deregister(id);
+            self.subs.remove(&id);
+        }
+        if let Some(outbox) = self.conns.remove(&conn) {
+            if let Some(reason) = reason {
+                outbox.push_control(
+                    Message::Error {
+                        code: ERR_SLOW_CONSUMER,
+                        message: reason.to_string(),
+                    }
+                    .encode(),
+                );
+                outbox.push_control(
+                    Message::Bye {
+                        reason: reason.to_string(),
+                    }
+                    .encode(),
+                );
+            }
+            outbox.close();
+        }
+    }
+
+    fn dump_metrics(&mut self) {
+        let Some(path) = self.cfg.metrics_path.clone() else {
+            return;
+        };
+        let snap = self.engine.metrics_snapshot();
+        let doc = if path.ends_with(".csv") {
+            snap.to_csv()
+        } else {
+            snap.to_jsonl()
+        };
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(doc.as_bytes()));
+    }
+
+    fn graceful_shutdown(&mut self) {
+        // Drain: flush the open epoch, route every result, report drops.
+        self.flush_epoch();
+        self.report_drops();
+        self.dump_metrics();
+        if let Some(path) = &self.cfg.trace_path {
+            let _ = self.trace.write_to(path);
+        }
+        let conns: Vec<ConnId> = self.conns.keys().copied().collect();
+        for conn in conns {
+            if let Some(outbox) = self.conns.get(&conn) {
+                outbox.push_control(
+                    Message::Bye {
+                        reason: "shutdown".into(),
+                    }
+                    .encode(),
+                );
+            }
+            self.drop_connection(conn, None);
+        }
+        let _ = self.discarded_edges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_bounds_results_but_not_control() {
+        let outbox = Outbox::new();
+        // Cap 2: third result frame is refused.
+        assert!(outbox.push_result(7, vec![1], 2));
+        assert!(outbox.push_result(7, vec![2], 2));
+        assert!(!outbox.push_result(7, vec![3], 2));
+        // A different subscription has its own budget.
+        assert!(outbox.push_result(8, vec![4], 2));
+        // Control frames bypass the cap.
+        outbox.push_control(vec![5]);
+        // Popping frees budget.
+        assert_eq!(outbox.pop(), Some(vec![1]));
+        assert!(outbox.push_result(7, vec![6], 2));
+        outbox.close();
+        // Drain the rest, then None.
+        let mut rest = Vec::new();
+        while let Some(f) = outbox.pop() {
+            rest.push(f);
+        }
+        assert_eq!(rest, vec![vec![2], vec![4], vec![5], vec![6]]);
+        assert!(outbox.pop().is_none());
+        // Closed outboxes accept-and-discard.
+        assert!(outbox.push_result(7, vec![9], 2));
+        assert!(outbox.pop().is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Spawns the real `sgq-serve` binary (not an in-process server) on a
+//! loopback port, drives it over the wire, and checks the graceful
+//! shutdown path end to end: final metrics snapshot on disk, lifecycle
+//! trace, clean exit status.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use sgq_serve::client::Client;
+
+struct HostProcess {
+    child: Child,
+    addr: String,
+    /// Keeps the stdout pipe open so the binary's final status line
+    /// doesn't hit a broken pipe.
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl HostProcess {
+    /// Starts the binary with the given extra flags and parses the
+    /// `listening on ADDR` line to discover the bound port.
+    fn start(extra: &[&str]) -> HostProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sgq-serve"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sgq-serve");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut stdout = BufReader::new(stdout);
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("banner line");
+        let addr = banner
+            .trim_end()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        HostProcess {
+            child,
+            addr,
+            stdout,
+        }
+    }
+}
+
+impl Drop for HostProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn binary_serves_and_shuts_down_cleanly() {
+    let dir = std::env::temp_dir().join(format!("sgq_bin_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+    let trace = dir.join("trace.jsonl");
+
+    let mut host = HostProcess::start(&[
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+
+    let mut c = Client::connect(host.addr.as_str()).expect("connect to binary");
+    let server_name = c.hello("bin-smoke").unwrap();
+    assert_eq!(server_name, "sgq-serve");
+
+    let q = c.register("Ans(x, y) <- knows+(x, y).", 100, 10).unwrap();
+    c.insert(1, 2, "knows", 1).unwrap();
+    c.insert(2, 3, "knows", 2).unwrap();
+    c.barrier().unwrap();
+    let rows = c.take_results();
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r.query == q));
+
+    // The wire metrics snapshot has the JSONL shape.
+    let live_snapshot = c.metrics().unwrap();
+    assert!(live_snapshot
+        .lines()
+        .any(|l| l.contains("\"record\":\"exec\"")));
+
+    // Graceful shutdown over the wire: BYE, clean exit, artifacts.
+    let reason = c.shutdown().unwrap();
+    assert_eq!(reason, "shutdown");
+    let status = host.child.wait().expect("wait for exit");
+    assert!(status.success(), "binary exit: {status:?}");
+    let mut last = String::new();
+    host.stdout.read_line(&mut last).unwrap();
+    assert_eq!(last.trim_end(), "sgq-serve: shut down cleanly");
+
+    let on_disk = std::fs::read_to_string(&metrics).unwrap();
+    assert!(on_disk.lines().any(|l| l.contains("\"record\":\"exec\"")));
+    let trace_doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(!trace_doc.trim().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_rejects_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sgq-serve"))
+        .arg("--bogus")
+        .output()
+        .expect("run sgq-serve");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

@@ -9,9 +9,10 @@ use crate::time::Timestamp;
 /// An in-memory input graph stream: a sequence of sges ordered
 /// non-decreasingly by timestamp.
 ///
-/// Real deployments would consume from a socket or log; for the engine,
-/// generators, tests and benchmarks an ordered vector is the right interface
-/// — the executor pulls from any `IntoIterator<Item = Sge>`.
+/// Deployments consume from a socket — `sgq-serve` (crate `sgq_serve`)
+/// is that host; for the engine, generators, tests and benchmarks an
+/// ordered vector is the right interface — the executor pulls from any
+/// `IntoIterator<Item = Sge>`.
 #[derive(Debug, Default, Clone)]
 pub struct InputStream {
     sges: Vec<Sge>,

@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
+use s_graffito::datagen::feed;
 use s_graffito::prelude::*;
+use s_graffito::types::InputStream;
 
 fn main() {
     // A persistent query in the Datalog-style RQ syntax (Def. 13/15):
@@ -22,22 +24,27 @@ fn main() {
     let follows = engine.labels().get("follows").expect("EDB label");
 
     // Feed a small input graph stream; results stream out as they appear.
-    let stream = [
-        (1u64, 2u64, 0u64), // alice follows bob          @ t=0
-        (2, 3, 5),          // bob follows carol          @ t=5
-        (3, 1, 8),          // carol follows alice (cycle)@ t=8
-        (4, 1, 26),         // dave follows alice         @ t=26 (1→2 expired)
-    ];
-    for (src, trg, t) in stream {
-        let results = engine.process(Sge::raw(src, trg, follows, t));
+    // `datagen::feed` is the one stream-feeding code path shared with the
+    // repro harness, the server example, and the tests.
+    let stream = InputStream::from_ordered(vec![
+        Sge::raw(1, 2, follows, 0),  // alice follows bob           @ t=0
+        Sge::raw(2, 3, follows, 5),  // bob follows carol           @ t=5
+        Sge::raw(3, 1, follows, 8),  // carol follows alice (cycle) @ t=8
+        Sge::raw(4, 1, follows, 26), // dave follows alice          @ t=26 (1→2 expired)
+    ]);
+    feed::feed(&stream, |sge| {
+        let results = engine.process(sge);
         println!(
-            "t={t}: +follows({src}, {trg}) produced {} result(s)",
+            "t={}: +follows({}, {}) produced {} result(s)",
+            sge.t,
+            sge.src.0,
+            sge.trg.0,
             results.len()
         );
         for r in results {
             println!("    {:?} reaches {:?} during {}", r.src, r.trg, r.interval);
         }
-    }
+    });
 
     // Persistent queries answer "as of" any instant (snapshot reducibility):
     println!("\nanswers valid at t=9:");

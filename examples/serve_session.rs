@@ -1,0 +1,104 @@
+//! A complete `sgq-serve` session, in-process: start the host, connect
+//! two subscribers over loopback TCP, stream a synthetic StackOverflow
+//! graph at it through the shared feed helper, and collect each query's
+//! live result stream plus the host's metrics/trace artifacts.
+//!
+//! ```text
+//! cargo run --example serve_session
+//! ```
+//!
+//! CI runs this as the serve smoke leg: it writes `METRICS_serve.jsonl`
+//! and `TRACE_serve.jsonl` into the working directory and exits
+//! non-zero if the session misbehaves.
+
+use s_graffito::datagen::workloads::{self, Dataset};
+use s_graffito::datagen::{feed, so_stream, SoConfig};
+use s_graffito::serve::client::Client;
+use s_graffito::serve::server::{ServeConfig, Server};
+
+fn main() {
+    // A host with periodic metrics export, like a real deployment would
+    // run it (the `sgq-serve` binary wires the same config from flags).
+    let server = Server::spawn(ServeConfig {
+        metrics_path: Some("METRICS_serve.jsonl".to_string()),
+        trace_path: Some("TRACE_serve.jsonl".to_string()),
+        metrics_every: Some(std::time::Duration::from_millis(200)),
+        ..ServeConfig::default()
+    })
+    .expect("spawn host");
+    println!("host listening on {}", server.addr());
+
+    // Two independent subscribers, each with its own persistent query —
+    // the paper's Q1 and Q6 over the StackOverflow workload.
+    let mut alice = Client::connect(server.addr()).expect("connect");
+    let mut bob = Client::connect(server.addr()).expect("connect");
+    println!("alice greets {}", alice.hello("alice").unwrap());
+    println!("bob greets   {}", bob.hello("bob").unwrap());
+
+    let q1 = alice
+        .register(workloads::query_text(1, Dataset::So), 720, 24)
+        .unwrap();
+    let q6 = bob
+        .register(workloads::query_text(6, Dataset::So), 720, 24)
+        .unwrap();
+    println!(
+        "alice runs Q1 as query {q1}: {}",
+        workloads::query_text(1, Dataset::So)
+    );
+    println!(
+        "bob runs Q6 as query {q6}:   {}",
+        workloads::query_text(6, Dataset::So)
+    );
+
+    // Stream the edges over the wire — one code path (`datagen::feed`)
+    // shared with the in-process examples and the repro harness.
+    let raw = so_stream(&SoConfig::new(50, 1_000));
+    let fed = feed::feed_raw(&raw, |src, trg, label, t| {
+        alice.insert(src, trg, label, t).unwrap();
+    });
+    println!("streamed {fed} edges");
+
+    // Barriers flush the open epoch and deliver every pending result.
+    alice.barrier().unwrap();
+    bob.barrier().unwrap();
+    let alice_results = alice.take_results();
+    let bob_results = bob.take_results();
+    println!("alice received {} Q1 results", alice_results.len());
+    println!("bob received   {} Q6 results", bob_results.len());
+    assert!(
+        !alice_results.is_empty(),
+        "Q1 must produce results on the SO stream"
+    );
+
+    // A live metrics snapshot over the wire, same JSONL shape as the
+    // host's periodic file export.
+    let snapshot = bob.metrics().unwrap();
+    let execs = snapshot
+        .lines()
+        .filter(|l| l.contains("\"record\":\"exec\""))
+        .count();
+    let operators = snapshot
+        .lines()
+        .filter(|l| l.contains("\"record\":\"operator\""))
+        .count();
+    println!("live snapshot: {execs} exec record(s), {operators} operator record(s)");
+    assert!(execs >= 1, "snapshot must carry an exec record");
+
+    // Graceful shutdown: drain, final snapshot + trace to disk, BYE.
+    let reason = alice.shutdown().unwrap();
+    println!("host said bye ({reason})");
+    server.join();
+
+    let on_disk = std::fs::read_to_string("METRICS_serve.jsonl").expect("metrics artifact");
+    assert!(
+        on_disk.lines().any(|l| l.contains("\"record\":\"exec\"")),
+        "final snapshot written"
+    );
+    let trace = std::fs::read_to_string("TRACE_serve.jsonl").expect("trace artifact");
+    assert!(!trace.trim().is_empty(), "lifecycle trace written");
+    println!(
+        "artifacts: METRICS_serve.jsonl ({} lines), TRACE_serve.jsonl ({} lines)",
+        on_disk.lines().count(),
+        trace.lines().count()
+    );
+}

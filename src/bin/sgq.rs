@@ -415,10 +415,8 @@ fn execute(a: RunArgs) -> Result<(), String> {
     let labels = engine.labels().clone();
     let started = std::time::Instant::now();
     let mut emitted = 0u64;
-    let mut edges = 0u64;
-    for &sge in &stream {
+    let edges = datagen::feed::feed(&stream, |sge| {
         let results = engine.process(sge);
-        edges += 1;
         emitted += results.len() as u64;
         if !a.quiet {
             for r in results {
@@ -445,7 +443,7 @@ fn execute(a: RunArgs) -> Result<(), String> {
                 );
             }
         }
-    }
+    });
     if let Some(t) = a.at {
         let mut answers: Vec<_> = engine.answer_at(t).into_iter().collect();
         answers.sort();

@@ -21,6 +21,9 @@
 //! * [`datagen`] — StackOverflow/SNB-like stream generators and Q1–Q7.
 //! * [`multiquery`] — the multi-query host: N persistent queries over one
 //!   stream with cross-query shared-subplan execution.
+//! * [`serve`] — the deployment layer: the `sgq-serve` TCP host, its
+//!   length-prefixed frame protocol (`docs/PROTOCOL.md`), and a small
+//!   synchronous client.
 //!
 //! ## Quick start
 //!
@@ -43,6 +46,7 @@ pub use sgq_datagen as datagen;
 pub use sgq_dd as dd;
 pub use sgq_multiquery as multiquery;
 pub use sgq_query as query;
+pub use sgq_serve as serve;
 pub use sgq_types as types;
 
 /// The most common imports in one place.

@@ -61,13 +61,13 @@ fn run_side_by_side(
     let ids: Vec<QueryId> = queries.iter().map(|q| host.register(q)).collect();
     let host_stream = s_graffito::datagen::resolve(raw, host.labels());
 
-    for sge in host_stream.sges().iter() {
-        host.process(*sge);
-    }
+    s_graffito::datagen::feed::feed(&host_stream, |sge| {
+        host.process(sge);
+    });
     for (engine, stream) in engines.iter_mut().zip(&streams) {
-        for sge in stream.sges().iter() {
-            engine.process(*sge);
-        }
+        s_graffito::datagen::feed::feed(stream, |sge| {
+            engine.process(sge);
+        });
     }
     (host, ids, engines)
 }
