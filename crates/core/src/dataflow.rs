@@ -70,6 +70,7 @@ use crate::physical::simple::{FilterOp, UnionOp, WScanOp};
 use crate::physical::wcoj::WcojPatternOp;
 use crate::physical::{negpath::NegPathOp, spath::SPathOp, Delta, DeltaBatch, PhysicalOp};
 use crate::pool::{LevelJob, PurgeJob, ShardJob, ShardPlan, WorkerPool};
+use crate::sketch::{self, Rebalancer, StreamSketch};
 use sgq_types::{FxHashMap, FxHashSet, Label, SharedDeltaBatch, Timestamp};
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,6 +146,33 @@ pub struct Dataflow {
     /// in-shard fan-out), indexed by shard id; empty when sharding is
     /// disabled. `Arc`-shared into each epoch's [`ShardJob`]s.
     shard_plans: Vec<Arc<ShardPlan>>,
+    /// Label → shard override adopted by the adaptive rebalancer (or set
+    /// explicitly via [`Dataflow::set_shard_assignment`]). Labels absent
+    /// here take the round-robin default; consulted by `rebuild_shards`,
+    /// so an adopted assignment survives schedule rebuilds.
+    assign_override: FxHashMap<Label, usize>,
+    /// The label → shard assignment actually in force (override merged
+    /// over round-robin), recorded by the last `rebuild_shards`. Empty
+    /// when sharding is disabled.
+    label_shard: FxHashMap<Label, usize>,
+    /// Per-label input-frequency sketch, updated inline by `ingest_epoch`
+    /// when [`EngineOptions::adaptive`] is set.
+    sketch: StreamSketch,
+    /// The epoch-boundary rebalance controller (hysteresis + cooldown).
+    rebalancer: Rebalancer,
+    /// Per-label sketch masses at the previous rebalance check: the
+    /// check plans from the *delta* since this snapshot, so proposals
+    /// track the live label rate instead of the full-history average
+    /// (which lags arbitrarily far behind a drifted stream).
+    sketch_prev: FxHashMap<Label, u64>,
+    /// Per-shard sweep nanos accumulated since the last rebalance check —
+    /// the measured hot-shard signal. Reset after every check.
+    shard_nanos_window: Vec<u64>,
+    /// Per-shard sweep nanos of the most recent sharded epoch (feeds the
+    /// explain-analyze shard-share column). Zeroed on serial epochs.
+    shard_nanos_last: Vec<u64>,
+    /// Cumulative per-shard sweep nanos since construction.
+    shard_nanos_total: Vec<u64>,
     /// Worker threads for parallel level dispatch, spawned lazily on the
     /// first level wide enough to use them (`None` until then, and always
     /// `None` when `opts.workers <= 1`).
@@ -183,6 +211,14 @@ impl Dataflow {
             schedule_dirty: false,
             shard_of: Vec::new(),
             shard_plans: Vec::new(),
+            assign_override: FxHashMap::default(),
+            label_shard: FxHashMap::default(),
+            sketch: StreamSketch::default(),
+            rebalancer: Rebalancer::default(),
+            sketch_prev: FxHashMap::default(),
+            shard_nanos_window: Vec::new(),
+            shard_nanos_last: Vec::new(),
+            shard_nanos_total: Vec::new(),
             pool: None,
             stats: ExecStats::default(),
             op_stats: Vec::new(),
@@ -475,7 +511,11 @@ impl Dataflow {
     fn rebuild_shards(&mut self) {
         self.shard_plans.clear();
         self.shard_of.clear();
+        self.label_shard.clear();
         if self.opts.shards <= 1 {
+            self.shard_nanos_window.clear();
+            self.shard_nanos_last.clear();
+            self.shard_nanos_total.clear();
             return;
         }
         // The mask is a u64, so shard groups cap at 64 — far beyond any
@@ -485,11 +525,21 @@ impl Dataflow {
         labels.sort_unstable();
         let mut mask = vec![0u64; self.nodes.len()];
         for (i, label) in labels.iter().enumerate() {
-            let bit = 1u64 << (i % nshards);
+            // An adaptive (or explicitly set) override wins; otherwise
+            // labels spread round-robin in ascending label order.
+            let shard = match self.assign_override.get(label) {
+                Some(&s) => s % nshards,
+                None => i % nshards,
+            };
+            self.label_shard.insert(*label, shard);
+            let bit = 1u64 << shard;
             for &n in &self.sources[label] {
                 mask[n] |= bit;
             }
         }
+        self.shard_nanos_window.resize(nshards, 0);
+        self.shard_nanos_last.resize(nshards, 0);
+        self.shard_nanos_total.resize(nshards, 0);
         for n in 0..self.nodes.len() {
             if self.retired[n] || mask[n] == 0 {
                 continue;
@@ -591,6 +641,163 @@ impl Dataflow {
             .count()
     }
 
+    /// Per-shard sweep nanos of the most recent sharded epoch, indexed by
+    /// shard id (all zeros after a serial epoch; empty when sharding is
+    /// disabled). Wall-clock observability — never part of the
+    /// determinism contract.
+    pub fn shard_nanos_last(&self) -> &[u64] {
+        &self.shard_nanos_last
+    }
+
+    /// Cumulative per-shard sweep nanos since construction, indexed by
+    /// shard id. Empty when sharding is disabled.
+    pub fn shard_nanos_by_shard(&self) -> &[u64] {
+        &self.shard_nanos_total
+    }
+
+    /// The label → shard assignment currently in force (empty when
+    /// sharding is disabled).
+    pub fn shard_assignment(&self) -> &FxHashMap<Label, usize> {
+        debug_assert!(!self.schedule_dirty);
+        &self.label_shard
+    }
+
+    /// Overrides the label → shard assignment and rebuilds the shard
+    /// closures immediately (must be called between epochs). Labels
+    /// absent from `assign` keep the round-robin default; shard ids wrap
+    /// modulo the shard count. Any assignment is semantics-preserving —
+    /// the merge replay restores serial publish order regardless of
+    /// grouping — which the adaptive-determinism proptests exercise by
+    /// calling this at random stream positions.
+    pub fn set_shard_assignment(&mut self, assign: FxHashMap<Label, usize>) {
+        self.assign_override = assign;
+        self.schedule_dirty = true;
+        self.ensure_schedule();
+    }
+
+    /// The input-frequency sketch (updated only when
+    /// [`EngineOptions::adaptive`] is set).
+    pub fn sketch(&self) -> &StreamSketch {
+        &self.sketch
+    }
+
+    /// Adaptive rebalances adopted so far (mirrors
+    /// [`ExecStats::rebalances`]).
+    pub fn rebalances(&self) -> u64 {
+        self.stats.rebalances
+    }
+
+    /// Per-shard sketch-mass loads under the current assignment — the
+    /// deterministic balance signal (a pure function of the ingested
+    /// stream and the assignment, unlike the wall-clock `shard_nanos`).
+    pub fn shard_mass_loads(&self) -> Vec<u64> {
+        debug_assert!(!self.schedule_dirty);
+        let mut loads = vec![0u64; self.shard_plans.len()];
+        for (label, &s) in &self.label_shard {
+            if let Some(v) = loads.get_mut(s) {
+                *v += self.sketch.estimate(*label);
+            }
+        }
+        loads
+    }
+
+    /// The adaptive epoch-boundary rebalance check: a no-op unless
+    /// [`EngineOptions::adaptive`] is set and at least two shard groups
+    /// exist. Every [`sketch::REBALANCE_CHECK_EPOCHS`] epochs the current
+    /// shard imbalance — measured per-shard sweep nanos when the check
+    /// window cleared [`sketch::SHARD_NANOS_FLOOR`], else the
+    /// deterministic sketch-mass fallback — is compared against the
+    /// imbalance the LPT assignment over the check window's sketch-mass
+    /// deltas predicts (recent rate, so proposals track drift), and the
+    /// [`Rebalancer`] hysteresis decides whether to adopt it.
+    /// Adoption rewires only the label → shard grouping (operator state
+    /// never moves; arena slots stay put), so results and the
+    /// determinism fingerprint are bit-identical under any rebalance
+    /// schedule — even a wall-clock-driven, nondeterministic one.
+    fn maybe_rebalance(&mut self) {
+        if !self.opts.adaptive || self.shard_plans.len() <= 1 {
+            return;
+        }
+        if !self.rebalancer.on_epoch() {
+            return;
+        }
+        let nshards = self.shard_plans.len();
+        let mut labels: Vec<Label> = self
+            .sources
+            .iter()
+            .filter(|(_, starts)| !starts.is_empty())
+            .map(|(&l, _)| l)
+            .collect();
+        if labels.len() < 2 {
+            return;
+        }
+        labels.sort_unstable();
+        let cumulative = self.sketch.masses(&labels);
+        // Plan from the mass accrued since the previous check — the live
+        // label rate — so the proposal follows a drifted distribution
+        // instead of the full-history average. A quiet window (no new
+        // mass, e.g. the very first check) falls back to cumulative mass.
+        let mut masses: Vec<(Label, u64)> = cumulative
+            .iter()
+            .map(|&(l, m)| {
+                (
+                    l,
+                    m.saturating_sub(self.sketch_prev.get(&l).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        if masses.iter().all(|&(_, m)| m == 0) {
+            masses = cumulative.clone();
+        }
+        self.sketch_prev = cumulative.into_iter().collect();
+        let measured: u64 = self.shard_nanos_window.iter().sum();
+        let current_loads: Vec<u64> = if measured >= sketch::SHARD_NANOS_FLOOR {
+            self.shard_nanos_window.clone()
+        } else {
+            // Static fallback (the chooser's discipline): below the floor
+            // the wall clock is noise, so fall back to the deterministic
+            // sketch mass per shard under the current assignment.
+            let mut loads = vec![0u64; nshards];
+            for &(label, m) in &masses {
+                if let Some(&s) = self.label_shard.get(&label) {
+                    loads[s] += m;
+                }
+            }
+            loads
+        };
+        let current_milli = sketch::imbalance_milli(&current_loads);
+        let proposal = sketch::plan_assignment(&masses, nshards);
+        let mut predicted = vec![0u64; nshards];
+        for &(label, m) in &masses {
+            predicted[proposal[&label]] += m;
+        }
+        let predicted_milli = sketch::imbalance_milli(&predicted);
+        if self.rebalancer.decide(current_milli, predicted_milli) {
+            let moved_labels = proposal
+                .iter()
+                .filter(|(l, &s)| self.label_shard.get(l) != Some(&s))
+                .count();
+            self.assign_override = proposal;
+            self.schedule_dirty = true;
+            self.stats.rebalances += 1;
+            self.emit_trace(TraceEvent::Rebalance {
+                epoch: self.stats.epochs,
+                shards: nshards,
+                moved_labels,
+                imbalance_milli: current_milli,
+                predicted_milli,
+            });
+            // Rewire now — inboxes and ready lists are empty between
+            // epochs — so accessors never observe a dirty schedule.
+            self.ensure_schedule();
+        }
+        // Either way the window is consumed: each check sees one
+        // check-window's worth of signal.
+        for v in &mut self.shard_nanos_window {
+            *v = 0;
+        }
+    }
+
     /// Pushes one input delta to every WSCAN reading `label` and runs a
     /// singleton epoch. `sink` observes every operator's emissions as
     /// `(node, batch)` — callers filter for the nodes they treat as roots.
@@ -623,10 +830,17 @@ impl Dataflow {
         debug_assert!(self.seeds.is_empty());
         self.ensure_schedule();
         let mut delivered = 0usize;
+        let adaptive = self.opts.adaptive;
         for (label, delta) in epoch {
             let Some(starts) = self.sources.get(&label) else {
                 continue; // labels no plan references are discarded
             };
+            if adaptive {
+                // Inline sketch update: two multiply-shift hashes and a
+                // handful of counter bumps per delivered delta.
+                let sgt = delta.sgt();
+                self.sketch.observe(label, sgt.src.0, sgt.trg.0);
+            }
             match starts[..] {
                 [] => continue,
                 [n] => {
@@ -669,6 +883,7 @@ impl Dataflow {
                 nanos,
             });
         }
+        self.maybe_rebalance();
         delivered
     }
 
@@ -932,6 +1147,7 @@ impl Dataflow {
             }
             jobs.push(ShardJob {
                 idx: jobs.len(),
+                shard: s,
                 plan: Arc::clone(plan),
                 ops,
                 inboxes,
@@ -949,6 +1165,7 @@ impl Dataflow {
                     Vec::new()
                 },
                 timed: self.opts.obs.timing(),
+                nanos: 0,
                 panic: None,
             });
         }
@@ -976,6 +1193,9 @@ impl Dataflow {
         // Merge pass 1: restore every operator and inbox allocation and
         // accumulate counters before anything can unwind, so a panicking
         // operator leaves the arena structurally intact.
+        for v in &mut self.shard_nanos_last {
+            *v = 0;
+        }
         let mut shard_ready = vec![0u64; depth];
         let mut replays: Vec<ShardReplay> = Vec::with_capacity(done.len());
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
@@ -991,6 +1211,15 @@ impl Dataflow {
             self.stats.deltas_dispatched += job.dispatched;
             self.stats.deltas_emitted += job.emitted;
             self.stats.fanout_deliveries += job.fanout;
+            if let Some(v) = self.shard_nanos_last.get_mut(job.shard) {
+                *v = job.nanos;
+            }
+            if let Some(v) = self.shard_nanos_window.get_mut(job.shard) {
+                *v += job.nanos;
+            }
+            if let Some(v) = self.shard_nanos_total.get_mut(job.shard) {
+                *v += job.nanos;
+            }
             if !job.node_obs.is_empty() {
                 // Per-shard attribution came free: the job owned its
                 // member operators, so these samples are exact.
@@ -1546,6 +1775,14 @@ impl Dataflow {
                 let _ = write!(out, "#{n} {} level={}", node.op.name(), self.level_of[n]);
                 if let Some(s) = self.shard_of.get(n).copied().flatten() {
                     let _ = write!(out, " shard={s}");
+                    // Last-epoch share of the sweep spent in this node's
+                    // shard (all shards, not just this plan's) — the
+                    // at-a-glance balance readout.
+                    let total: u64 = self.shard_nanos_last.iter().sum();
+                    let nanos = self.shard_nanos_last.get(s).copied().unwrap_or(0);
+                    if let Some(share) = (nanos * 100).checked_div(total) {
+                        let _ = write!(out, " shard_share={share}%");
+                    }
                 }
                 let _ = write!(
                     out,

@@ -172,6 +172,17 @@ pub struct EngineOptions {
     /// honours the `SGQ_SHARING` environment variable
     /// (`auto`/`share`/`dedicated`).
     pub sharing: SharingPolicy,
+    /// Sketch-driven adaptive execution. When enabled the ingest path
+    /// maintains per-label frequency sketches ([`crate::sketch`]) and the
+    /// executor may recompute the label → shard assignment between epochs
+    /// when one shard stays persistently hot (hysteresis + cooldown, see
+    /// [`crate::sketch::Rebalancer`]). Any label partition is
+    /// semantics-preserving, so results and deterministic fingerprints
+    /// are **bit-identical with adaptivity on or off** at every
+    /// `(shards, workers)` × obs level (asserted by the adaptive
+    /// determinism proptests). The default honours the `SGQ_ADAPT`
+    /// environment variable (`1`/`true`/`on` to enable).
+    pub adaptive: bool,
 }
 
 impl Default for EngineOptions {
@@ -187,8 +198,19 @@ impl Default for EngineOptions {
             shards: default_shards(),
             obs: default_obs(),
             sharing: SharingPolicy::from_env(),
+            adaptive: default_adaptive(),
         }
     }
+}
+
+/// The default adaptivity switch: `true` when `SGQ_ADAPT` is set to
+/// `1`/`true`/`on`, else `false`. How CI runs the whole suite with
+/// adaptive execution enabled without touching test code.
+pub fn default_adaptive() -> bool {
+    matches!(
+        std::env::var("SGQ_ADAPT").as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("on")
+    )
 }
 
 /// The default worker count: `SGQ_WORKERS` when set to a positive integer,
@@ -588,6 +610,37 @@ impl Engine {
     /// zero when sharding is disabled.
     pub fn merge_point_count(&self) -> usize {
         self.flow.merge_point_count()
+    }
+
+    /// The label → shard assignment currently in force (empty when
+    /// sharding is disabled).
+    pub fn shard_assignment(&self) -> &sgq_types::FxHashMap<Label, usize> {
+        self.flow.shard_assignment()
+    }
+
+    /// Overrides the label → shard assignment between epochs. Any
+    /// assignment is semantics-preserving: results and the determinism
+    /// fingerprint are unchanged (see [`crate::sketch`]).
+    pub fn set_shard_assignment(&mut self, assign: sgq_types::FxHashMap<Label, usize>) {
+        self.flow.set_shard_assignment(assign);
+    }
+
+    /// Adaptive shard rebalances adopted so far (zero unless
+    /// [`EngineOptions::adaptive`] is set).
+    pub fn rebalances(&self) -> u64 {
+        self.flow.rebalances()
+    }
+
+    /// The input-frequency sketch (updated only under
+    /// [`EngineOptions::adaptive`]).
+    pub fn sketch(&self) -> &crate::sketch::StreamSketch {
+        self.flow.sketch()
+    }
+
+    /// Per-shard sweep nanos of the most recent sharded epoch
+    /// (observability; never part of the determinism contract).
+    pub fn shard_nanos_last(&self) -> &[u64] {
+        self.flow.shard_nanos_last()
     }
 
     /// Operator names in the dataflow (diagnostics).

@@ -67,6 +67,11 @@ pub struct ExecStats {
     /// pool by the parallel purge. Depends on `EngineOptions::workers`,
     /// so not part of the determinism contract.
     pub parallel_purge_ops: u64,
+    /// Label → shard reassignments adopted by the adaptive rebalancer
+    /// (`EngineOptions::adaptive`). A scheduling decision only — results
+    /// are invariant under any assignment — so not part of the
+    /// determinism contract.
+    pub rebalances: u64,
 }
 
 impl ExecStats {
@@ -128,8 +133,9 @@ impl ExecStats {
     /// for the same input — what the parallel- and sharding-determinism
     /// tests compare. Excludes the pool-shape counters (`parallel_*`), the
     /// shard-shape counters (`shard_*`, `cross_shard_deliveries`,
-    /// `parallel_purge_ops`) and wall-clock timings, which legitimately
-    /// vary with `EngineOptions::workers` / `EngineOptions::shards`.
+    /// `parallel_purge_ops`, `rebalances`) and wall-clock timings, which
+    /// legitimately vary with `EngineOptions::workers` /
+    /// `EngineOptions::shards` / `EngineOptions::adaptive`.
     pub fn determinism_fingerprint(&self) -> [u64; 9] {
         [
             self.epochs,
@@ -299,6 +305,7 @@ mod tests {
             cross_shard_deliveries: 7,
             shard_nanos: 500,
             parallel_purge_ops: 3,
+            rebalances: 2,
             ..Default::default()
         };
         assert!((s.mean_shard_width() - 2.5).abs() < 1e-9);
@@ -314,6 +321,7 @@ mod tests {
         t.cross_shard_deliveries = 0;
         t.shard_nanos = 0;
         t.parallel_purge_ops = 0;
+        t.rebalances = 0;
         assert_eq!(s.determinism_fingerprint(), t.determinism_fingerprint());
     }
 

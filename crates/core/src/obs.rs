@@ -390,6 +390,32 @@ pub enum TraceEvent {
         /// Nodes retired because no other query references them.
         retired: usize,
     },
+    /// The adaptive controller adopted a new label → shard assignment
+    /// (between epochs; results are unaffected by construction).
+    Rebalance {
+        /// Epoch sequence number the decision was taken after.
+        epoch: u64,
+        /// Shard groups in the new assignment.
+        shards: usize,
+        /// Labels whose shard changed.
+        moved_labels: usize,
+        /// Shard imbalance (max/mean, milli) that triggered the move.
+        imbalance_milli: u64,
+        /// Imbalance the sketch predicts for the new assignment.
+        predicted_milli: u64,
+    },
+    /// A multi-query host replanned a registered query against live
+    /// sketch cardinalities (deregister + re-register with state
+    /// adoption).
+    Replan {
+        /// The query id that was retired.
+        query: u64,
+        /// The replacement registration's id.
+        new_query: u64,
+        /// Label-distribution drift (total variation, milli) since the
+        /// plan was chosen.
+        drift_milli: u64,
+    },
 }
 
 impl TraceEvent {
@@ -405,6 +431,8 @@ impl TraceEvent {
             TraceEvent::Purge { .. } => "purge",
             TraceEvent::Register { .. } => "register",
             TraceEvent::Deregister { .. } => "deregister",
+            TraceEvent::Rebalance { .. } => "rebalance",
+            TraceEvent::Replan { .. } => "replan",
         }
     }
 
@@ -458,6 +486,22 @@ impl TraceEvent {
             TraceEvent::Deregister { query, retired } => {
                 format!("{{\"event\":\"deregister\",\"query\":{query},\"retired\":{retired}}}")
             }
+            TraceEvent::Rebalance {
+                epoch,
+                shards,
+                moved_labels,
+                imbalance_milli,
+                predicted_milli,
+            } => format!(
+                "{{\"event\":\"rebalance\",\"epoch\":{epoch},\"shards\":{shards},\"moved_labels\":{moved_labels},\"imbalance_milli\":{imbalance_milli},\"predicted_milli\":{predicted_milli}}}"
+            ),
+            TraceEvent::Replan {
+                query,
+                new_query,
+                drift_milli,
+            } => format!(
+                "{{\"event\":\"replan\",\"query\":{query},\"new_query\":{new_query},\"drift_milli\":{drift_milli}}}"
+            ),
         }
     }
 }
@@ -907,6 +951,18 @@ mod tests {
             TraceEvent::Deregister {
                 query: 0,
                 retired: 3,
+            },
+            TraceEvent::Rebalance {
+                epoch: 8,
+                shards: 4,
+                moved_labels: 2,
+                imbalance_milli: 2100,
+                predicted_milli: 1100,
+            },
+            TraceEvent::Replan {
+                query: 0,
+                new_query: 3,
+                drift_milli: 412,
             },
         ];
         for ev in events {

@@ -16,12 +16,21 @@
 //!   (no continuations, so order-free).
 //!
 //! This module provides the thread machinery: a fixed set of `std`
-//! threads consuming jobs from one shared queue and handing them back on
-//! a completion channel. Threads are spawned once — lazily, on the first
-//! dispatch — and live until the owning dataflow is dropped, so the
-//! per-dispatch cost is a channel round-trip, not a thread spawn. No
-//! external dependencies: `std::sync::mpsc` plus a mutex-guarded receiver
-//! is the whole scheduler.
+//! threads consuming jobs from a mutex-and-condvar guarded queue set and
+//! handing them back on a completion channel. Threads are spawned once —
+//! lazily, on the first dispatch — and live until the owning dataflow is
+//! dropped, so the per-dispatch cost is a queue round-trip, not a thread
+//! spawn. No external dependencies.
+//!
+//! **Shard affinity.** Each worker owns a pinned queue in addition to the
+//! shared one. Shard jobs are pinned to worker `shard % workers`, so a
+//! given shard-subgraph's operators are swept by the *same* thread epoch
+//! after epoch and their state stays hot in one cache domain; level and
+//! purge jobs go to the shared queue that any idle worker drains. Workers
+//! prefer their pinned queue over the shared one. Pinning only chooses
+//! *which thread runs a job*, never what the job computes, and the
+//! indexed merge below erases completion order — so affinity is invisible
+//! to the determinism contract.
 //!
 //! Determinism is the caller's contract, and the pool is designed not to
 //! break it: a job carries everything it needs (operators, moved out of
@@ -34,9 +43,10 @@
 use crate::obs::OpStats;
 use crate::physical::{Delta, DeltaBatch, PhysicalOp, SharedDeltaBatch};
 use sgq_types::Timestamp;
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -128,6 +138,10 @@ pub(crate) struct ShardJob {
     /// Dispatch slot (ascending shard order); erases completion-order
     /// nondeterminism at the merge.
     pub idx: usize,
+    /// The shard id this job executes — the pool pins it to worker
+    /// `shard % workers` so the shard's operator state stays hot in one
+    /// cache domain, and the caller attributes `nanos` per shard.
+    pub shard: usize,
     /// The shard's topology (shared, rebuilt only on graph changes).
     pub plan: Arc<ShardPlan>,
     /// Member operators, parallel to `plan.nodes`.
@@ -162,6 +176,11 @@ pub(crate) struct ShardJob {
     /// Whether to clock each member's batch work (observability at
     /// `ObsLevel::Timing`).
     pub timed: bool,
+    /// Wall-clock nanos of the whole shard sweep — always collected (two
+    /// clock reads per shard per epoch): it is the per-shard
+    /// `shard_nanos` signal the adaptive rebalancer and
+    /// `explain_analyze`'s shard-share column read.
+    pub nanos: u64,
     /// A panic raised by a member operator, carried home for resumption.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
 }
@@ -175,6 +194,7 @@ impl ShardJob {
     /// hence the recorded emissions, are bit-identical to it.
     pub fn run(&mut self) {
         let collect = !self.node_obs.is_empty();
+        let sweep_started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             for i in 0..self.plan.nodes.len() {
                 if self.inboxes[i].is_empty() {
@@ -216,6 +236,7 @@ impl ShardJob {
                 self.emissions.push((i, shared));
             }
         }));
+        self.nanos = sweep_started.elapsed().as_nanos() as u64;
         if let Err(payload) = result {
             self.panic = Some(payload);
         }
@@ -297,62 +318,106 @@ impl PoolJob {
     }
 }
 
-/// A fixed-size pool of worker threads executing [`PoolJob`]s.
+/// The pool's job queues: one shared FIFO any worker drains, plus one
+/// pinned FIFO per worker for affinity dispatch. One mutex guards all of
+/// them — queue operations are push/pop of boxed work, so contention is
+/// dwarfed by the jobs themselves.
+struct PoolQueues {
+    shared: VecDeque<PoolJob>,
+    pinned: Vec<VecDeque<PoolJob>>,
+    closed: bool,
+}
+
+/// A fixed-size pool of worker threads executing [`PoolJob`]s, with
+/// per-shard worker affinity (see the module docs).
 pub(crate) struct WorkerPool {
-    /// `Some` while the pool accepts work; taken on drop to close the
-    /// queue and let workers drain out.
-    job_tx: Option<Sender<PoolJob>>,
+    queues: Arc<(Mutex<PoolQueues>, Condvar)>,
     done_rx: Receiver<PoolJob>,
     handles: Vec<JoinHandle<()>>,
+    workers: usize,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads blocked on an empty job queue.
+    /// Spawns `workers` threads blocked on empty job queues.
     pub fn new(workers: usize) -> WorkerPool {
-        let (job_tx, job_rx) = channel::<PoolJob>();
+        let workers = workers.max(1);
+        let queues = Arc::new((
+            Mutex::new(PoolQueues {
+                shared: VecDeque::new(),
+                pinned: (0..workers).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            Condvar::new(),
+        ));
         let (done_tx, done_rx) = channel::<PoolJob>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let handles = (0..workers.max(1))
+        let handles = (0..workers)
             .map(|i| {
-                let job_rx = Arc::clone(&job_rx);
+                let queues = Arc::clone(&queues);
                 let done_tx = done_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("sgq-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only for the dequeue, never
                         // for the job run, so idle workers can grab the
-                        // next job while this one computes.
-                        let job = { job_rx.lock().expect("job queue lock").recv() };
+                        // next job while this one computes. Pinned work
+                        // first: a worker's shards beat stray shared jobs.
+                        let job = {
+                            let (lock, cvar) = &*queues;
+                            let mut q = lock.lock().expect("job queue lock");
+                            loop {
+                                if let Some(j) =
+                                    q.pinned[i].pop_front().or_else(|| q.shared.pop_front())
+                                {
+                                    break Some(j);
+                                }
+                                if q.closed {
+                                    break None;
+                                }
+                                q = cvar.wait(q).expect("job queue lock");
+                            }
+                        };
                         match job {
-                            Ok(mut job) => {
+                            Some(mut job) => {
                                 job.run();
                                 if done_tx.send(job).is_err() {
                                     return; // pool dropped mid-flight
                                 }
                             }
-                            Err(_) => return, // queue closed: shut down
+                            None => return, // queues closed: shut down
                         }
                     })
                     .expect("spawn sgq worker thread")
             })
             .collect();
         WorkerPool {
-            job_tx: Some(job_tx),
+            queues,
             done_rx,
             handles,
+            workers,
         }
     }
 
     /// Dispatches a batch of jobs and blocks until every one completed,
     /// returning them ordered by their `idx` slot — completion order
-    /// never leaks to the caller.
+    /// never leaks to the caller. Shard jobs are pinned to worker
+    /// `shard % workers`; everything else lands on the shared queue.
     fn run_jobs(&self, jobs: Vec<PoolJob>) -> Vec<PoolJob> {
         let n = jobs.len();
-        let tx = self.job_tx.as_ref().expect("pool is live until drop");
         let mut done: Vec<Option<PoolJob>> = Vec::new();
         done.resize_with(n, || None);
-        for job in jobs {
-            tx.send(job).expect("worker threads outlive the pool");
+        {
+            let (lock, cvar) = &*self.queues;
+            let mut q = lock.lock().expect("job queue lock");
+            for job in jobs {
+                match &job {
+                    PoolJob::Shard(s) => {
+                        let w = s.shard % self.workers;
+                        q.pinned[w].push_back(job);
+                    }
+                    _ => q.shared.push_back(job),
+                }
+            }
+            cvar.notify_all();
         }
         for _ in 0..n {
             let job = self
@@ -407,7 +472,12 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.job_tx.take(); // close the queue: workers drain and exit
+        {
+            // Close the queues: workers drain what's left and exit.
+            let (lock, cvar) = &*self.queues;
+            lock.lock().expect("job queue lock").closed = true;
+            cvar.notify_all();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

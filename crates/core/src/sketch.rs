@@ -1,0 +1,523 @@
+//! Per-label frequency sketches over the input stream, and the
+//! epoch-boundary rebalance controller they feed (gSketch-style).
+//!
+//! The executor fixes the label → shard assignment at lowering time, but
+//! real streams drift: a label that was cold at register time can become
+//! the hot one, leaving a shard-subgraph persistently overloaded while
+//! its siblings idle. Because **any** label partition is
+//! semantics-preserving (the merge replay restores serial publish order
+//! regardless of grouping), reassigning labels between epochs is a pure
+//! scheduling decision — the only hard part is *deciding well* and
+//! *deciding stably*.
+//!
+//! This module provides the three pieces:
+//!
+//! * [`CmSketch`] — a count-min sketch (d rows × w counters,
+//!   multiply-shift hashing). `estimate` never under-counts, and
+//!   over-counts by more than `ε·N` (ε = e/w, N = total updates) with
+//!   probability at most `e^-d` — the classic CM guarantee, pinned by a
+//!   property test against adversarial label distributions.
+//! * [`StreamSketch`] — the per-label view the ingest path updates inline
+//!   (a few arithmetic ops per edge): CM counts keyed by label plus
+//!   per-label degree summaries ([`LabelStats`]: exact edge tallies and
+//!   Flajolet–Martin distinct-endpoint estimators).
+//! * [`Rebalancer`] — the hysteresis controller. It follows the same
+//!   static-fallback discipline as `multiquery::chooser`: measured
+//!   wall-clock signal (`shard_nanos`) is only trusted past an absolute
+//!   floor, a persistently hot shard must stay hot for
+//!   [`REBALANCE_STREAK`] consecutive checks, and a move is only made
+//!   when the sketch-predicted assignment improves the imbalance by a
+//!   real margin — so run-to-run timing noise never flips structure.
+//!
+//! Everything here is deterministic in the input stream: hash seeds are
+//! fixed constants, [`plan_assignment`] breaks ties by label id, and the
+//! fallback signal (sketch mass per shard) is a pure function of the
+//! ingested deltas.
+
+use sgq_types::{FxHashMap, Label};
+
+/// Count-min sketch rows (depth `d`): failure probability `e^-d`.
+const CM_DEPTH: usize = 4;
+
+/// Count-min sketch row width `w` (power of two): additive error `e/w · N`.
+const CM_WIDTH: usize = 1024;
+
+/// Fixed odd multipliers for the multiply-shift row hashes (deterministic
+/// across runs; splitmix64-derived constants).
+const CM_SEEDS: [u64; CM_DEPTH] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0xd6e8_feb8_6659_fd93,
+];
+
+/// A count-min sketch: point frequency estimates over a `u64` key space
+/// in `O(d)` time and `O(d·w)` space, never under-estimating.
+#[derive(Debug, Clone)]
+pub struct CmSketch {
+    /// `depth` rows of `width` counters, row-major.
+    rows: Vec<u64>,
+    width: usize,
+    shift: u32,
+    /// Total mass inserted (the `N` of the error bound).
+    total: u64,
+}
+
+impl Default for CmSketch {
+    fn default() -> Self {
+        CmSketch::new(CM_WIDTH)
+    }
+}
+
+impl CmSketch {
+    /// A sketch with `width` counters per row (rounded up to a power of
+    /// two, minimum 16) and the default depth.
+    pub fn new(width: usize) -> CmSketch {
+        let width = width.next_power_of_two().max(16);
+        CmSketch {
+            rows: vec![0; CM_DEPTH * width],
+            width,
+            shift: 64 - width.trailing_zeros(),
+            total: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        // Multiply-shift: the high log2(w) bits of key · odd-constant are
+        // a universal-enough hash for counting purposes.
+        row * self.width + (key.wrapping_mul(CM_SEEDS[row]) >> self.shift) as usize
+    }
+
+    /// Adds `by` to `key`'s count.
+    #[inline]
+    pub fn update(&mut self, key: u64, by: u64) {
+        for row in 0..CM_DEPTH {
+            let s = self.slot(row, key);
+            self.rows[s] += by;
+        }
+        self.total += by;
+    }
+
+    /// Point estimate for `key`: the minimum over rows. Never below the
+    /// true count; above it by more than [`CmSketch::error_bound`] with
+    /// probability at most `e^-depth`.
+    #[inline]
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..CM_DEPTH)
+            .map(|row| self.rows[self.slot(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total mass inserted so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The additive error bound `⌈e/w · N⌉` that estimates exceed the
+    /// truth by with probability at most `e^-depth`.
+    pub fn error_bound(&self) -> u64 {
+        ((std::f64::consts::E / self.width as f64) * self.total as f64).ceil() as u64
+    }
+}
+
+/// Flajolet–Martin registers per endpoint side (stochastic averaging à
+/// la PCSA: one unlucky hash moves one register, and the mean damps it).
+const FM_REGS: usize = 8;
+
+/// Per-label degree summary: exact edge tally plus Flajolet–Martin
+/// distinct-endpoint estimators (one byte per register per side).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LabelStats {
+    /// Exact number of input deltas carrying this label.
+    pub edges: u64,
+    /// Per-register max rho of hashed source ids seen.
+    src_rho: [u8; FM_REGS],
+    /// Per-register max rho of hashed target ids seen.
+    trg_rho: [u8; FM_REGS],
+}
+
+#[inline]
+fn fm_observe(regs: &mut [u8; FM_REGS], v: u64) {
+    // Splitmix-style finalizer: an odd multiply alone preserves trailing
+    // zeros, so the xor-shift rounds are what actually randomise the low
+    // bits FM reads.
+    let mut h = v.wrapping_add(CM_SEEDS[0]);
+    h = (h ^ (h >> 30)).wrapping_mul(CM_SEEDS[1]);
+    h = (h ^ (h >> 27)).wrapping_mul(CM_SEEDS[2]);
+    h ^= h >> 31;
+    let reg = (h & (FM_REGS as u64 - 1)) as usize;
+    // The or-ed high bit bounds rho for every input (including ids that
+    // happen to hash to 0 in the remaining bits).
+    let rho = (((h >> 3) | (1 << 60)).trailing_zeros() as u8) + 1;
+    regs[reg] = regs[reg].max(rho);
+}
+
+fn fm_estimate(regs: &[u8; FM_REGS]) -> u64 {
+    if regs.iter().all(|&r| r == 0) {
+        return 0;
+    }
+    // PCSA: m · 2^(mean rho − 1) / φ with φ ≈ 0.77351.
+    let mean = regs.iter().map(|&r| f64::from(r)).sum::<f64>() / FM_REGS as f64;
+    ((FM_REGS as f64) * (mean - 1.0).exp2() / 0.77351) as u64
+}
+
+impl LabelStats {
+    /// Flajolet–Martin estimate of distinct source vertices.
+    pub fn distinct_src_est(&self) -> u64 {
+        fm_estimate(&self.src_rho)
+    }
+
+    /// Flajolet–Martin estimate of distinct target vertices.
+    pub fn distinct_trg_est(&self) -> u64 {
+        fm_estimate(&self.trg_rho)
+    }
+
+    /// Mean out-degree estimate: edges over distinct sources.
+    pub fn mean_degree_est(&self) -> f64 {
+        self.edges as f64 / self.distinct_src_est().max(1) as f64
+    }
+}
+
+/// The stream-wide sketch updated inline by the ingest path: CM counts
+/// keyed by label id plus per-label [`LabelStats`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamSketch {
+    cm: CmSketch,
+    labels: FxHashMap<Label, LabelStats>,
+}
+
+impl StreamSketch {
+    /// Records one input delta.
+    #[inline]
+    pub fn observe(&mut self, label: Label, src: u64, trg: u64) {
+        self.cm.update(label.0 as u64, 1);
+        let e = self.labels.entry(label).or_default();
+        e.edges += 1;
+        fm_observe(&mut e.src_rho, src);
+        fm_observe(&mut e.trg_rho, trg);
+    }
+
+    /// CM frequency estimate for `label` (the rebalancer's mass signal).
+    pub fn estimate(&self, label: Label) -> u64 {
+        self.cm.estimate(label.0 as u64)
+    }
+
+    /// The underlying count-min sketch.
+    pub fn cm(&self) -> &CmSketch {
+        &self.cm
+    }
+
+    /// Exact per-label degree summaries (observability / tests).
+    pub fn label_stats(&self) -> &FxHashMap<Label, LabelStats> {
+        &self.labels
+    }
+
+    /// Total deltas observed.
+    pub fn total(&self) -> u64 {
+        self.cm.total()
+    }
+
+    /// Per-label relative rates (CM estimates, proportional to tuples per
+    /// window) in the shape `optimizer::LabelRates` expects.
+    pub fn rates(&self) -> FxHashMap<Label, f64> {
+        self.labels
+            .keys()
+            .map(|&l| (l, self.estimate(l) as f64))
+            .collect()
+    }
+
+    /// CM mass estimates for the given labels, in input order.
+    pub fn masses(&self, labels: &[Label]) -> Vec<(Label, u64)> {
+        labels.iter().map(|&l| (l, self.estimate(l))).collect()
+    }
+
+    /// Total-variation drift (in milli, 0..=1000) between the current
+    /// label distribution and a `baseline` mass snapshot: ½ Σ |p − q|.
+    /// Zero when nothing changed; 1000 when the distributions are
+    /// disjoint. Used to invalidate stale measured signals.
+    pub fn drift_milli(&self, baseline: &FxHashMap<Label, u64>) -> u64 {
+        let cur_total: u64 = self.labels.values().map(|s| s.edges).sum();
+        let base_total: u64 = baseline.values().sum();
+        if cur_total == 0 || base_total == 0 {
+            return 0;
+        }
+        let mut keys: Vec<Label> = self.labels.keys().copied().collect();
+        for l in baseline.keys() {
+            if !self.labels.contains_key(l) {
+                keys.push(*l);
+            }
+        }
+        let mut tv = 0.0f64;
+        for l in keys {
+            let p = self.labels.get(&l).map_or(0, |s| s.edges) as f64 / cur_total as f64;
+            let q = baseline.get(&l).copied().unwrap_or(0) as f64 / base_total as f64;
+            tv += (p - q).abs();
+        }
+        ((tv / 2.0) * 1000.0).round() as u64
+    }
+
+    /// Exact per-label mass snapshot (the drift baseline).
+    pub fn snapshot_masses(&self) -> FxHashMap<Label, u64> {
+        self.labels.iter().map(|(&l, s)| (l, s.edges)).collect()
+    }
+}
+
+/// Greedy LPT bin packing of labels onto `nshards` shards: heaviest label
+/// first onto the currently lightest shard. Fully deterministic — mass
+/// ties break on ascending label id, load ties on ascending shard id.
+pub fn plan_assignment(masses: &[(Label, u64)], nshards: usize) -> FxHashMap<Label, usize> {
+    let nshards = nshards.max(1);
+    let mut order: Vec<(Label, u64)> = masses.to_vec();
+    order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+    let mut loads = vec![0u64; nshards];
+    let mut assign = FxHashMap::default();
+    for (label, mass) in order {
+        let shard = (0..nshards).min_by_key(|&s| (loads[s], s)).unwrap_or(0);
+        loads[shard] += mass;
+        assign.insert(label, shard);
+    }
+    assign
+}
+
+/// Shard-load imbalance as max/mean in milli (1000 = perfectly balanced).
+/// Empty or zero loads read as balanced.
+pub fn imbalance_milli(loads: &[u64]) -> u64 {
+    let sum: u64 = loads.iter().sum();
+    if loads.is_empty() || sum == 0 {
+        return 1000;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0) as u128;
+    ((max * 1000 * loads.len() as u128) / sum as u128) as u64
+}
+
+/// Epochs between rebalance checks (the controller is epoch-boundary
+/// only; checking every epoch would be noise-chasing).
+pub const REBALANCE_CHECK_EPOCHS: u64 = 4;
+
+/// Consecutive hot checks required before a move (hysteresis).
+pub const REBALANCE_STREAK: u32 = 2;
+
+/// Checks to sit out after a move (lets the new assignment settle).
+pub const REBALANCE_COOLDOWN: u32 = 4;
+
+/// max/mean (milli) above which a shard counts as hot.
+pub const HOT_MILLI: u64 = 1250;
+
+/// A move must predict imbalance at most this fraction (milli) of the
+/// current one — the improvement margin that keeps noise from thrashing.
+pub const IMPROVE_MILLI: u64 = 800;
+
+/// Minimum measured per-check-window shard nanos before wall-clock signal
+/// is trusted over the deterministic sketch-mass fallback (mirrors
+/// `chooser::ROUTE_TAX_FLOOR_NANOS`' discipline).
+pub const SHARD_NANOS_FLOOR: u64 = 200_000;
+
+/// The epoch-boundary rebalance controller: hysteresis + cooldown over
+/// an imbalance signal, deciding *whether* to adopt a candidate
+/// assignment. Pure state machine — callers supply the signals.
+#[derive(Debug, Clone, Default)]
+pub struct Rebalancer {
+    epochs_since_check: u64,
+    streak: u32,
+    cooldown: u32,
+    /// Rebalances executed (mirrors `ExecStats::rebalances`).
+    pub moves: u64,
+}
+
+impl Rebalancer {
+    /// Advances the epoch counter; `true` when a check is due.
+    pub fn on_epoch(&mut self) -> bool {
+        self.epochs_since_check += 1;
+        if self.epochs_since_check < REBALANCE_CHECK_EPOCHS {
+            return false;
+        }
+        self.epochs_since_check = 0;
+        true
+    }
+
+    /// One check: given the current imbalance and the imbalance the
+    /// candidate assignment would predict, decide whether to move now.
+    /// Encodes the full discipline — hot threshold, consecutive-streak
+    /// hysteresis, post-move cooldown, and the improvement margin.
+    pub fn decide(&mut self, current_milli: u64, predicted_milli: u64) -> bool {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return false;
+        }
+        if current_milli < HOT_MILLI {
+            self.streak = 0;
+            return false;
+        }
+        self.streak += 1;
+        if self.streak < REBALANCE_STREAK {
+            return false;
+        }
+        // Persistently hot: move only when the sketch predicts a real
+        // improvement (otherwise the skew is intra-label and moving
+        // labels cannot help).
+        if predicted_milli.saturating_mul(1000) <= current_milli.saturating_mul(IMPROVE_MILLI) {
+            self.streak = 0;
+            self.cooldown = REBALANCE_COOLDOWN;
+            self.moves += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_never_underestimates() {
+        let mut cm = CmSketch::new(64);
+        let mut truth: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..500u64 {
+            let key = i % 37;
+            let by = 1 + i % 5;
+            cm.update(key, by);
+            *truth.entry(key).or_default() += by;
+        }
+        for (&k, &t) in &truth {
+            assert!(cm.estimate(k) >= t, "key {k}: est {} < {t}", cm.estimate(k));
+        }
+    }
+
+    #[test]
+    fn cm_bound_holds_on_skewed_keys() {
+        // Heavy Zipf-ish skew: the adversarial case for light keys.
+        let mut cm = CmSketch::default();
+        let mut truth: FxHashMap<u64, u64> = FxHashMap::default();
+        for key in 0..200u64 {
+            let by = 10_000 / (key + 1);
+            cm.update(key, by);
+            *truth.entry(key).or_default() += by;
+        }
+        let bound = cm.error_bound();
+        for (&k, &t) in &truth {
+            let est = cm.estimate(k);
+            assert!(est >= t);
+            assert!(est <= t + bound, "key {k}: {est} > {t} + {bound}");
+        }
+    }
+
+    #[test]
+    fn fm_degree_summaries_track_scale() {
+        let mut s = StreamSketch::default();
+        let l = Label(3);
+        for src in 0..4000u64 {
+            s.observe(l, src, src % 7);
+        }
+        let stats = s.label_stats()[&l];
+        assert_eq!(stats.edges, 4000);
+        let est = stats.distinct_src_est();
+        // FM with one register is coarse (±2x typical): order of magnitude.
+        assert!((400..=40_000).contains(&est), "distinct src est {est}");
+        // 7 distinct targets: a single register can over-read by the run
+        // of one unlucky hash, but must stay far below the source side.
+        assert!(
+            stats.distinct_trg_est() <= 5_000,
+            "distinct trg est {}",
+            stats.distinct_trg_est()
+        );
+        assert!(stats.mean_degree_est() >= 0.1);
+    }
+
+    #[test]
+    fn lpt_balances_skewed_masses() {
+        let masses: Vec<(Label, u64)> = (0..12u32)
+            .map(|i| (Label(i), 10_000 / (u64::from(i) + 1)))
+            .collect();
+        let assign = plan_assignment(&masses, 4);
+        let mut loads = [0u64; 4];
+        for (l, m) in &masses {
+            loads[assign[l]] += m;
+        }
+        // The heaviest label (10000, against a per-shard mean of ~7758)
+        // bounds what any assignment can achieve: max/mean ≥ 1.289.
+        // LPT should land essentially on that bound.
+        assert!(imbalance_milli(&loads) <= 1300, "{loads:?}");
+        // Round-robin by label id on the same masses is badly imbalanced.
+        let mut rr = [0u64; 4];
+        for (l, m) in &masses {
+            rr[l.0 as usize % 4] += m;
+        }
+        assert!(imbalance_milli(&rr) > imbalance_milli(&loads));
+    }
+
+    #[test]
+    fn lpt_is_deterministic_under_ties() {
+        let masses: Vec<(Label, u64)> = (0..8u32).map(|i| (Label(i), 100)).collect();
+        let a = plan_assignment(&masses, 4);
+        let b = plan_assignment(&masses, 4);
+        assert_eq!(a, b);
+        let mut loads = [0u64; 4];
+        for (l, _) in &masses {
+            loads[a[l]] += 100;
+        }
+        assert_eq!(imbalance_milli(&loads), 1000);
+    }
+
+    #[test]
+    fn drift_moves_from_zero_to_large_on_permutation() {
+        let mut s = StreamSketch::default();
+        for i in 0..1000u64 {
+            s.observe(Label((i % 4) as u32), i, i + 1);
+        }
+        let base = s.snapshot_masses();
+        assert_eq!(s.drift_milli(&base), 0);
+        // Shift all new mass onto one label: the distribution drifts.
+        for i in 0..4000u64 {
+            s.observe(Label(0), i, i + 1);
+        }
+        assert!(s.drift_milli(&base) > 300, "{}", s.drift_milli(&base));
+    }
+
+    #[test]
+    fn rebalancer_hysteresis_and_cooldown() {
+        let mut r = Rebalancer::default();
+        // Below the hot threshold: never moves.
+        for _ in 0..10 {
+            assert!(!r.decide(1100, 1000));
+        }
+        // One hot check is not enough (streak of 2 required).
+        assert!(!r.decide(2000, 1000));
+        // Second consecutive hot check with improvement: move.
+        assert!(r.decide(2000, 1000));
+        assert_eq!(r.moves, 1);
+        // Cooldown: the next REBALANCE_COOLDOWN checks sit out.
+        for _ in 0..REBALANCE_COOLDOWN {
+            assert!(!r.decide(3000, 1000));
+        }
+        // Streak must rebuild after cooldown.
+        assert!(!r.decide(3000, 1000));
+        assert!(r.decide(3000, 1000));
+        assert_eq!(r.moves, 2);
+    }
+
+    #[test]
+    fn rebalancer_ignores_unimprovable_skew() {
+        let mut r = Rebalancer::default();
+        // Hot, but the candidate predicts no improvement (one giant
+        // label): never move.
+        for _ in 0..10 {
+            assert!(!r.decide(3000, 2900));
+        }
+        assert_eq!(r.moves, 0);
+    }
+
+    #[test]
+    fn epoch_cadence() {
+        let mut r = Rebalancer::default();
+        let mut checks = 0;
+        for _ in 0..(REBALANCE_CHECK_EPOCHS * 5) {
+            if r.on_epoch() {
+                checks += 1;
+            }
+        }
+        assert_eq!(checks, 5);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`workloads`] — Table 1's Q1–Q7 instantiated per dataset, plus the
 //!   label-resolution glue between generated streams and query programs.
 //! * [`uniform`] — a small uniform random-graph stream for tests.
+//! * [`zipf`] — Zipf-skewed label selection with mid-stream drift, the
+//!   shared machinery behind the generators' `skew`/`drift` knobs and a
+//!   many-label stream for adaptive-execution benchmarks.
 //! * [`mod@feed`] — the one stream-feeding code path shared by the examples,
 //!   the repro harness, the `sgq-serve` client, and the tests.
 //!
@@ -30,6 +33,7 @@ pub mod snb;
 pub mod so;
 pub mod uniform;
 pub mod workloads;
+pub mod zipf;
 
 pub use feed::{feed, feed_batches, feed_raw};
 pub use io::{read_stream, read_stream_file, write_stream};
@@ -37,3 +41,4 @@ pub use snb::{snb_stream, SnbConfig};
 pub use so::{so_stream, SoConfig};
 pub use uniform::uniform_stream;
 pub use workloads::{resolve, Dataset, RawEvent, RawStream};
+pub use zipf::{zipf_stream, ZipfConfig};

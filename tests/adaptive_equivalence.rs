@@ -1,0 +1,297 @@
+//! Adaptive execution determinism (property-based): sketch-driven shard
+//! rebalancing must be invisible in the answer stream. Any label→shard
+//! assignment is semantics-preserving by construction — the scheduler's
+//! merge replay restores serial publish order regardless of grouping — so
+//! these properties pin the strongest form of that contract: engines run
+//! with `adaptive` on (sketch maintenance, epoch-boundary rebalancing)
+//! and engines driven through **arbitrary explicit rebalance schedules**
+//! produce **bit-identical** result logs and deterministic-fingerprint
+//! counters versus the serial non-adaptive baseline, at every tested
+//! `(shards, workers)` × [`ObsLevel`] configuration.
+//!
+//! A separate property checks the count-min sketch itself on adversarial
+//! key distributions (sequential, strided, high-bit-only): estimates
+//! never under-count and stay within the `⌈e/w·N⌉` additive bound.
+
+use proptest::prelude::*;
+use s_graffito::core::sketch::CmSketch;
+use s_graffito::prelude::*;
+use s_graffito::types::{FxHashMap, Sge, VertexId};
+
+const WINDOW: u64 = 24;
+const SLIDE: u64 = 6;
+const SPAN: u64 = 72;
+
+/// The `(shards, workers)` matrix from the serial baseline to the
+/// pool-backed sharded configuration.
+const CONFIGS: [(usize, usize); 2] = [(1, 1), (4, 4)];
+
+/// Observability levels the adaptive runs are repeated under: `Timing`
+/// feeds measured `shard_nanos` into the rebalancer (wall-clock driven
+/// decisions), `Off` leaves it on the deterministic sketch-mass signal.
+const OBS: [ObsLevel; 2] = [ObsLevel::Off, ObsLevel::Timing];
+
+/// One raw stream event, Zipf-skewed towards label 0 so the sketch sees
+/// genuinely imbalanced label mass and the rebalancer has something to
+/// move.
+fn events(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u8, u64)>> {
+    // The label ordinal is drawn 0..12 and folded through a fixed skew
+    // table: half the mass on label 0, a third on 1, the rest on 2.
+    const SKEW: [u8; 12] = [0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2];
+    prop::collection::vec(
+        (0u64..12, 0u64..12, 0usize..12, 1u64..4).prop_map(|(s, t, l, dt)| (s, t, SKEW[l], dt)),
+        1..max_len,
+    )
+}
+
+/// Materializes events into ordered sges.
+fn materialize(events: &[(u64, u64, u8, u64)], labels: &[Label]) -> Vec<Sge> {
+    let mut t = 0u64;
+    events
+        .iter()
+        .map(|&(s, tr, l, dt)| {
+            t = (t + dt).min(SPAN);
+            Sge::new(VertexId(s), VertexId(tr), labels[l as usize], t)
+        })
+        .collect()
+}
+
+fn opts(shards: usize, workers: usize, obs: ObsLevel, adaptive: bool) -> EngineOptions {
+    EngineOptions {
+        suppress_duplicates: true,
+        shards,
+        workers,
+        obs,
+        adaptive,
+        ..Default::default()
+    }
+}
+
+/// Drives `sges` through `process_batch`, splitting at the given cut
+/// points, optionally forcing an explicit shard assignment at each
+/// scheduled flush.
+fn run_engine(
+    query: &SgqQuery,
+    sges: &[Sge],
+    cuts: &[usize],
+    options: EngineOptions,
+    schedule: &[(usize, usize, usize, usize)],
+    labels: &[Label],
+) -> Engine {
+    let mut e = Engine::from_query_with(query, options);
+    let mut batch: Vec<Sge> = Vec::new();
+    for (i, &sge) in sges.iter().enumerate() {
+        batch.push(sge);
+        if cuts.contains(&i) {
+            e.process_batch(&batch);
+            batch.clear();
+            for &(at, s0, s1, s2) in schedule {
+                if at == i {
+                    let assign: FxHashMap<Label, usize> = labels
+                        .iter()
+                        .zip([s0, s1, s2])
+                        .map(|(&l, s)| (l, s))
+                        .collect();
+                    e.set_shard_assignment(assign);
+                }
+            }
+        }
+    }
+    e.process_batch(&batch);
+    e
+}
+
+fn query(text: &str) -> SgqQuery {
+    SgqQuery::new(parse_program(text).unwrap(), WindowSpec::new(WINDOW, SLIDE))
+}
+
+/// Multi-label plans so shard groups are non-trivial.
+const PLANS: [&str; 3] = [
+    "Ans(x, y) <- a(x, z), b(z, y).",
+    "Ans(x, y) <- a+(x, y).",
+    "Ans(x, y) <- a+(x, m), b(m, y).",
+];
+
+/// The EDB labels `a`, `b`, `c` in `q`'s namespace.
+fn label_vec(q: &SgqQuery) -> Vec<Label> {
+    let labels = Engine::from_query(q).labels().clone();
+    ["a", "b", "c"]
+        .iter()
+        .map(|n| labels.get(n).unwrap_or(Label(u32::MAX)))
+        .collect()
+}
+
+fn check_bit_identical(
+    baseline: &Engine,
+    other: &Engine,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        baseline.results(),
+        other.results(),
+        "insert log {}",
+        context
+    );
+    prop_assert_eq!(
+        baseline.deleted_results(),
+        other.deleted_results(),
+        "delete log {}",
+        context
+    );
+    prop_assert_eq!(
+        baseline.exec_stats().determinism_fingerprint(),
+        other.exec_stats().determinism_fingerprint(),
+        "executor counters {}",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adaptive on, every `(shards, workers)` × obs level: bit-identical
+    /// to the serial **non-adaptive** baseline — sketch maintenance and
+    /// any rebalances it triggers are fingerprint-neutral.
+    #[test]
+    fn adaptive_identical_across_configs_and_obs(
+        evs in events(60),
+        cuts in prop::collection::vec(0usize..60, 0..8),
+        plan_idx in 0usize..3,
+    ) {
+        let q = query(PLANS[plan_idx]);
+        let labels = label_vec(&q);
+        let sges = materialize(&evs, &labels);
+        let baseline = run_engine(
+            &q, &sges, &cuts, opts(1, 1, ObsLevel::Off, false), &[], &labels,
+        );
+        for &(shards, workers) in &CONFIGS {
+            for &obs in &OBS {
+                let run = run_engine(
+                    &q, &sges, &cuts, opts(shards, workers, obs, true), &[], &labels,
+                );
+                let context = format!("at ({shards},{workers}) obs {obs:?}");
+                check_bit_identical(&baseline, &run, &context)?;
+            }
+        }
+    }
+
+    /// Arbitrary explicit rebalance schedules — random label→shard maps
+    /// applied at random flush points — leave results and fingerprints
+    /// bit-identical to the never-rebalanced baseline.
+    #[test]
+    fn any_rebalance_schedule_is_bit_identical(
+        evs in events(60),
+        cuts in prop::collection::vec(0usize..60, 1..8),
+        plan_idx in 0usize..3,
+        schedule in prop::collection::vec(
+            (0usize..60, 0usize..4, 0usize..4, 0usize..4),
+            1..4,
+        ),
+    ) {
+        let q = query(PLANS[plan_idx]);
+        let labels = label_vec(&q);
+        let sges = materialize(&evs, &labels);
+        let baseline = run_engine(
+            &q, &sges, &cuts, opts(1, 1, ObsLevel::Off, false), &[], &labels,
+        );
+        for &(shards, workers) in &CONFIGS[1..] {
+            for &obs in &OBS {
+                let run = run_engine(
+                    &q, &sges, &cuts, opts(shards, workers, obs, false),
+                    &schedule, &labels,
+                );
+                let context = format!("rebalanced at ({shards},{workers}) obs {obs:?}");
+                check_bit_identical(&baseline, &run, &context)?;
+            }
+        }
+    }
+
+    /// Count-min estimates on adversarial key distributions: never under
+    /// the true count, and within the additive `⌈e/w·N⌉` bound (the
+    /// shimmed proptest is deterministic, so this is not a flaky
+    /// probabilistic assertion — a pass is a pass forever).
+    #[test]
+    fn cm_sketch_within_error_bound(
+        updates in prop::collection::vec(
+            (0usize..3, 0u64..48, 1u64..64),
+            1..200,
+        ),
+    ) {
+        let mut cm = CmSketch::default();
+        let mut truth: FxHashMap<u64, u64> = FxHashMap::default();
+        for &(class, k, by) in &updates {
+            // Three adversarial key families: sequential small ids,
+            // 2^32-strided (exercises high multiply bits), and high-bit
+            // only (all low bits zero).
+            let key = match class {
+                0 => k,
+                1 => k << 32,
+                _ => k << 52,
+            };
+            cm.update(key, by);
+            *truth.entry(key).or_default() += by;
+        }
+        let bound = cm.error_bound();
+        for (&key, &count) in &truth {
+            let est = cm.estimate(key);
+            prop_assert!(est >= count, "under-count: {est} < {count}");
+            prop_assert!(
+                est <= count + bound,
+                "estimate {est} exceeds {count} + bound {bound}"
+            );
+        }
+        prop_assert_eq!(cm.total(), updates.iter().map(|u| u.2).sum::<u64>());
+    }
+}
+
+/// Drift-aware replanning end to end: a host with `adaptive` on, fed a
+/// stream whose label distribution flips mid-run, replans registered
+/// queries (fresh `QueryId`s) without changing any answer already
+/// delivered — and the replanned registrations keep answering correctly.
+#[test]
+fn replan_preserves_results_and_remaps_ids() {
+    let q = query(PLANS[0]);
+    let mut adaptive_host = MultiQueryEngine::with_options(EngineOptions {
+        adaptive: true,
+        ..Default::default()
+    });
+    let mut static_host = MultiQueryEngine::with_options(EngineOptions::default());
+    let id_a = adaptive_host.register(&q);
+    let id_s = static_host.register(&q);
+
+    let labels = ["a", "b", "c"].map(|n| adaptive_host.labels().get(n).unwrap_or(Label(u32::MAX)));
+    // Phase 1: all mass on label `a` (the baseline the first replan
+    // check adopts). Phase 2: mass flips to `b` — total variation climbs
+    // past the replan threshold and stays there.
+    let mut sges: Vec<Sge> = Vec::new();
+    for i in 0..80u64 {
+        sges.push(Sge::raw(i % 8, (i + 1) % 8, labels[0], i / 8));
+    }
+    for i in 0..200u64 {
+        sges.push(Sge::raw(i % 8, (i + 3) % 8, labels[1], 10 + i / 20));
+    }
+
+    let mut current_a = id_a;
+    for chunk in sges.chunks(16) {
+        adaptive_host.process_batch(chunk);
+        static_host.process_batch(chunk);
+        for (old, new) in adaptive_host.maybe_replan() {
+            assert_eq!(old, current_a, "replan targets the live registration");
+            current_a = new;
+        }
+    }
+    assert_ne!(current_a, id_a, "drift this large must trigger a replan");
+
+    // The replanned registration answers from the full current window
+    // (catch-up replay), so its answer set must match the static host's
+    // exactly. Exact log order is only pinned at fixed registration
+    // points — catch-up replays the window as one epoch — so compare
+    // sets, not sequences.
+    let pairs = |results: &[Sgt]| -> s_graffito::types::FxHashSet<(u64, u64)> {
+        results.iter().map(|s| (s.src.0, s.trg.0)).collect()
+    };
+    let adaptive_pairs = pairs(adaptive_host.results(current_a));
+    assert!(!adaptive_pairs.is_empty());
+    assert_eq!(adaptive_pairs, pairs(static_host.results(id_s)));
+}
